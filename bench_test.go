@@ -1,0 +1,545 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, one (family) per experiment. They run at laptop scale by
+// default; cmd/shortcutbench reproduces the full sweeps and -paperscale
+// restores the original workload sizes.
+//
+//	go test -bench=. -benchmem
+package vmshortcut
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/sys"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+var benchSink uint64
+
+// benchNode builds a wide inner node over `leaves` pooled pages with the
+// given slot count and fan-in, in both variants.
+func benchNode(b *testing.B, slots, fanIn int) (*pool.Pool, *core.Traditional, *core.Shortcut) {
+	b.Helper()
+	leaves := slots / fanIn
+	if leaves < 1 {
+		leaves = 1
+	}
+	p, err := pool.New(pool.Config{GrowChunkPages: 1 << 10, MaxPages: leaves + (1 << 12)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := p.AllocContiguous(leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := sys.PageSize()
+	trad := core.NewTraditional(p, slots)
+	for i := 0; i < slots; i++ {
+		trad.Set(i, run+pool.Ref((i/fanIn)*ps))
+	}
+	sc, err := core.NewShortcut(p, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sc.SetFromTraditional(trad, true); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sc.Close(); p.Close() })
+	return p, trad, sc
+}
+
+// --- Figure 2: random accesses through one wide inner node. ---
+
+func BenchmarkFig2Access(b *testing.B) {
+	const slots = 1 << 16 // 256 MB of leaves at fan-in 1
+	_, trad, sc := benchNode(b, slots, 1)
+	rng := workload.NewRNG(42)
+
+	b.Run("Traditional", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slot := rng.Intn(slots)
+			benchSink += *(*uint64)(sys.AddrToPointer(trad.LeafAddr(slot)))
+		}
+	})
+	base := sc.Base()
+	ps := uintptr(sys.PageSize())
+	b.Run("Shortcut", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slot := rng.Intn(slots)
+			benchSink += *(*uint64)(sys.AddrToPointer(base + uintptr(slot)*ps))
+		}
+	})
+}
+
+// --- Table 1: construction phases. ---
+
+func BenchmarkTable1SetIndirection(b *testing.B) {
+	b.Run("TraditionalPointerStore", func(b *testing.B) {
+		p, err := pool.New(pool.Config{MaxPages: 1 << 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		ref, err := p.Alloc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		node := core.NewTraditional(p, 1<<10)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			node.Set(i&1023, ref)
+		}
+	})
+	b.Run("ShortcutRemapLazy", func(b *testing.B) {
+		benchRemap(b, false)
+	})
+	b.Run("ShortcutRemapPopulated", func(b *testing.B) {
+		benchRemap(b, true)
+	})
+}
+
+func benchRemap(b *testing.B, populate bool) {
+	p, err := pool.New(pool.Config{MaxPages: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	refs, err := p.AllocN(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := core.NewShortcut(p, 1<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.Set(i&1023, refs[i&63], populate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1PopulatePerPage(b *testing.B) {
+	p, err := pool.New(pool.Config{MaxPages: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const pages = 1 << 10
+	run, err := p.AllocContiguous(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := sys.PageSize()
+	refs := make([]pool.Ref, pages)
+	for i := range refs {
+		refs[i] = run + pool.Ref(i*ps)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += pages {
+		b.StopTimer()
+		sc, err := core.NewShortcut(p, pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.SetAll(refs, false); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := sc.Populate(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sc.Close()
+		b.StartTimer()
+	}
+}
+
+// --- Figure 4: fan-in sweep. ---
+
+func BenchmarkFig4FanIn(b *testing.B) {
+	const slots = 1 << 16
+	for _, fanIn := range []int{64, 8, 1} {
+		_, trad, sc := benchNode(b, slots, fanIn)
+		rng := workload.NewRNG(42)
+		b.Run(fmt.Sprintf("fanin=%d/Traditional", fanIn), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				slot := rng.Intn(slots)
+				benchSink += *(*uint64)(sys.AddrToPointer(trad.LeafAddr(slot)))
+			}
+		})
+		base := sc.Base()
+		ps := uintptr(sys.PageSize())
+		b.Run(fmt.Sprintf("fanin=%d/Shortcut", fanIn), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				slot := rng.Intn(slots)
+				benchSink += *(*uint64)(sys.AddrToPointer(base + uintptr(slot)*ps))
+			}
+		})
+	}
+}
+
+// --- Figure 5: remap cost (the shootdown driver's primitive). ---
+
+func BenchmarkFig5Remap(b *testing.B) {
+	p, err := pool.New(pool.Config{MaxPages: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const pages = 1 << 12
+	refs, err := p.AllocN(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := core.NewShortcut(p, pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	if _, err := sc.SetAll(refs, true); err != nil {
+		b.Fatal(err)
+	}
+	rng := workload.NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sc.Set(rng.Intn(pages), refs[rng.Intn(pages)], true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7a: insertions. ---
+
+func benchIndexes(b *testing.B) map[string]Index {
+	b.Helper()
+	out := map[string]Index{}
+	out["HT"] = NewHashTable(HashTableConfig{})
+	out["HTI"] = NewIncrementalHashTable(IncrementalConfig{})
+	out["CH"] = NewChainedHashTable(ChainedConfig{TableBytes: 32 << 20})
+	p1, err := NewPool(PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ehTbl, err := NewExtendibleHashing(p1, ExtendibleConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out["EH"] = ehTbl
+	p2, err := NewPool(PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scTbl, err := NewShortcutEH(p2, ShortcutEHConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out["Shortcut-EH"] = scTbl
+	b.Cleanup(func() {
+		scTbl.Close()
+		p1.Close()
+		p2.Close()
+	})
+	return out
+}
+
+func BenchmarkFig7aInsert(b *testing.B) {
+	for _, name := range []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"} {
+		b.Run(name, func(b *testing.B) {
+			idx := benchIndexes(b)[name]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(workload.Key(1, uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 7b: hit-only lookups on a filled index. ---
+
+func BenchmarkFig7bLookup(b *testing.B) {
+	const n = 1 << 20
+	for _, name := range []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"} {
+		b.Run(name, func(b *testing.B) {
+			idx := benchIndexes(b)[name]
+			for i := 0; i < n; i++ {
+				if err := idx.Insert(workload.Key(1, uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sct, ok := idx.(*ShortcutEH); ok {
+				if !sct.WaitSync(time.Minute) {
+					b.Fatal("shortcut never synced")
+				}
+			}
+			rng := workload.NewRNG(9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := workload.Key(1, uint64(rng.Intn(n)))
+				if _, ok := idx.Lookup(k); !ok {
+					b.Fatal("unexpected miss")
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 8: the mixed workload op stream on Shortcut-EH. ---
+
+func BenchmarkFig8Mixed(b *testing.B) {
+	p, err := NewPool(PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	idx, err := NewShortcutEH(p, ShortcutEHConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	const bulk = 1 << 19
+	for i := 0; i < bulk; i++ {
+		if err := idx.Insert(workload.Key(3, uint64(i)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	idx.WaitSync(time.Minute)
+	rng := workload.NewRNG(11)
+	next := uint64(bulk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%100 == 0 { // 1% inserts, like the paper's waves
+			if err := idx.Insert(workload.Key(3, next), next); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		} else {
+			k := workload.Key(3, uint64(rng.Intn(int(next))))
+			if _, ok := idx.Lookup(k); !ok {
+				b.Fatal("miss")
+			}
+		}
+	}
+}
+
+// --- Ablations. ---
+
+func BenchmarkAblationCoalesce(b *testing.B) {
+	p, err := pool.New(pool.Config{MaxPages: 1 << 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const pages = 1 << 10
+	run, err := p.AllocContiguous(pages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := sys.PageSize()
+	refs := make([]pool.Ref, pages)
+	for i := range refs {
+		refs[i] = run + pool.Ref(i*ps)
+	}
+	b.Run("PerSlot", func(b *testing.B) {
+		for i := 0; i < b.N; i += pages {
+			sc, err := core.NewShortcut(p, pages)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, r := range refs {
+				if err := sc.Set(j, r, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sc.Close()
+		}
+	})
+	b.Run("Coalesced", func(b *testing.B) {
+		for i := 0; i < b.N; i += pages {
+			sc, err := core.NewShortcut(p, pages)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sc.SetAll(refs, false); err != nil {
+				b.Fatal(err)
+			}
+			sc.Close()
+		}
+	})
+}
+
+func BenchmarkAblationMaintenance(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		cfg  ShortcutEHConfig
+	}{
+		{"AsyncMapper", ShortcutEHConfig{}},
+		{"Synchronous", ShortcutEHConfig{Synchronous: true}},
+		{"NoShortcut", ShortcutEHConfig{DisableShortcut: true}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			p, err := NewPool(PoolConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			idx, err := NewShortcutEH(p, v.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(workload.Key(5, uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- YCSB core mixes over EH vs Shortcut-EH. ---
+
+func BenchmarkYCSB(b *testing.B) {
+	const loaded = 1 << 19
+	for _, mix := range []workload.Mix{workload.MixA, workload.MixC, workload.MixF} {
+		for _, variant := range []string{"EH", "Shortcut-EH"} {
+			b.Run("mix"+mix.Name+"/"+variant, func(b *testing.B) {
+				p, err := NewPool(PoolConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				var idx Index
+				if variant == "EH" {
+					t, err := NewExtendibleHashing(p, ExtendibleConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					idx = t
+				} else {
+					t, err := NewShortcutEH(p, ShortcutEHConfig{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer t.Close()
+					idx = t
+				}
+				for i := 0; i < loaded; i++ {
+					if err := idx.Insert(workload.Key(8, uint64(i)), uint64(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if sct, ok := idx.(*ShortcutEH); ok {
+					sct.WaitSync(time.Minute)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				done := 0
+				for done < b.N {
+					workload.YCSB(uint64(done), mix, loaded, b.N-done, func(op workload.YCSBOp) {
+						k := workload.Key(8, op.KeyIndex)
+						switch op.Kind {
+						case workload.OpRead:
+							idx.Lookup(k)
+						case workload.OpUpdate, workload.OpInsert:
+							idx.Insert(k, op.KeyIndex)
+						case workload.OpReadModifyWrite:
+							if v, ok := idx.Lookup(k); ok {
+								idx.Insert(k, v+1)
+							}
+						}
+						done++
+					})
+				}
+			})
+		}
+	}
+}
+
+// --- vmsim: the simulated translation path itself. ---
+
+func BenchmarkSimAccess(b *testing.B) {
+	m := vmsim.New(vmsim.Config{})
+	m.AutoFault = true
+	const pages = 1 << 14
+	for p := uint64(0); p < pages; p++ {
+		m.Map(p, p)
+	}
+	rng := workload.NewRNG(13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MustAccess(uint64(rng.Intn(pages)) << 12)
+	}
+}
+
+// --- Shortcut-EH vs EH lookup head-to-head (the headline result). ---
+
+func BenchmarkHeadlineLookup(b *testing.B) {
+	const n = 1 << 20
+	p1, err := NewPool(PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p1.Close()
+	ehTbl, err := NewExtendibleHashing(p1, ExtendibleConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p2, err := NewPool(PoolConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p2.Close()
+	scTbl, err := NewShortcutEH(p2, ShortcutEHConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer scTbl.Close()
+	for i := 0; i < n; i++ {
+		k := workload.Key(2, uint64(i))
+		if err := ehTbl.Insert(k, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := scTbl.Insert(k, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !scTbl.WaitSync(time.Minute) {
+		b.Fatal("never synced")
+	}
+	rng := workload.NewRNG(21)
+	b.Run("EH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := ehTbl.Lookup(workload.Key(2, uint64(rng.Intn(n)))); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("Shortcut-EH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := scTbl.Lookup(workload.Key(2, uint64(rng.Intn(n)))); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}

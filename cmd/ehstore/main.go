@@ -1,0 +1,184 @@
+// Command ehstore is a workbench for the five hash indexes: it loads a
+// generated keyspace into a chosen index, fires a query mix, and prints
+// throughput plus index-specific statistics. Useful for quick what-if runs
+// outside the full benchmark harness.
+//
+// Usage:
+//
+//	ehstore [-index shortcut-eh|eh|ht|hti|ch] [-n 1000000] [-reads 1000000]
+//	        [-deletes 0.1] [-poll 25ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/workload"
+)
+
+func main() {
+	index := flag.String("index", "shortcut-eh", "index: shortcut-eh | eh | ht | hti | ch")
+	n := flag.Int("n", 1_000_000, "entries to load")
+	reads := flag.Int("reads", 1_000_000, "hit-only lookups to fire")
+	deletes := flag.Float64("deletes", 0, "fraction of entries to delete after the read phase")
+	poll := flag.Duration("poll", vmshortcut.DefaultPollInterval, "mapper poll interval (shortcut-eh)")
+	seed := flag.Uint64("seed", 42, "keyspace seed")
+	hist := flag.Bool("hist", false, "print a read-latency histogram")
+	trace := flag.String("trace", "", "replay an operation trace file instead of the generated workload (I/L/D lines)")
+	flag.Parse()
+
+	var (
+		idx     vmshortcut.Index
+		cleanup func()
+	)
+	switch *index {
+	case "ht":
+		idx, cleanup = vmshortcut.NewHashTable(vmshortcut.HashTableConfig{}), func() {}
+	case "hti":
+		idx, cleanup = vmshortcut.NewIncrementalHashTable(vmshortcut.IncrementalConfig{}), func() {}
+	case "ch":
+		idx, cleanup = vmshortcut.NewChainedHashTable(vmshortcut.ChainedConfig{TableBytes: *n * 10}), func() {}
+	case "eh":
+		p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+		if err != nil {
+			log.Fatalf("pool: %v", err)
+		}
+		t, err := vmshortcut.NewExtendibleHashing(p, vmshortcut.ExtendibleConfig{})
+		if err != nil {
+			log.Fatalf("eh: %v", err)
+		}
+		idx, cleanup = t, func() { p.Close() }
+	case "shortcut-eh":
+		p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+		if err != nil {
+			log.Fatalf("pool: %v", err)
+		}
+		t, err := vmshortcut.NewShortcutEH(p, vmshortcut.ShortcutEHConfig{PollInterval: *poll})
+		if err != nil {
+			log.Fatalf("shortcut-eh: %v", err)
+		}
+		idx, cleanup = t, func() { t.Close(); p.Close() }
+	default:
+		log.Fatalf("unknown index %q", *index)
+	}
+	defer cleanup()
+
+	if *trace != "" {
+		if err := replayTrace(idx, *trace); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("index=%s n=%d reads=%d\n", *index, *n, *reads)
+
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		if err := idx.Insert(workload.Key(*seed, uint64(i)), uint64(i)); err != nil {
+			log.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	loadDur := time.Since(start)
+	fmt.Printf("load:    %10s  (%.0f inserts/s)\n", loadDur.Round(time.Millisecond),
+		float64(*n)/loadDur.Seconds())
+
+	if sct, ok := idx.(*vmshortcut.ShortcutEH); ok {
+		start = time.Now()
+		if sct.WaitSync(time.Minute) {
+			fmt.Printf("sync:    %10s  (shortcut directory caught up)\n",
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	var latencies harness.Histogram
+	start = time.Now()
+	misses := 0
+	workload.LookupStream(*seed, *n, *reads, func(i int) {
+		if *hist {
+			t0 := time.Now()
+			if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
+				misses++
+			}
+			latencies.Record(uint64(time.Since(t0).Nanoseconds()))
+			return
+		}
+		if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
+			misses++
+		}
+	})
+	readDur := time.Since(start)
+	fmt.Printf("read:    %10s  (%.0f lookups/s, %d misses)\n", readDur.Round(time.Millisecond),
+		float64(*reads)/readDur.Seconds(), misses)
+
+	if *hist {
+		latencies.Render(os.Stdout, "read latency [ns]")
+	}
+
+	if *deletes > 0 {
+		nd := int(float64(*n) * *deletes)
+		start = time.Now()
+		removed := 0
+		for i := 0; i < nd; i++ {
+			if idx.Delete(workload.Key(*seed, uint64(i))) {
+				removed++
+			}
+		}
+		fmt.Printf("delete:  %10s  (%d removed, %d remain)\n",
+			time.Since(start).Round(time.Millisecond), removed, idx.Len())
+	}
+
+	if sct, ok := idx.(*vmshortcut.ShortcutEH); ok {
+		s := sct.Stats()
+		fmt.Printf("stats:   global_depth=%d buckets=%d fan_in=%.2f shortcut_lookups=%d traditional=%d remaps=%d\n",
+			sct.EH().GlobalDepth(), sct.EH().Buckets(), sct.AvgFanIn(),
+			s.ShortcutLookups, s.TraditionalLookups, s.Remaps)
+	}
+	if et, ok := idx.(*vmshortcut.ExtendibleHashing); ok {
+		fmt.Printf("stats:   global_depth=%d buckets=%d fan_in=%.2f splits=%d doubles=%d\n",
+			et.GlobalDepth(), et.Buckets(), et.AvgFanIn(), et.Splits, et.Doubles)
+	}
+}
+
+// replayTrace streams a trace file through the index and reports counts
+// and throughput.
+func replayTrace(idx vmshortcut.Index, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ins, hits, missed, dels int
+	start := time.Now()
+	err = workload.ReadTrace(f, func(op workload.TraceOp) error {
+		switch op.Kind {
+		case 'I':
+			ins++
+			return idx.Insert(op.Key, op.Value)
+		case 'L':
+			if _, ok := idx.Lookup(op.Key); ok {
+				hits++
+			} else {
+				missed++
+			}
+		case 'D':
+			if idx.Delete(op.Key) {
+				dels++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	total := ins + hits + missed + dels
+	dur := time.Since(start)
+	fmt.Printf("trace:   %d ops in %s (%.0f ops/s): %d inserts, %d hits, %d misses, %d deletes; %d entries remain\n",
+		total, dur.Round(time.Millisecond), float64(total)/dur.Seconds(),
+		ins, hits, missed, dels, idx.Len())
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout during fn and returns what was
+// written — the runner prints straight to stdout.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- fn() }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("runner: %v", runErr)
+	}
+	return string(buf[:n])
+}
+
+// tinyRunner keeps every experiment in the sub-second range.
+func tinyRunner() runner {
+	return runner{
+		sim:      true, // sim variants are the fast deterministic path
+		accesses: 20000,
+		slots:    1 << 10,
+		entries:  20000,
+		bulk:     20000,
+		seed:     42,
+	}
+}
+
+func TestRunnerFig2Sim(t *testing.T) {
+	out := captureStdout(t, func() error { return tinyRunner().run("fig2") })
+	if !strings.Contains(out, "Shortcut (sim)") {
+		t.Fatalf("fig2 output missing series:\n%s", out)
+	}
+}
+
+func TestRunnerTable1Sim(t *testing.T) {
+	out := captureStdout(t, func() error { return tinyRunner().run("table1") })
+	for _, want := range []string{"Shortcut lazy (sim)", "Shortcut eager (sim)", "set-indir"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunnerFig4Sim(t *testing.T) {
+	out := captureStdout(t, func() error { return tinyRunner().run("fig4") })
+	if !strings.Contains(out, "fan-in") {
+		t.Fatalf("fig4 output:\n%s", out)
+	}
+}
+
+func TestRunnerFig5Sim(t *testing.T) {
+	out := captureStdout(t, func() error { return tinyRunner().run("fig5") })
+	if !strings.Contains(out, "shooter") {
+		t.Fatalf("fig5 output:\n%s", out)
+	}
+}
+
+func TestRunnerFig8(t *testing.T) {
+	r := tinyRunner()
+	r.sim = false
+	out := captureStdout(t, func() error { return r.run("fig8") })
+	if !strings.Contains(out, "via shortcut") {
+		t.Fatalf("fig8 output:\n%s", out)
+	}
+}
+
+func TestRunnerCSVMode(t *testing.T) {
+	r := tinyRunner()
+	r.csv = true
+	out := captureStdout(t, func() error { return r.run("fig4") })
+	if !strings.Contains(out, ",") || strings.Contains(out, "==") {
+		t.Fatalf("CSV mode not CSV:\n%s", out)
+	}
+}
+
+func TestRunnerNestedFlag(t *testing.T) {
+	r := tinyRunner()
+	r.nested = true
+	if !r.simConfig().NestedPaging {
+		t.Fatal("nested flag not propagated")
+	}
+	out := captureStdout(t, func() error { return r.run("fig4") })
+	if !strings.Contains(out, "fan-in") {
+		t.Fatal("nested fig4 run failed")
+	}
+}
+
+func TestRunnerUnknownExperiment(t *testing.T) {
+	if err := tinyRunner().run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

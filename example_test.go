@@ -1,0 +1,87 @@
+package vmshortcut_test
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut"
+)
+
+// ExampleNewShortcutEH builds the paper's index, inserts entries, waits
+// for the shortcut directory to synchronize, and looks the entries up
+// through the page table.
+func ExampleNewShortcutEH() {
+	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+
+	idx, err := vmshortcut.NewShortcutEH(pool, vmshortcut.ShortcutEHConfig{
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer idx.Close()
+
+	for k := uint64(1); k <= 100_000; k++ {
+		if err := idx.Insert(k, k*k); err != nil {
+			panic(err)
+		}
+	}
+	idx.WaitSync(5 * time.Second)
+
+	v, ok := idx.Lookup(262)
+	fmt.Println(v, ok, idx.UsingShortcut())
+	// Output: 68644 true true
+}
+
+// ExampleNewShortcutNode shows the rewiring layer directly: a shortcut
+// node aliasing pooled leaf pages so both views read the same bytes.
+func ExampleNewShortcutNode() {
+	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+
+	leaves, err := pool.AllocN(2)
+	if err != nil {
+		panic(err)
+	}
+	copy(pool.Page(leaves[0]), "hello")
+	copy(pool.Page(leaves[1]), "world")
+
+	sc, err := vmshortcut.NewShortcutNode(pool, 2)
+	if err != nil {
+		panic(err)
+	}
+	defer sc.Close()
+	sc.Set(0, leaves[0], true)
+	sc.Set(1, leaves[1], true)
+
+	fmt.Printf("%s %s\n", sc.Leaf(0)[:5], sc.Leaf(1)[:5])
+	// Output: hello world
+}
+
+// ExampleNewRadixMap shows the sparse direct-mapped index.
+func ExampleNewRadixMap() {
+	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+
+	m, err := vmshortcut.NewRadixMap(pool, vmshortcut.RadixMapConfig{Capacity: 1_000_000})
+	if err != nil {
+		panic(err)
+	}
+	defer m.Close()
+
+	m.Set(123_456, 42)
+	v, ok := m.Get(123_456)
+	_, miss := m.Get(123_457)
+	fmt.Println(v, ok, miss, m.Len())
+	// Output: 42 true false 1
+}

@@ -1,0 +1,148 @@
+// kvserver: a minimal Redis-flavoured TCP key-value server backed by
+// Shortcut-EH — the kind of workload the paper's HTI baseline (the Redis
+// dictionary) serves, here answered through the page table.
+//
+// Protocol (one command per line, values are unsigned 64-bit integers):
+//
+//	SET <key> <value>   -> OK
+//	GET <key>           -> <value> | NOT_FOUND
+//	DEL <key>           -> OK | NOT_FOUND
+//	LEN                 -> <count>
+//	STATS               -> routing and maintenance counters
+//	QUIT                -> closes the connection
+//
+// Run with:  go run ./examples/kvserver [-addr :6380]
+// Try it:    printf 'SET 1 42\nGET 1\nSTATS\nQUIT\n' | nc localhost 6380
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vmshortcut"
+)
+
+// store serializes index access: Shortcut-EH follows the paper's
+// single-writer model, so a lock turns concurrent connections into the
+// serial operation stream the index expects.
+type store struct {
+	mu  sync.Mutex
+	idx *vmshortcut.ShortcutEH
+}
+
+func (s *store) handle(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		if len(fields) != 3 {
+			return "ERR usage: SET <key> <value>"
+		}
+		k, err1 := strconv.ParseUint(fields[1], 10, 64)
+		v, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return "ERR keys and values are uint64"
+		}
+		if err := s.idx.Insert(k, v); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "GET":
+		if len(fields) != 2 {
+			return "ERR usage: GET <key>"
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "ERR keys are uint64"
+		}
+		if v, ok := s.idx.Lookup(k); ok {
+			return strconv.FormatUint(v, 10)
+		}
+		return "NOT_FOUND"
+	case "DEL":
+		if len(fields) != 2 {
+			return "ERR usage: DEL <key>"
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "ERR keys are uint64"
+		}
+		if s.idx.Delete(k) {
+			return "OK"
+		}
+		return "NOT_FOUND"
+	case "LEN":
+		return strconv.Itoa(s.idx.Len())
+	case "STATS":
+		st := s.idx.Stats()
+		return fmt.Sprintf(
+			"entries=%d global_depth=%d buckets=%d fan_in=%.2f in_sync=%v "+
+				"shortcut_lookups=%d traditional_lookups=%d replayed_updates=%d rebuilds=%d",
+			s.idx.Len(), s.idx.EH().GlobalDepth(), s.idx.EH().Buckets(),
+			s.idx.AvgFanIn(), s.idx.InSync(),
+			st.ShortcutLookups, st.TraditionalLookups, st.UpdatesApplied, st.CreatesApplied)
+	case "QUIT":
+		return "BYE"
+	}
+	return "ERR unknown command"
+}
+
+func main() {
+	addr := flag.String("addr", ":6380", "listen address")
+	flag.Parse()
+
+	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		log.Fatalf("pool: %v", err)
+	}
+	defer pool.Close()
+	idx, err := vmshortcut.NewShortcutEH(pool, vmshortcut.ShortcutEHConfig{})
+	if err != nil {
+		log.Fatalf("index: %v", err)
+	}
+	defer idx.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("kvserver (Shortcut-EH) listening on %s", *addr)
+
+	st := &store{idx: idx}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			return
+		}
+		go serve(conn, st)
+	}
+}
+
+func serve(conn net.Conn, st *store) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp := st.handle(sc.Text())
+		if resp == "" {
+			continue
+		}
+		fmt.Fprintln(w, resp)
+		w.Flush()
+		if resp == "BYE" {
+			return
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a Shortcut-EH index, insert a million entries, and
+// watch the shortcut directory take over lookups once it is in sync.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vmshortcut"
+)
+
+func main() {
+	// A pool of physical pages backs every bucket; the shortcut directory
+	// rewires its virtual pages straight onto them.
+	p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		log.Fatalf("creating page pool: %v", err)
+	}
+	defer p.Close()
+
+	idx, err := vmshortcut.NewShortcutEH(p, vmshortcut.ShortcutEHConfig{})
+	if err != nil {
+		log.Fatalf("creating Shortcut-EH: %v", err)
+	}
+	defer idx.Close()
+
+	const n = 1_000_000
+	start := time.Now()
+	for k := uint64(1); k <= n; k++ {
+		if err := idx.Insert(k, k*k); err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+	}
+	fmt.Printf("inserted %d entries in %s\n", n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("directory: global depth %d, %d buckets, avg fan-in %.2f\n",
+		idx.EH().GlobalDepth(), idx.EH().Buckets(), idx.AvgFanIn())
+
+	// The mapper thread replays directory modifications asynchronously;
+	// wait for the shortcut to catch up (usually a poll interval or two).
+	if idx.WaitSync(5 * time.Second) {
+		fmt.Println("shortcut directory is in sync — lookups take the page-table path")
+	} else {
+		fmt.Println("shortcut still catching up — lookups use the pointer directory")
+	}
+
+	start = time.Now()
+	for k := uint64(1); k <= n; k++ {
+		v, ok := idx.Lookup(k)
+		if !ok || v != k*k {
+			log.Fatalf("lookup(%d) = %d, %v", k, v, ok)
+		}
+	}
+	fmt.Printf("looked up %d entries in %s\n", n, time.Since(start).Round(time.Millisecond))
+
+	s := idx.Stats()
+	fmt.Printf("routing: %d lookups via shortcut, %d via traditional directory\n",
+		s.ShortcutLookups, s.TraditionalLookups)
+	fmt.Printf("maintenance: %d splits replayed, %d directory rebuilds, %d mmap calls\n",
+		s.UpdatesApplied, s.CreatesApplied, s.Remaps)
+}

@@ -1,0 +1,83 @@
+// sparsemap: the radix-map application of shortcuts — a sparse
+// direct-mapped row-id → value index (think: a columnar store's rowid
+// lookup side) whose single wide inner node is expressed in the page
+// table.
+//
+// Unlike Shortcut-EH, this structure maintains its shortcut synchronously:
+// the inner node only changes when a 480-key leaf is allocated or freed,
+// so the remap cost amortizes to nothing and reads always take the
+// one-indirection path.
+//
+// Run with: go run ./examples/sparsemap
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vmshortcut"
+)
+
+func main() {
+	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	if err != nil {
+		log.Fatalf("pool: %v", err)
+	}
+	defer pool.Close()
+
+	const capacity = 50_000_000 // row-id space
+	m, err := vmshortcut.NewRadixMap(pool, vmshortcut.RadixMapConfig{Capacity: capacity})
+	if err != nil {
+		log.Fatalf("radix map: %v", err)
+	}
+	defer m.Close()
+
+	// A sparse population: every 1000th row-id carries a value, in a few
+	// dense runs — the pattern that makes direct-mapped indexes shine.
+	start := time.Now()
+	stored := 0
+	for base := uint64(0); base < capacity; base += 5_000_000 {
+		for i := uint64(0); i < 200_000; i += 100 {
+			if err := m.Set(base+i, base+i+1); err != nil {
+				log.Fatalf("set: %v", err)
+			}
+			stored++
+		}
+	}
+	fmt.Printf("stored %d entries over a %d-key space in %s\n",
+		stored, capacity, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("inner node: %d slots, %d leaves allocated (%.2f MB resident)\n",
+		m.Slots(), m.LeafAllocs, float64(m.LeafAllocs)*4096/1e6)
+
+	// Point lookups through the page table.
+	start = time.Now()
+	hits := 0
+	for probe := uint64(0); probe < capacity; probe += 999 {
+		if _, ok := m.Get(probe); ok {
+			hits++
+		}
+	}
+	fmt.Printf("probed %d row-ids in %s (%d hits)\n",
+		capacity/999+1, time.Since(start).Round(time.Millisecond), hits)
+
+	// Ordered iteration over the sparse contents.
+	var first, last uint64
+	n := 0
+	m.Range(func(k, v uint64) bool {
+		if n == 0 {
+			first = k
+		}
+		last = k
+		n++
+		return true
+	})
+	fmt.Printf("Range visited %d entries, keys %d .. %d\n", n, first, last)
+
+	// Dense deletion frees leaves back to the pool.
+	before := m.LeafFrees
+	for i := uint64(0); i < 200_000; i += 100 {
+		m.Delete(i)
+	}
+	fmt.Printf("deleted first run: %d leaves returned to the pool\n", m.LeafFrees-before)
+}

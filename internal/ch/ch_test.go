@@ -1,0 +1,136 @@
+package ch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tbl := New(Config{TableBytes: 1 << 16})
+	const n = 20000 // far more than slots: chains must form
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k^5)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if tbl.ChainedBuckets == 0 {
+		t.Fatal("expected overflow chains at this density")
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k^5 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tbl.Lookup(n + 9); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestFixedTableNeverGrows(t *testing.T) {
+	tbl := New(Config{TableBytes: 1 << 12})
+	slots := tbl.Slots()
+	for k := uint64(0); k < 10000; k++ {
+		tbl.Insert(k, k)
+	}
+	if tbl.Slots() != slots {
+		t.Fatal("CH must never resize its table")
+	}
+}
+
+func TestUpsertInlineAndChained(t *testing.T) {
+	tbl := New(Config{TableBytes: 64}) // tiny: 2 slots, heavy chaining
+	for k := uint64(0); k < 100; k++ {
+		tbl.Insert(k, k)
+	}
+	for k := uint64(0); k < 100; k++ {
+		tbl.Insert(k, k+1000)
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len = %d after upserts", tbl.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		if v, _ := tbl.Lookup(k); v != k+1000 {
+			t.Fatalf("key %d = %d", k, v)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := New(Config{TableBytes: 256})
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k)
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tbl.Delete(n + 3) {
+		t.Fatal("deleted absent key")
+	}
+	if tbl.Len() != n/2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for k := uint64(0); k < n; k++ {
+		_, ok := tbl.Lookup(k)
+		if k%2 == 0 && ok {
+			t.Fatalf("deleted key %d present", k)
+		}
+		if k%2 == 1 && !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	// Deleted space must be reusable.
+	for k := uint64(0); k < n; k += 2 {
+		tbl.Insert(k, k*2)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d after reinsert", tbl.Len())
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	tbl := New(Config{TableBytes: 1 << 12})
+	tbl.Insert(0, 11)
+	if v, ok := tbl.Lookup(0); !ok || v != 11 {
+		t.Fatalf("Lookup(0) = %d,%v", v, ok)
+	}
+	if !tbl.Delete(0) {
+		t.Fatal("Delete(0) failed")
+	}
+	if _, ok := tbl.Lookup(0); ok {
+		t.Fatal("zero key survived delete")
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	tbl := New(Config{TableBytes: 512}) // force dense chains
+	model := map[uint64]uint64{}
+	check := func(kRaw uint16, v uint64, op uint8) bool {
+		k := uint64(kRaw % 1024)
+		switch op % 4 {
+		case 0, 1:
+			tbl.Insert(k, v)
+			model[k] = v
+		case 2:
+			got, ok := tbl.Lookup(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if tbl.Delete(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"vmshortcut/internal/sys"
+)
+
+func TestAccessors(t *testing.T) {
+	p := newPool(t)
+	trad := NewTraditional(p, 3)
+	r, _ := p.Alloc()
+	trad.Set(2, r)
+	if trad.Slots() != 3 {
+		t.Fatalf("Slots = %d", trad.Slots())
+	}
+	if trad.LeafAddr(2) != p.Addr(r) {
+		t.Fatal("LeafAddr mismatch")
+	}
+	if trad.LeafAddr(0) != 0 {
+		t.Fatal("empty LeafAddr should be 0")
+	}
+
+	sc, err := NewShortcut(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if sc.Slots() != 3 {
+		t.Fatalf("shortcut Slots = %d", sc.Slots())
+	}
+	if sc.Base() == 0 {
+		t.Fatal("Base not set")
+	}
+	ps := uintptr(sys.PageSize())
+	if sc.LeafAddr(2) != sc.Base()+2*ps {
+		t.Fatal("shortcut LeafAddr math wrong")
+	}
+}
+
+func TestSetFromTraditionalSlotMismatch(t *testing.T) {
+	p := newPool(t)
+	trad := NewTraditional(p, 4)
+	sc, err := NewShortcut(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, err := sc.SetFromTraditional(trad, false); err == nil {
+		t.Fatal("slot mismatch accepted")
+	}
+	sc.Close()
+	if _, err := sc.SetFromTraditional(trad, false); err == nil {
+		t.Fatal("closed shortcut accepted SetFromTraditional")
+	}
+}

@@ -1,0 +1,296 @@
+// Package eh implements classical extendible hashing (Fagin et al. 1979)
+// with a pointer-based directory, exactly as the paper's EH baseline
+// (§4.2): the directory is indexed with the most significant bits of the
+// hash, buckets are 4 KB pages using open addressing / linear probing, and
+// a bucket split doubles the directory when local depth reaches global
+// depth.
+//
+// All buckets are allocated from a pool of physical pages so that a
+// shortcut directory can be created alongside (package sceh). Every
+// directory modification increments a version number and is reported to an
+// optional event subscriber — the hook sceh uses to replay modifications
+// into the shortcut directory asynchronously.
+package eh
+
+import (
+	"errors"
+	"fmt"
+
+	"vmshortcut/internal/bucket"
+	"vmshortcut/internal/hashfn"
+	"vmshortcut/internal/pool"
+)
+
+// Event describes one directory modification, tagged with the directory
+// version after the modification was applied.
+type Event interface{ isEvent() }
+
+// SplitEvent reports a bucket split: directory slots [Lo0,Hi0) now
+// reference the page Ref0 and slots [Lo1,Hi1) reference Ref1.
+type SplitEvent struct {
+	Version  uint64
+	Lo0, Hi0 uint64
+	Ref0     pool.Ref
+	Lo1, Hi1 uint64
+	Ref1     pool.Ref
+}
+
+// DoubleEvent reports a directory doubling. Refs is a snapshot of every
+// slot's page ref after the doubling, in slot order.
+type DoubleEvent struct {
+	Version     uint64
+	GlobalDepth uint
+	Refs        []pool.Ref
+}
+
+func (SplitEvent) isEvent()  {}
+func (DoubleEvent) isEvent() {}
+
+// Config tunes a Table. The zero value selects the paper's parameters.
+type Config struct {
+	// MaxLoadFactor triggers a bucket split when a bucket's occupancy
+	// exceeds it. Default 0.35 (paper §4.2).
+	MaxLoadFactor float64
+	// MaxGlobalDepth bounds directory growth. Default 30 (a billion
+	// slots) — effectively unbounded for in-memory use.
+	MaxGlobalDepth uint
+	// InitialGlobalDepth pre-sizes the directory (0 = single slot).
+	InitialGlobalDepth uint
+	// MergeLoadFactor enables bucket coalescing through DeleteAndMerge:
+	// after a delete leaves a bucket at or below this occupancy, it merges
+	// with its buddy if the combined bucket stays within MaxLoadFactor,
+	// and the directory is halved when possible. 0 (default) disables
+	// merging, matching the paper's prototype.
+	MergeLoadFactor float64
+}
+
+func (c *Config) fill() {
+	if c.MaxLoadFactor <= 0 || c.MaxLoadFactor > 1 {
+		c.MaxLoadFactor = 0.35
+	}
+	if c.MaxGlobalDepth == 0 {
+		c.MaxGlobalDepth = 30
+	}
+}
+
+// ErrDirectoryLimit is returned when a split would exceed MaxGlobalDepth.
+var ErrDirectoryLimit = errors.New("eh: directory reached MaxGlobalDepth")
+
+// Table is an extendible hash table mapping uint64 keys to uint64 values.
+// It is not safe for concurrent mutation; the paper's design has a single
+// writer thread (lookups through sceh coordinate via version numbers).
+type Table struct {
+	pool       *pool.Pool
+	dir        []uintptr // window address of each slot's bucket page
+	refs       []pool.Ref
+	gd         uint
+	buckets    int
+	count      int
+	version    uint64
+	maxFill    int
+	mergeBelow int // merge trigger in entries; 0 disables
+	mergeFill  int // max combined entries for a merged bucket
+	cfg        Config
+	onEvent    func(Event)
+
+	// Splits, Doubles, Merges, and Halves count structural modifications
+	// (recorded in EXPERIMENTS.md).
+	Splits  int
+	Doubles int
+	Merges  int
+	Halves  int
+}
+
+// New creates a table with a single empty bucket — the paper's starting
+// point of 4 KB effective space.
+func New(p *pool.Pool, cfg Config) (*Table, error) {
+	cfg.fill()
+	t := &Table{
+		pool:    p,
+		cfg:     cfg,
+		maxFill: int(cfg.MaxLoadFactor * float64(bucket.Capacity)),
+	}
+	if t.maxFill < 1 {
+		t.maxFill = 1
+	}
+	if t.maxFill > bucket.Capacity {
+		t.maxFill = bucket.Capacity
+	}
+	if cfg.MergeLoadFactor > 0 {
+		t.mergeBelow = int(cfg.MergeLoadFactor * float64(bucket.Capacity))
+		t.mergeFill = t.maxFill
+	}
+	ref, err := p.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("eh: allocating first bucket: %w", err)
+	}
+	bucket.ViewAddr(p.Addr(ref)).Reset(0)
+	t.dir = []uintptr{p.Addr(ref)}
+	t.refs = []pool.Ref{ref}
+	t.buckets = 1
+	for t.gd < cfg.InitialGlobalDepth {
+		if err := t.double(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// SetEventFunc registers fn to observe directory modifications. Must be
+// set before any mutation; events fire synchronously on the writer
+// goroutine after the directory reflects the modification.
+func (t *Table) SetEventFunc(fn func(Event)) { t.onEvent = fn }
+
+// GlobalDepth returns the directory's global depth.
+func (t *Table) GlobalDepth() uint { return t.gd }
+
+// DirSize returns the number of directory slots (2^globalDepth).
+func (t *Table) DirSize() int { return len(t.dir) }
+
+// Buckets returns the number of distinct buckets.
+func (t *Table) Buckets() int { return t.buckets }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.count }
+
+// Version returns the directory version: the count of modifications
+// (splits and doublings) applied so far.
+func (t *Table) Version() uint64 { return t.version }
+
+// AvgFanIn returns the average number of directory slots per bucket.
+func (t *Table) AvgFanIn() float64 { return float64(len(t.dir)) / float64(t.buckets) }
+
+// Refs returns a snapshot of each directory slot's page ref.
+func (t *Table) Refs() []pool.Ref {
+	out := make([]pool.Ref, len(t.refs))
+	copy(out, t.refs)
+	return out
+}
+
+// DirAddr exposes slot i's bucket address — the traditional access path.
+func (t *Table) DirAddr(i uint64) uintptr { return t.dir[i] }
+
+// SlotOf returns the directory slot key hashes to.
+func (t *Table) SlotOf(key uint64) uint64 {
+	return hashfn.DirIndex(hashfn.Hash(key), t.gd)
+}
+
+// Insert upserts (key, value), splitting buckets and doubling the
+// directory as needed.
+func (t *Table) Insert(key, value uint64) error {
+	h := hashfn.Hash(key)
+	for {
+		idx := hashfn.DirIndex(h, t.gd)
+		b := bucket.ViewAddr(t.dir[idx])
+		if _, exists := b.Lookup(key); exists {
+			b.Insert(key, value)
+			return nil
+		}
+		if b.Count() < t.maxFill {
+			if !b.Insert(key, value) {
+				return fmt.Errorf("eh: bucket rejected insert below fill threshold")
+			}
+			t.count++
+			return nil
+		}
+		if err := t.split(idx); err != nil {
+			return err
+		}
+	}
+}
+
+// Lookup returns the value stored for key.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	idx := hashfn.DirIndex(hashfn.Hash(key), t.gd)
+	return bucket.ViewAddr(t.dir[idx]).Lookup(key)
+}
+
+// Delete removes key and reports whether it was present. Buckets are not
+// merged (the classical scheme leaves coalescing optional).
+func (t *Table) Delete(key uint64) bool {
+	idx := hashfn.DirIndex(hashfn.Hash(key), t.gd)
+	if bucket.ViewAddr(t.dir[idx]).Delete(key) {
+		t.count--
+		return true
+	}
+	return false
+}
+
+// split splits the bucket referenced by directory slot idx, doubling the
+// directory first if its local depth has reached the global depth.
+func (t *Table) split(idx uint64) error {
+	oldAddr := t.dir[idx]
+	b := bucket.ViewAddr(oldAddr)
+	ld := b.LocalDepth()
+	if ld >= 63 {
+		return fmt.Errorf("eh: bucket local depth exhausted")
+	}
+	if ld == t.gd {
+		if err := t.double(); err != nil {
+			return err
+		}
+		idx = idx * 2 // the old slot's lower child still holds the bucket
+	}
+
+	newRefs, err := t.pool.AllocN(2)
+	if err != nil {
+		return fmt.Errorf("eh: allocating split buckets: %w", err)
+	}
+	b0 := bucket.ViewAddr(t.pool.Addr(newRefs[0]))
+	b1 := bucket.ViewAddr(t.pool.Addr(newRefs[1]))
+	b.SplitInto(b0, b1)
+
+	// All slots sharing the bucket's ld-bit prefix split into two halves.
+	span := uint64(1) << (t.gd - ld)
+	lo := idx &^ (span - 1)
+	hi := lo + span
+	mid := lo + span/2
+	for s := lo; s < mid; s++ {
+		t.dir[s] = t.pool.Addr(newRefs[0])
+		t.refs[s] = newRefs[0]
+	}
+	for s := mid; s < hi; s++ {
+		t.dir[s] = t.pool.Addr(newRefs[1])
+		t.refs[s] = newRefs[1]
+	}
+	// The split page is no longer referenced by any slot; recycle it.
+	if oldRef, err := t.pool.RefOf(oldAddr); err == nil {
+		t.pool.Free(oldRef)
+	}
+	t.buckets++
+	t.version++
+	t.Splits++
+	if t.onEvent != nil {
+		t.onEvent(SplitEvent{
+			Version: t.version,
+			Lo0:     lo, Hi0: mid, Ref0: newRefs[0],
+			Lo1: mid, Hi1: hi, Ref1: newRefs[1],
+		})
+	}
+	return nil
+}
+
+// double doubles the directory: slot i becomes slots 2i and 2i+1 (MSB
+// indexing preserves prefix order).
+func (t *Table) double() error {
+	if t.gd >= t.cfg.MaxGlobalDepth {
+		return ErrDirectoryLimit
+	}
+	newDir := make([]uintptr, 2*len(t.dir))
+	newRefs := make([]pool.Ref, 2*len(t.refs))
+	for i, addr := range t.dir {
+		newDir[2*i] = addr
+		newDir[2*i+1] = addr
+		newRefs[2*i] = t.refs[i]
+		newRefs[2*i+1] = t.refs[i]
+	}
+	t.dir = newDir
+	t.refs = newRefs
+	t.gd++
+	t.version++
+	t.Doubles++
+	if t.onEvent != nil {
+		t.onEvent(DoubleEvent{Version: t.version, GlobalDepth: t.gd, Refs: t.Refs()})
+	}
+	return nil
+}

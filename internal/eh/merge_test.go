@@ -1,0 +1,203 @@
+package eh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmshortcut/internal/bucket"
+)
+
+func mergingTable(t testing.TB) *Table {
+	t.Helper()
+	return newTable(t, Config{MergeLoadFactor: 0.1})
+}
+
+func TestMergeShrinksBuckets(t *testing.T) {
+	tbl := mergingTable(t)
+	const n = 30000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k)
+	}
+	grown := tbl.Buckets()
+	gdGrown := tbl.GlobalDepth()
+	for k := uint64(0); k < n; k++ {
+		if !tbl.DeleteAndMerge(k) {
+			t.Fatalf("DeleteAndMerge(%d) failed", k)
+		}
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tbl.Len())
+	}
+	if tbl.Merges == 0 {
+		t.Fatal("no merges happened")
+	}
+	if tbl.Buckets() >= grown {
+		t.Fatalf("buckets did not shrink: %d -> %d", grown, tbl.Buckets())
+	}
+	if tbl.Halves == 0 || tbl.GlobalDepth() >= gdGrown {
+		t.Fatalf("directory did not halve: gd %d -> %d, halves %d",
+			gdGrown, tbl.GlobalDepth(), tbl.Halves)
+	}
+}
+
+func TestMergePreservesRemainingEntries(t *testing.T) {
+	tbl := mergingTable(t)
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k*3)
+	}
+	// Delete 90%; survivors must stay intact through merges and halvings.
+	for k := uint64(0); k < n; k++ {
+		if k%10 != 0 {
+			tbl.DeleteAndMerge(k)
+		}
+	}
+	for k := uint64(0); k < n; k += 10 {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k*3 {
+			t.Fatalf("survivor %d = %d,%v", k, v, ok)
+		}
+	}
+	for k := uint64(1); k < n; k += 10 {
+		if _, ok := tbl.Lookup(k); ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+}
+
+func TestMergeKeepsDirectoryInvariants(t *testing.T) {
+	tbl := mergingTable(t)
+	rng := rand.New(rand.NewSource(5))
+	live := map[uint64]uint64{}
+	for i := 0; i < 60000; i++ {
+		k := uint64(rng.Intn(8192))
+		if rng.Intn(3) != 0 {
+			tbl.Insert(k, k)
+			live[k] = k
+		} else {
+			tbl.DeleteAndMerge(k)
+			delete(live, k)
+		}
+	}
+	if tbl.Len() != len(live) {
+		t.Fatalf("Len %d != model %d", tbl.Len(), len(live))
+	}
+	// Directory structure invariant (same as the split-side test).
+	gd := tbl.GlobalDepth()
+	for i := uint64(0); i < uint64(tbl.DirSize()); {
+		b := bucket.ViewAddr(tbl.DirAddr(i))
+		ld := b.LocalDepth()
+		if ld > gd {
+			t.Fatalf("slot %d: ld %d > gd %d", i, ld, gd)
+		}
+		span := uint64(1) << (gd - ld)
+		if i%span != 0 {
+			t.Fatalf("slot %d misaligned for span %d", i, span)
+		}
+		for j := i; j < i+span; j++ {
+			if tbl.DirAddr(j) != tbl.DirAddr(i) {
+				t.Fatalf("slots %d and %d disagree", i, j)
+			}
+		}
+		i += span
+	}
+	for k, v := range live {
+		got, ok := tbl.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("model key %d = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestMergeEventsReplayDirectory(t *testing.T) {
+	// The event stream including merges and halvings must reconstruct the
+	// directory — the property the shortcut mapper depends on.
+	tbl := mergingTable(t)
+	var snapshot []int64
+	var lastVer uint64
+	apply := func(e Event) {
+		switch ev := e.(type) {
+		case DoubleEvent:
+			snapshot = make([]int64, len(ev.Refs))
+			for i, r := range ev.Refs {
+				snapshot[i] = int64(r)
+			}
+			lastVer = ev.Version
+		case HalveEvent:
+			snapshot = make([]int64, len(ev.Refs))
+			for i, r := range ev.Refs {
+				snapshot[i] = int64(r)
+			}
+			lastVer = ev.Version
+		case SplitEvent:
+			for s := ev.Lo0; s < ev.Hi0; s++ {
+				snapshot[s] = int64(ev.Ref0)
+			}
+			for s := ev.Lo1; s < ev.Hi1; s++ {
+				snapshot[s] = int64(ev.Ref1)
+			}
+			lastVer = ev.Version
+		case MergeEvent:
+			for s := ev.Lo; s < ev.Hi; s++ {
+				snapshot[s] = int64(ev.Ref)
+			}
+			lastVer = ev.Version
+		}
+	}
+	tbl.SetEventFunc(apply)
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 40000; i++ {
+		k := uint64(rng.Intn(4096))
+		if rng.Intn(3) != 0 {
+			tbl.Insert(k, k)
+		} else {
+			tbl.DeleteAndMerge(k)
+		}
+	}
+	if lastVer != tbl.Version() {
+		t.Fatalf("replay version %d != %d", lastVer, tbl.Version())
+	}
+	want := tbl.Refs()
+	if len(snapshot) != len(want) {
+		t.Fatalf("replay dir size %d != %d", len(snapshot), len(want))
+	}
+	for i := range want {
+		if snapshot[i] != int64(want[i]) {
+			t.Fatalf("slot %d: replay %d != %d", i, snapshot[i], want[i])
+		}
+	}
+}
+
+// TestQuickMergeModelEquivalence is the merging variant of the model test.
+func TestQuickMergeModelEquivalence(t *testing.T) {
+	tbl := mergingTable(t)
+	model := map[uint64]uint64{}
+	check := func(kRaw uint16, v uint64, opRaw uint8) bool {
+		k := uint64(kRaw % 2048)
+		switch opRaw % 4 {
+		case 0, 1:
+			if err := tbl.Insert(k, v); err != nil {
+				return false
+			}
+			model[k] = v
+		case 2:
+			got, ok := tbl.Lookup(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if tbl.DeleteAndMerge(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package eh
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := newTable(t, Config{})
+	const n = 25000
+	for k := uint64(0); k < n; k++ {
+		src.Insert(k, k^0xBEEF)
+	}
+
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	dst, err := Restore(newPool(t), Config{}, &buf)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst.Len() != src.Len() || dst.GlobalDepth() != src.GlobalDepth() ||
+		dst.Buckets() != src.Buckets() {
+		t.Fatalf("shape mismatch: len %d/%d gd %d/%d buckets %d/%d",
+			dst.Len(), src.Len(), dst.GlobalDepth(), src.GlobalDepth(),
+			dst.Buckets(), src.Buckets())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := dst.Lookup(k)
+		if !ok || v != k^0xBEEF {
+			t.Fatalf("restored Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestSnapshotIndependence(t *testing.T) {
+	src := newTable(t, Config{})
+	for k := uint64(0); k < 5000; k++ {
+		src.Insert(k, k)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Restore(newPool(t), Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the source must not leak into the restored copy and vice
+	// versa.
+	for k := uint64(0); k < 5000; k++ {
+		src.Insert(k, 999)
+	}
+	dst.Insert(10000, 1)
+	for k := uint64(0); k < 5000; k += 53 {
+		if v, _ := dst.Lookup(k); v != k {
+			t.Fatalf("restored copy saw source mutation at %d: %d", k, v)
+		}
+	}
+	if _, ok := src.Lookup(10000); ok {
+		t.Fatal("source saw restored-copy insert")
+	}
+}
+
+func TestSnapshotRestoredTableGrows(t *testing.T) {
+	src := newTable(t, Config{})
+	for k := uint64(0); k < 3000; k++ {
+		src.Insert(k, k)
+	}
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	dst, err := Restore(newPool(t), Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored table must keep splitting/doubling correctly.
+	for k := uint64(3000); k < 40000; k++ {
+		if err := dst.Insert(k, k); err != nil {
+			t.Fatalf("post-restore Insert(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 40000; k += 97 {
+		if v, ok := dst.Lookup(k); !ok || v != k {
+			t.Fatalf("post-restore Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestSnapshotSharedBucketsStaySharedAfterRestore(t *testing.T) {
+	// Pre-sized directory: all 16 slots share one bucket. The snapshot
+	// stores that page once and the restored directory must share it too.
+	src := newTable(t, Config{InitialGlobalDepth: 4})
+	src.Insert(1, 2)
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	wantLen := 5*8 + 4096 + 16*4 // header + one page + 16 slot indexes
+	if buf.Len() != wantLen {
+		t.Fatalf("snapshot size %d, want %d (single shared page)", buf.Len(), wantLen)
+	}
+	dst, err := Restore(newPool(t), Config{}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Buckets() != 1 || dst.DirSize() != 16 {
+		t.Fatalf("restored shape: %d buckets, %d slots", dst.Buckets(), dst.DirSize())
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(newPool(t), Config{}, bytes.NewReader([]byte("not a snapshot, definitely not"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var empty bytes.Buffer
+	if _, err := Restore(newPool(t), Config{}, &empty); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated valid prefix.
+	src := newTable(t, Config{})
+	for k := uint64(0); k < 2000; k++ {
+		src.Insert(k, k)
+	}
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if _, err := Restore(newPool(t), Config{}, trunc); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package eh
+
+import "testing"
+
+func TestForEachVisitsEveryEntryOnce(t *testing.T) {
+	tbl := newTable(t, Config{})
+	const n = 15000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k*2)
+	}
+	got := map[uint64]uint64{}
+	tbl.ForEach(func(k, v uint64) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %d visited twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("visited %d entries, want %d", len(got), n)
+	}
+	for k, v := range got {
+		if v != k*2 {
+			t.Fatalf("entry %d = %d", k, v)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	tbl := newTable(t, Config{})
+	for k := uint64(0); k < 5000; k++ {
+		tbl.Insert(k, k)
+	}
+	visits := 0
+	tbl.ForEach(func(k, v uint64) bool {
+		visits++
+		return visits < 10
+	})
+	if visits != 10 {
+		t.Fatalf("early stop visited %d", visits)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	tbl := newTable(t, Config{})
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k)
+	}
+	s := tbl.Stats()
+	if s.Entries != n || s.Buckets != tbl.Buckets() || s.GlobalDepth != tbl.GlobalDepth() {
+		t.Fatalf("stats mismatch: %+v", s)
+	}
+	if s.DirectorySlots != 1<<s.GlobalDepth {
+		t.Fatalf("dir slots %d != 2^%d", s.DirectorySlots, s.GlobalDepth)
+	}
+	if s.LoadFactor <= 0 || s.LoadFactor > 0.35+1e-9 {
+		t.Fatalf("load factor %f outside (0, 0.35]", s.LoadFactor)
+	}
+	total := 0
+	for ld, c := range s.DepthHistogram {
+		if ld > s.GlobalDepth {
+			t.Fatalf("histogram depth %d > gd", ld)
+		}
+		total += c
+	}
+	if total != s.Buckets {
+		t.Fatalf("histogram sums to %d, want %d buckets", total, s.Buckets)
+	}
+	if s.MinLocalDepth > s.MaxLocalDepth || s.MaxLocalDepth > s.GlobalDepth {
+		t.Fatalf("depth bounds broken: %d..%d gd %d",
+			s.MinLocalDepth, s.MaxLocalDepth, s.GlobalDepth)
+	}
+	if s.BytesPerEntry <= 8 {
+		t.Fatalf("bytes/entry %f implausible", s.BytesPerEntry)
+	}
+	if s.StructuralMods != tbl.Version() {
+		t.Fatal("StructuralMods != version")
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	tbl := newTable(t, Config{})
+	s := tbl.Stats()
+	if s.Entries != 0 || s.Buckets != 1 || s.BytesPerEntry != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}

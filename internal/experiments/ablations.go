@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/sceh"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// poolT aliases pool.Pool for the maintenance-ablation plumbing.
+type poolT = pool.Pool
+
+// ehNew builds a raw extendible hash table with default config.
+func ehNew(p *poolT) (*eh.Table, error) { return eh.New(p, eh.Config{}) }
+
+// AblationCoalesce quantifies the paper's §2.1 remark that neighbouring
+// virtual pages mapping to neighbouring physical pages can be rewired in a
+// single mmap call: it builds the same shortcut per-slot and coalesced and
+// reports calls and time.
+func AblationCoalesce(slots int) (*harness.Table, error) {
+	if slots <= 0 {
+		slots = 1 << 14
+	}
+	p, refs, err := leafSet(slots)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	t := harness.NewTable("Ablation: per-slot vs coalesced shortcut construction")
+
+	scA, err := core.NewShortcut(p, slots)
+	if err != nil {
+		return nil, err
+	}
+	defer scA.Close()
+	start := time.Now()
+	for i, r := range refs {
+		if err := scA.Set(i, r, true); err != nil {
+			return nil, err
+		}
+	}
+	perSlot := time.Since(start)
+	t.AddRow(
+		"strategy", "per-slot mmap",
+		"mmap calls", fmt.Sprintf("%d", scA.Remaps),
+		"total [ms]", fmt.Sprintf("%.2f", us(perSlot)/1000),
+		"per slot [us]", fmt.Sprintf("%.3f", us(perSlot)/float64(slots)),
+	)
+
+	scB, err := core.NewShortcut(p, slots)
+	if err != nil {
+		return nil, err
+	}
+	defer scB.Close()
+	start = time.Now()
+	calls, err := scB.SetAll(refs, true)
+	if err != nil {
+		return nil, err
+	}
+	coalesced := time.Since(start)
+	t.AddRow(
+		"strategy", "coalesced mmap",
+		"mmap calls", fmt.Sprintf("%d", calls),
+		"total [ms]", fmt.Sprintf("%.2f", us(coalesced)/1000),
+		"per slot [us]", fmt.Sprintf("%.3f", us(coalesced)/float64(slots)),
+	)
+	return t, nil
+}
+
+// AblationThreshold derives the optimal fan-in routing threshold from the
+// Figure 4 data: for each fan-in it reports which access path is faster,
+// locating the crossover the paper pins at 8–16.
+func AblationThreshold(cfg Fig4Config) (*harness.Table, error) {
+	series, err := Fig4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trad, short := series[0], series[1]
+	t := harness.NewTable("Ablation: fan-in routing threshold (derived from Figure 4)")
+	for i := range trad.Points {
+		faster := "shortcut"
+		if trad.Points[i].Y < short.Points[i].Y {
+			faster = "traditional"
+		}
+		t.AddRow(
+			"fan-in", trad.Points[i].X,
+			"traditional [ms]", fmt.Sprintf("%.2f", trad.Points[i].Y),
+			"shortcut [ms]", fmt.Sprintf("%.2f", short.Points[i].Y),
+			"faster path", faster,
+		)
+	}
+	return t, nil
+}
+
+// AblationPollInterval measures how the mapper's polling frequency trades
+// insertion-side overhead against time-to-sync after an insert burst
+// (paper §4.1 empirically picks 25ms).
+func AblationPollInterval(entries int, intervals []time.Duration) (*harness.Table, error) {
+	if entries <= 0 {
+		entries = 500_000
+	}
+	if len(intervals) == 0 {
+		intervals = []time.Duration{
+			time.Millisecond, 5 * time.Millisecond,
+			25 * time.Millisecond, 100 * time.Millisecond,
+		}
+	}
+	t := harness.NewTable("Ablation: mapper poll interval")
+	for _, iv := range intervals {
+		p, err := poolFor(entries)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := sceh.New(p, sceh.Config{PollInterval: iv})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < entries; i++ {
+			if err := tbl.Insert(workload.Key(7, uint64(i)), uint64(i)); err != nil {
+				tbl.Close()
+				p.Close()
+				return nil, err
+			}
+		}
+		insertDur := time.Since(start)
+		start = time.Now()
+		synced := tbl.WaitSync(60 * time.Second)
+		syncDur := time.Since(start)
+		st := tbl.Stats()
+		t.AddRow(
+			"poll interval", iv.String(),
+			"insert total [ms]", fmt.Sprintf("%.1f", us(insertDur)/1000),
+			"time-to-sync after burst [ms]", fmt.Sprintf("%.1f", us(syncDur)/1000),
+			"synced", fmt.Sprintf("%v", synced),
+			"updates applied", fmt.Sprintf("%d", st.UpdatesApplied),
+			"superseded", fmt.Sprintf("%d", st.UpdatesSuperseded),
+			"creates", fmt.Sprintf("%d", st.CreatesApplied),
+		)
+		tbl.Close()
+		p.Close()
+	}
+	return t, nil
+}
+
+// AblationHugePagesSim explores the paper's future-work direction on the
+// simulator: expressing a fan-in-1 shortcut with 2 MB pages multiplies TLB
+// reach by 512 and shortens walks by one level. It compares per-access
+// simulated cost of the traditional node, the 4 KB shortcut, and the 2 MB
+// shortcut across working-set sizes.
+func AblationHugePagesSim(accesses int, slotCounts []int) (*harness.Table, error) {
+	if accesses <= 0 {
+		accesses = 500_000
+	}
+	if len(slotCounts) == 0 {
+		slotCounts = []int{1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	}
+	t := harness.NewTable("Ablation (sim): 2 MB-page shortcuts at fan-in 1")
+	for _, slots := range slotCounts {
+		// Traditional and 4 KB shortcut.
+		m4 := vmsim.New(vmsim.Config{})
+		simSetup(m4, slots, slots)
+		m4.ResetTime()
+		workload.SlotStream(7, slots, accesses, func(slot int) {
+			simTraditionalAccess(m4, slot, slots, 1)
+		})
+		tradNS := m4.Time() / float64(accesses)
+
+		m4.ResetTime()
+		workload.SlotStream(7, slots, accesses, func(slot int) {
+			simShortcutAccess(m4, slot)
+		})
+		smallNS := m4.Time() / float64(accesses)
+
+		// 2 MB shortcut: same virtual layout, mapped with huge frames
+		// (valid because fan-in 1 over physically contiguous leaves).
+		mh := vmsim.New(vmsim.Config{})
+		hugeFrames := (slots + 511) / 512
+		for h := 0; h < hugeFrames; h++ {
+			mh.MapHuge(simShortBase>>21+uint64(h), uint64(h))
+		}
+		mh.ResetTime()
+		workload.SlotStream(7, slots, accesses, func(slot int) {
+			simShortcutAccess(mh, slot)
+		})
+		hugeNS := mh.Time() / float64(accesses)
+
+		t.AddRow(
+			"slots", fmt.Sprintf("%d", slots),
+			"traditional [ns]", fmt.Sprintf("%.1f", tradNS),
+			"shortcut 4K [ns]", fmt.Sprintf("%.1f", smallNS),
+			"shortcut 2M [ns]", fmt.Sprintf("%.1f", hugeNS),
+			"2M vs 4K", harness.Ratio(smallNS, hugeNS),
+		)
+	}
+	return t, nil
+}
+
+// AblationSyncMaintenance compares asynchronous shortcut maintenance (the
+// paper's design) against synchronous maintenance on the insert path and
+// against a raw EH table with no shortcut at all — quantifying §3.1/§3.3's
+// "hide the cost of creation". Each variant runs three times; the minimum
+// is reported to suppress scheduler noise.
+func AblationSyncMaintenance(entries int) (*harness.Table, error) {
+	if entries <= 0 {
+		entries = 500_000
+	}
+	t := harness.NewTable("Ablation: shortcut maintenance strategy (insert cost, best of 3)")
+	run := func(insert func(p *poolT) (func(k, v uint64) error, func(), error)) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			p, err := poolFor(entries)
+			if err != nil {
+				return 0, err
+			}
+			ins, done, err := insert(p)
+			if err != nil {
+				p.Close()
+				return 0, err
+			}
+			start := time.Now()
+			for i := 0; i < entries; i++ {
+				if err := ins(workload.Key(9, uint64(i)), uint64(i)); err != nil {
+					done()
+					p.Close()
+					return 0, err
+				}
+			}
+			d := time.Since(start)
+			done()
+			p.Close()
+			if best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	variants := []struct {
+		name  string
+		build func(p *poolT) (func(k, v uint64) error, func(), error)
+	}{
+		{"async mapper (paper)", func(p *poolT) (func(k, v uint64) error, func(), error) {
+			tbl, err := sceh.New(p, sceh.Config{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return tbl.Insert, func() { tbl.Close() }, nil
+		}},
+		{"synchronous maintenance", func(p *poolT) (func(k, v uint64) error, func(), error) {
+			tbl, err := sceh.New(p, sceh.Config{Synchronous: true})
+			if err != nil {
+				return nil, nil, err
+			}
+			return tbl.Insert, func() { tbl.Close() }, nil
+		}},
+		{"raw EH (no shortcut, no mapper)", func(p *poolT) (func(k, v uint64) error, func(), error) {
+			tbl, err := ehNew(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			return tbl.Insert, func() {}, nil
+		}},
+	}
+	for _, v := range variants {
+		dur, err := run(v.build)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			"variant", v.name,
+			"insert total [ms]", fmt.Sprintf("%.1f", us(dur)/1000),
+			"per insert [ns]", fmt.Sprintf("%.1f", float64(dur.Nanoseconds())/float64(entries)),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/sys"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// Fig2Config parameterizes the Figure 2 reproduction: random accesses
+// through one wide inner node, traditional vs shortcut, sweeping the
+// directory size.
+type Fig2Config struct {
+	// Accesses per configuration. Paper: 10^7.
+	Accesses int
+	// Scale shrinks the paper's directory/bucket sizes. The paper sweeps
+	// directories of 1–64 MB indexing 512–24576 MB of buckets; scale 1/64
+	// tops out at a 1 MB directory over 384 MB of buckets.
+	Scale harness.Scale
+	// Seed for the access stream.
+	Seed uint64
+	// Sim overrides the simulated machine for the vmsim variant (zero
+	// value = the paper's i7-12700KF parameters).
+	Sim vmsim.Config
+}
+
+func (c *Fig2Config) fill() {
+	if c.Accesses <= 0 {
+		c.Accesses = 1_000_000
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0 / 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// fig2Points are the paper's x-axis configurations: directory MB and total
+// bucket MB.
+var fig2Points = []struct{ dirMB, bucketMB int }{
+	{1, 512}, {2, 1024}, {4, 2048}, {8, 4096}, {16, 8192}, {32, 16384}, {64, 24576},
+}
+
+// Fig2 runs the real-backend Figure 2 sweep and returns one series per
+// variant (total milliseconds for the access stream).
+func Fig2(cfg Fig2Config) ([]harness.Series, error) {
+	cfg.fill()
+	trad := harness.Series{Label: "Traditional"}
+	short := harness.Series{Label: "Shortcut"}
+	ps := sys.PageSize()
+	for _, pt := range fig2Points {
+		slots := cfg.Scale.N(pt.dirMB << 20 / 8)
+		buckets := cfg.Scale.N(pt.bucketMB << 20 / ps)
+		if buckets > slots {
+			buckets = slots
+		}
+		label := fmt.Sprintf("%d,%d", pt.dirMB, pt.bucketMB)
+
+		tms, sms, err := fig2One(slots, buckets, cfg.Accesses, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", label, err)
+		}
+		trad.Points = append(trad.Points, harness.Point{X: label, Y: tms})
+		short.Points = append(short.Points, harness.Point{X: label, Y: sms})
+	}
+	return []harness.Series{trad, short}, nil
+}
+
+// fig2One measures one (slots, buckets) configuration and returns total
+// milliseconds for traditional and shortcut variants.
+func fig2One(slots, buckets, accesses int, seed uint64) (tradMS, shortMS float64, err error) {
+	p, refs, err := leafSet(buckets)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer p.Close()
+	stampLeaves(p, refs)
+
+	fanIn := slots / buckets
+	if fanIn < 1 {
+		fanIn = 1
+	}
+
+	tradNode := core.NewTraditional(p, slots)
+	for i := 0; i < slots; i++ {
+		tradNode.Set(i, refs[i/fanIn%buckets])
+	}
+	sc, err := core.NewShortcut(p, slots)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sc.Close()
+	if _, err := sc.SetFromTraditional(tradNode, true); err != nil {
+		return 0, 0, err
+	}
+
+	wpp := wordsPerPage()
+	// Traditional: resolve the pointer, then read the leaf.
+	start := time.Now()
+	workload.SlotStream(seed, slots, accesses, func(slot int) {
+		leaf := tradNode.LeafAddr(slot)
+		sink += readWord(leaf + uintptr((slot&(wpp-1))*8))
+	})
+	tradMS = float64(time.Since(start).Microseconds()) / 1000
+
+	// Shortcut: one access straight into the rewired virtual page.
+	base := sc.Base()
+	ps := uintptr(sys.PageSize())
+	start = time.Now()
+	workload.SlotStream(seed, slots, accesses, func(slot int) {
+		sink += readWord(base + uintptr(slot)*ps + uintptr((slot&(wpp-1))*8))
+	})
+	shortMS = float64(time.Since(start).Microseconds()) / 1000
+	return tradMS, shortMS, nil
+}

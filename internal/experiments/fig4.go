@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/sys"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// Fig4Config parameterizes the Figure 4 reproduction: the impact of
+// fan-in (number of inner-node slots referencing the same leaf) on lookup
+// performance, traditional vs shortcut. The paper finds the traditional
+// variant wins for fan-ins above ~16 because the shortcut's k-page virtual
+// footprint thrashes the TLB, while for low fan-ins the shortcut wins.
+type Fig4Config struct {
+	// Slots of the inner node. Paper: 2^22. Default 2^18.
+	Slots int
+	// Accesses per fan-in. Paper: 10^7.
+	Accesses int
+	// FanIns to sweep. Default: the paper's 512 … 1.
+	FanIns []int
+	Seed   uint64
+	// Sim overrides the simulated machine for the vmsim variant.
+	Sim vmsim.Config
+}
+
+func (c *Fig4Config) fill() {
+	if c.Slots <= 0 {
+		c.Slots = 1 << 18
+	}
+	if c.Accesses <= 0 {
+		c.Accesses = 1_000_000
+	}
+	if len(c.FanIns) == 0 {
+		c.FanIns = []int{512, 256, 128, 64, 32, 16, 8, 4, 2, 1}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Fig4 runs the real-backend fan-in sweep, returning total milliseconds
+// per fan-in for both variants.
+func Fig4(cfg Fig4Config) ([]harness.Series, error) {
+	cfg.fill()
+	trad := harness.Series{Label: "Traditional"}
+	short := harness.Series{Label: "Shortcut"}
+	for _, fanIn := range cfg.FanIns {
+		if fanIn > cfg.Slots {
+			continue
+		}
+		tms, sms, err := fig4One(cfg, fanIn)
+		if err != nil {
+			if fanIn > 1 {
+				// Neighbouring virtual pages mapping the SAME physical
+				// page cannot be merged into one kernel VMA, so a
+				// fan-in > 1 shortcut needs one VMA per slot.
+				return nil, fmt.Errorf(
+					"fig4 fan-in %d: %w (a %d-slot shortcut at fan-in > 1 needs %d kernel VMAs; raise vm.max_map_count or lower -slots)",
+					fanIn, err, cfg.Slots, cfg.Slots)
+			}
+			return nil, fmt.Errorf("fig4 fan-in %d: %w", fanIn, err)
+		}
+		x := fmt.Sprintf("%d", fanIn)
+		trad.Points = append(trad.Points, harness.Point{X: x, Y: tms})
+		short.Points = append(short.Points, harness.Point{X: x, Y: sms})
+	}
+	return []harness.Series{trad, short}, nil
+}
+
+func fig4One(cfg Fig4Config, fanIn int) (tradMS, shortMS float64, err error) {
+	leaves := cfg.Slots / fanIn
+	p, refs, err := leafSet(leaves)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer p.Close()
+	stampLeaves(p, refs)
+
+	node := core.NewTraditional(p, cfg.Slots)
+	for i := 0; i < cfg.Slots; i++ {
+		node.Set(i, refs[i/fanIn])
+	}
+	sc, err := core.NewShortcut(p, cfg.Slots)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sc.Close()
+	if _, err := sc.SetFromTraditional(node, true); err != nil {
+		return 0, 0, err
+	}
+
+	wpp := wordsPerPage()
+	start := time.Now()
+	workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) {
+		sink += readWord(node.LeafAddr(slot) + uintptr((slot&(wpp-1))*8))
+	})
+	tradMS = us(time.Since(start)) / 1000
+
+	base := sc.Base()
+	ps := uintptr(sys.PageSize())
+	start = time.Now()
+	workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) {
+		sink += readWord(base + uintptr(slot)*ps + uintptr((slot&(wpp-1))*8))
+	})
+	shortMS = us(time.Since(start)) / 1000
+	return tradMS, shortMS, nil
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/sys"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// Fig5Config parameterizes the Figure 5 reproduction: the cost of TLB
+// shootdowns. A shooting thread performs populated remaps of randomly
+// selected pages of a large mapped region while n reader threads
+// sequentially scan the region; afterwards the readers re-read the same
+// number of pages without the shooter.
+//
+// The paper reports (a) the shooter's time per remap, (b) a reader's time
+// per page with the shooter running, and (c) without. On a multi-core
+// host the shooter slows down with reader count (it must IPI every active
+// core) while readers stay flat. Note: on a single-core host the threads
+// merely timeshare and the effect disappears — use the vmsim variant
+// (Fig5Sim) for the deterministic shape.
+type Fig5Config struct {
+	// RegionPages is the size of the mapped region. Paper: 8 GB (2^21
+	// pages). Default 2^16 pages (256 MB).
+	RegionPages int
+	// Remaps performed by the shooting thread. Paper: 2^19. Default 2^14.
+	Remaps int
+	// ReaderCounts to sweep. Default {0, 1, 3, 7} like the paper.
+	ReaderCounts []int
+	Seed         uint64
+	// Sim overrides the simulated machine for the vmsim variant.
+	Sim vmsim.Config
+}
+
+func (c *Fig5Config) fill() {
+	if c.RegionPages <= 0 {
+		c.RegionPages = 1 << 16
+	}
+	if c.Remaps <= 0 {
+		c.Remaps = 1 << 14
+	}
+	if len(c.ReaderCounts) == 0 {
+		c.ReaderCounts = []int{0, 1, 3, 7}
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Fig5Result holds the three bars for one reader count, in microseconds.
+type Fig5Result struct {
+	Readers          int
+	RemapUS          float64 // (a) shooter: µs per remap
+	ReadWithShootUS  float64 // (b) reader: µs per page, shooter active
+	ReadQuietUS      float64 // (c) reader: µs per page, no shooter
+	PagesReadPerRead int64   // pages each reader covered during (b)
+}
+
+// Fig5 runs the real-thread shootdown experiment.
+func Fig5(cfg Fig5Config) ([]Fig5Result, error) {
+	cfg.fill()
+	var out []Fig5Result
+	for _, readers := range cfg.ReaderCounts {
+		r, err := fig5One(cfg, readers)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 readers=%d: %w", readers, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func fig5One(cfg Fig5Config, readers int) (Fig5Result, error) {
+	p, refs, err := leafSet(cfg.RegionPages)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	defer p.Close()
+
+	// The region under fire: a shortcut area covering all pool pages.
+	sc, err := core.NewShortcut(p, cfg.RegionPages)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	defer sc.Close()
+	if _, err := sc.SetAll(refs, true); err != nil {
+		return Fig5Result{}, err
+	}
+	base := sc.Base()
+	ps := uintptr(sys.PageSize())
+
+	var done atomic.Bool
+	var pagesRead int64
+	var readNS int64
+
+	runReaders := func(stopAt int64) {
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				var local int64
+				start := time.Now()
+				for !done.Load() {
+					for pg := 0; pg < cfg.RegionPages; pg += 1 {
+						sink += readWord(base + uintptr(pg)*ps)
+						local++
+						if stopAt > 0 && local >= stopAt {
+							goto out
+						}
+					}
+					if stopAt <= 0 && done.Load() {
+						break
+					}
+				}
+			out:
+				atomic.AddInt64(&pagesRead, local)
+				atomic.AddInt64(&readNS, time.Since(start).Nanoseconds())
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase (a)+(b): shooter remaps while readers scan.
+	rng := workload.NewRNG(cfg.Seed)
+	var remapDur time.Duration
+	shooter := func() time.Duration {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+		start := time.Now()
+		for i := 0; i < cfg.Remaps; i++ {
+			slot := rng.Intn(cfg.RegionPages)
+			target := refs[rng.Intn(len(refs))]
+			if err := sc.Set(slot, target, true); err != nil {
+				break
+			}
+		}
+		return time.Since(start)
+	}
+
+	if readers == 0 {
+		remapDur = shooter()
+	} else {
+		done.Store(false)
+		readersDone := make(chan struct{})
+		go func() {
+			runReaders(0)
+			close(readersDone)
+		}()
+		// Give the readers a head start so they are actually scanning when
+		// the shooting begins (essential on few-core machines where the
+		// shooter could otherwise finish before readers are scheduled).
+		time.Sleep(10 * time.Millisecond)
+		remapDur = shooter()
+		done.Store(true)
+		<-readersDone
+	}
+
+	res := Fig5Result{Readers: readers}
+	res.RemapUS = us(remapDur) / float64(cfg.Remaps)
+
+	if readers > 0 {
+		totalPages := atomic.LoadInt64(&pagesRead)
+		totalNS := atomic.LoadInt64(&readNS)
+		if totalPages > 0 {
+			res.ReadWithShootUS = float64(totalNS) / float64(totalPages) / 1000
+		}
+		res.PagesReadPerRead = totalPages / int64(readers)
+
+		// Phase (c): same page count, no shooter. Skip if the readers
+		// never got scheduled during (b) — possible on one core.
+		if res.PagesReadPerRead > 0 {
+			pagesRead, readNS = 0, 0
+			done.Store(false)
+			runReaders(res.PagesReadPerRead)
+			quietPages := atomic.LoadInt64(&pagesRead)
+			quietNS := atomic.LoadInt64(&readNS)
+			if quietPages > 0 {
+				res.ReadQuietUS = float64(quietNS) / float64(quietPages) / 1000
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig5Render formats results like the paper's grouped bars.
+func Fig5Render(results []Fig5Result) *harness.Table {
+	t := harness.NewTable("Figure 5: effect of TLB shootdowns (per-page times)")
+	for _, r := range results {
+		row := []string{
+			"readers n", fmt.Sprintf("%d", r.Readers),
+			"(a) shooter [us/remap]", fmt.Sprintf("%.3f", r.RemapUS),
+		}
+		if r.Readers > 0 {
+			row = append(row,
+				"(b) reader w/ shooter [us/page]", fmt.Sprintf("%.4f", r.ReadWithShootUS),
+				"(c) reader quiet [us/page]", fmt.Sprintf("%.4f", r.ReadQuietUS),
+			)
+		} else {
+			row = append(row,
+				"(b) reader w/ shooter [us/page]", "-",
+				"(c) reader quiet [us/page]", "-",
+			)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut/internal/ch"
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/ht"
+	"vmshortcut/internal/hti"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/sceh"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// Index is the common operation surface of the five evaluated indexes.
+type Index interface {
+	Insert(key, value uint64) error
+	Lookup(key uint64) (uint64, bool)
+	Len() int
+}
+
+// IndexNames lists the five competitors in the paper's legend order.
+var IndexNames = []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"}
+
+// buildIndex constructs one competitor sized for n insertions, plus a
+// cleanup function.
+func buildIndex(name string, n int) (Index, func(), error) {
+	switch name {
+	case "HT":
+		return ht.New(ht.Config{}), func() {}, nil
+	case "HTI":
+		return hti.New(hti.Config{}), func() {}, nil
+	case "CH":
+		// The paper grants CH a fixed 1 GB table for 100M entries; keep
+		// the same bytes-per-entry ratio at any scale.
+		bytes := n * 10
+		if bytes < 4096 {
+			bytes = 4096
+		}
+		return ch.New(ch.Config{TableBytes: bytes}), func() {}, nil
+	case "EH":
+		p, err := poolFor(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := eh.New(p, eh.Config{})
+		if err != nil {
+			p.Close()
+			return nil, nil, err
+		}
+		return t, func() { p.Close() }, nil
+	case "Shortcut-EH":
+		p, err := poolFor(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := sceh.New(p, sceh.Config{})
+		if err != nil {
+			p.Close()
+			return nil, nil, err
+		}
+		return t, func() { t.Close(); p.Close() }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown index %q", name)
+}
+
+// poolFor sizes a page pool for n entries at the 0.35 load factor
+// (≈ n/89 buckets) with generous headroom for splits in flight.
+func poolFor(n int) (*pool.Pool, error) {
+	pages := n/32 + (1 << 12)
+	return pool.New(pool.Config{GrowChunkPages: 1 << 10, MaxPages: pages * 4})
+}
+
+// Fig7Config parameterizes the insertion/lookup comparison.
+type Fig7Config struct {
+	// Entries inserted (Fig 7a) and lookups fired (Fig 7b). Paper: 100M
+	// each. Default 2M.
+	Entries int
+	// Checkpoints along the insertion sequence for the accumulated-time
+	// series. Default 20.
+	Checkpoints int
+	// Indexes to run. Default all five.
+	Indexes []string
+	Seed    uint64
+	// Sim overrides the simulated machine for Fig7bSim.
+	Sim vmsim.Config
+}
+
+func (c *Fig7Config) fill() {
+	if c.Entries <= 0 {
+		c.Entries = 2_000_000
+	}
+	if c.Checkpoints <= 0 {
+		c.Checkpoints = 20
+	}
+	if len(c.Indexes) == 0 {
+		c.Indexes = IndexNames
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Fig7Result bundles the insertion series (Fig 7a) and the lookup totals
+// (Fig 7b).
+type Fig7Result struct {
+	Insert []harness.Series // accumulated seconds at each checkpoint
+	Lookup *harness.Table   // total lookup milliseconds per index
+	// LookupMS maps index name to its Figure 7b total.
+	LookupMS map[string]float64
+	// InsertTotalS maps index name to its total insertion seconds.
+	InsertTotalS map[string]float64
+}
+
+// Fig7 runs insertions (7a) and the subsequent hit-only lookups (7b).
+func Fig7(cfg Fig7Config) (*Fig7Result, error) {
+	cfg.fill()
+	res := &Fig7Result{
+		Lookup:       harness.NewTable("Figure 7b: 100%-hit lookups after insertion"),
+		LookupMS:     map[string]float64{},
+		InsertTotalS: map[string]float64{},
+	}
+	step := cfg.Entries / cfg.Checkpoints
+	if step < 1 {
+		step = 1
+	}
+
+	for _, name := range cfg.Indexes {
+		idx, cleanup, err := buildIndex(name, cfg.Entries)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", name, err)
+		}
+
+		// --- Figure 7a: insertion sequence with checkpoints.
+		series := harness.Series{Label: name}
+		var elapsed time.Duration
+		inserted := 0
+		for inserted < cfg.Entries {
+			batch := step
+			if cfg.Entries-inserted < batch {
+				batch = cfg.Entries - inserted
+			}
+			start := time.Now()
+			for i := 0; i < batch; i++ {
+				k := workload.Key(cfg.Seed, uint64(inserted+i))
+				if err := idx.Insert(k, uint64(inserted+i)); err != nil {
+					cleanup()
+					return nil, fmt.Errorf("fig7 %s insert: %w", name, err)
+				}
+			}
+			elapsed += time.Since(start)
+			inserted += batch
+			series.Points = append(series.Points, harness.Point{
+				X: fmt.Sprintf("%d", inserted),
+				Y: elapsed.Seconds(),
+			})
+		}
+		res.Insert = append(res.Insert, series)
+		res.InsertTotalS[name] = elapsed.Seconds()
+
+		// --- Figure 7b: hit-only lookups on the filled index.
+		if sct, ok := idx.(*sceh.Table); ok {
+			// The paper notes the shortcut is in sync before the lookup
+			// phase and is used for all lookups.
+			if !sct.WaitSync(30 * time.Second) {
+				cleanup()
+				return nil, fmt.Errorf("fig7 %s: shortcut never synced", name)
+			}
+		}
+		start := time.Now()
+		misses := 0
+		workload.LookupStream(cfg.Seed, cfg.Entries, cfg.Entries, func(i int) {
+			k := workload.Key(cfg.Seed, uint64(i))
+			if _, ok := idx.Lookup(k); !ok {
+				misses++
+			}
+		})
+		lookupMS := us(time.Since(start)) / 1000
+		if misses > 0 {
+			cleanup()
+			return nil, fmt.Errorf("fig7 %s: %d unexpected lookup misses", name, misses)
+		}
+		res.LookupMS[name] = lookupMS
+		res.Lookup.AddRow(
+			"index", name,
+			"lookup total [ms]", fmt.Sprintf("%.1f", lookupMS),
+			"per lookup [ns]", fmt.Sprintf("%.1f", lookupMS*1e6/float64(cfg.Entries)),
+		)
+		cleanup()
+	}
+	return res, nil
+}

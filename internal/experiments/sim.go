@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// The vmsim variants rebuild the microbenchmarks on the simulated MMU.
+// Virtual layout used throughout (page size 4 KB):
+//
+//	0x0000_0000_0000  inner-node pointer array (traditional)
+//	0x1000_0000_0000  leaf pages (traditional's targets, and pool window)
+//	0x2000_0000_0000  shortcut virtual area (one page per slot)
+//
+// Physical layout: leaves at ppn 0..m; the pointer array occupies its own
+// physical pages; page-table nodes live in their own high region (see
+// vmsim.pageTable).
+const (
+	simTradBase  = uint64(0x0000_0000_0000)
+	simLeafBase  = uint64(0x1000_0000_0000)
+	simShortBase = uint64(0x2000_0000_0000)
+	simPageBits  = 12
+	simPage      = uint64(1) << simPageBits
+)
+
+// simSetup maps, on m, a traditional inner node with `slots` pointer slots
+// targeting `leaves` leaf pages (fan-in = slots/leaves) plus the
+// equivalent shortcut area. Returns the leaf vaddr of each slot for the
+// traditional traversal.
+func simSetup(m *vmsim.MMU, slots, leaves int) {
+	// Pointer array: slots * 8 bytes.
+	arrayPages := (slots*8 + int(simPage) - 1) / int(simPage)
+	for p := 0; p < arrayPages; p++ {
+		m.Map(simTradBase/simPage+uint64(p), uint64(0x100000+p))
+	}
+	// Leaf pages: ppn 0..leaves.
+	for l := 0; l < leaves; l++ {
+		m.Map(simLeafBase/simPage+uint64(l), uint64(l))
+	}
+	// Shortcut: slot i aliases the physical page of leaf i/fanIn.
+	fanIn := slots / leaves
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	for s := 0; s < slots; s++ {
+		m.Map(simShortBase/simPage+uint64(s), uint64(s/fanIn%leaves))
+	}
+}
+
+// simOffset derives a per-slot in-page offset. The multiplicative mix
+// decorrelates the offset from the slot number so page-aligned accesses do
+// not stride pathologically through the set-associative cache model (real
+// benchmarks touch varying bucket slots for the same reason).
+func simOffset(slot int) uint64 {
+	return (uint64(slot) * 0x9E3779B97F4A7C15 >> 32) & (simPage - 8) &^ 7
+}
+
+// simTraditionalAccess simulates one lookup through the traditional node:
+// read the pointer slot, then read the leaf.
+func simTraditionalAccess(m *vmsim.MMU, slot int, leaves, fanIn int) {
+	m.MustAccess(simTradBase + uint64(slot)*8)
+	leaf := uint64(slot/fanIn) % uint64(leaves)
+	m.MustAccess(simLeafBase + leaf*simPage + simOffset(slot))
+}
+
+// simShortcutAccess simulates one lookup through the shortcut: a single
+// access into the aliased virtual page.
+func simShortcutAccess(m *vmsim.MMU, slot int) {
+	m.MustAccess(simShortBase + uint64(slot)*simPage + simOffset(slot))
+}
+
+// Fig2Sim reproduces Figure 2 on the simulator: total simulated
+// milliseconds for the access stream per configuration.
+func Fig2Sim(cfg Fig2Config) ([]harness.Series, error) {
+	cfg.fill()
+	trad := harness.Series{Label: "Traditional (sim)"}
+	short := harness.Series{Label: "Shortcut (sim)"}
+	for _, pt := range fig2Points {
+		slots := cfg.Scale.N(pt.dirMB << 20 / 8)
+		leaves := cfg.Scale.N(pt.bucketMB << 20 / int(simPage))
+		if leaves > slots {
+			leaves = slots
+		}
+		fanIn := slots / leaves
+		if fanIn < 1 {
+			fanIn = 1
+		}
+		label := fmt.Sprintf("%d,%d", pt.dirMB, pt.bucketMB)
+
+		m := vmsim.New(cfg.Sim)
+		simSetup(m, slots, leaves)
+		m.ResetTime()
+		workload.SlotStream(cfg.Seed, slots, cfg.Accesses, func(slot int) {
+			simTraditionalAccess(m, slot, leaves, fanIn)
+		})
+		trad.Points = append(trad.Points, harness.Point{X: label, Y: m.Time() / 1e6})
+
+		m2 := vmsim.New(cfg.Sim)
+		simSetup(m2, slots, leaves)
+		m2.ResetTime()
+		workload.SlotStream(cfg.Seed, slots, cfg.Accesses, func(slot int) {
+			simShortcutAccess(m2, slot)
+		})
+		short.Points = append(short.Points, harness.Point{X: label, Y: m2.Time() / 1e6})
+	}
+	return []harness.Series{trad, short}, nil
+}
+
+// Fig4Sim reproduces the fan-in sweep of Figure 4 on the simulator. The
+// crossover — traditional faster at high fan-in, shortcut faster at low —
+// emerges from TLB reach: the shortcut always touches `slots` virtual
+// pages while the traditional variant touches slots*8 bytes plus only
+// `leaves` pages.
+func Fig4Sim(cfg Fig4Config) ([]harness.Series, error) {
+	cfg.fill()
+	trad := harness.Series{Label: "Traditional (sim)"}
+	short := harness.Series{Label: "Shortcut (sim)"}
+	for _, fanIn := range cfg.FanIns {
+		if fanIn > cfg.Slots {
+			continue
+		}
+		leaves := cfg.Slots / fanIn
+		x := fmt.Sprintf("%d", fanIn)
+
+		m := vmsim.New(cfg.Sim)
+		simSetup(m, cfg.Slots, leaves)
+		m.ResetTime()
+		workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) {
+			simTraditionalAccess(m, slot, leaves, fanIn)
+		})
+		trad.Points = append(trad.Points, harness.Point{X: x, Y: m.Time() / 1e6})
+
+		m2 := vmsim.New(cfg.Sim)
+		simSetup(m2, cfg.Slots, leaves)
+		m2.ResetTime()
+		workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) {
+			simShortcutAccess(m2, slot)
+		})
+		short.Points = append(short.Points, harness.Point{X: x, Y: m2.Time() / 1e6})
+	}
+	return []harness.Series{trad, short}, nil
+}
+
+// Table1Sim reproduces Table 1 on the simulator. Construction costs use
+// the configured remap/populate latencies; access costs come from the
+// TLB/cache model, with lazy population paying soft page faults on first
+// touch.
+func Table1Sim(cfg Table1Config) ([]Table1Row, error) {
+	cfg.fill()
+	var rows []Table1Row
+	n := float64(cfg.Slots)
+
+	// Traditional: pointer writes are one memory reference each; leaves
+	// are premapped (the pool pre-faults them).
+	{
+		m := vmsim.New(cfg.Sim)
+		simSetup(m, cfg.Slots, cfg.Slots)
+		row := Table1Row{Variant: "Traditional (sim)"}
+		m.ResetTime()
+		for s := 0; s < cfg.Slots; s++ {
+			m.MustAccess(simTradBase + uint64(s)*8) // store the pointer
+		}
+		row.SetPerPage = m.Time() / 1000 / n
+		row.Access1 = simAccessPass(m, cfg, func(slot int) {
+			simTraditionalAccess(m, slot, cfg.Slots, 1)
+		})
+		row.Access2 = simAccessPass(m, cfg, func(slot int) {
+			simTraditionalAccess(m, slot, cfg.Slots, 1)
+		})
+		rows = append(rows, row)
+	}
+
+	for _, eager := range []bool{false, true} {
+		m := vmsim.New(cfg.Sim)
+		m.AutoFault = true
+		// Leaves exist physically; the shortcut region is NOT premapped —
+		// each Set is one remap; population is lazy or eager.
+		variant := "Shortcut lazy (sim)"
+		if eager {
+			variant = "Shortcut eager (sim)"
+		}
+		row := Table1Row{Variant: variant}
+		m.ResetTime()
+		for s := 0; s < cfg.Slots; s++ {
+			m.RemapCost(simShortBase/simPage+uint64(s), uint64(s), 1)
+		}
+		row.SetPerPage = m.Time() / 1000 / n
+
+		if eager {
+			m.ResetTime()
+			m.Populate(simShortBase/simPage, cfg.Slots)
+			row.PopPerPage = m.Time() / 1000 / n
+		} else {
+			// Lazy: drop the PTEs installed by RemapCost so first access
+			// faults, mirroring mmap's PTE drop (paper §2.1 Details).
+			for s := 0; s < cfg.Slots; s++ {
+				m.Unmap(simShortBase/simPage + uint64(s))
+			}
+		}
+		row.Access1 = simAccessPass(m, cfg, func(slot int) { simShortcutAccess(m, slot) })
+		row.Access2 = simAccessPass(m, cfg, func(slot int) { simShortcutAccess(m, slot) })
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func simAccessPass(m *vmsim.MMU, cfg Table1Config, fn func(slot int)) float64 {
+	m.ResetTime()
+	workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) { fn(slot) })
+	return m.Time() / float64(cfg.Accesses)
+}
+
+// Fig5Sim reproduces the shootdown experiment on the simulated machine:
+// the shooter's per-remap cost grows with the number of active reader
+// cores (IPIs), while a reader's per-page cost stays flat.
+func Fig5Sim(cfg Fig5Config) ([]Fig5Result, error) {
+	cfg.fill()
+	var out []Fig5Result
+	for _, readers := range cfg.ReaderCounts {
+		ma := vmsim.NewMachine(cfg.Sim, readers+1)
+		ma.MapShared(0, 0, cfg.RegionPages)
+
+		active := make([]int, readers)
+		for i := range active {
+			active[i] = i + 1
+		}
+
+		// Shooter on core 0; readers sweep sequentially. The simulation
+		// interleaves one remap per reader sweep step at the paper's
+		// remap:read ratio.
+		res := Fig5Result{Readers: readers}
+		shooter := ma.Core(0)
+		rng := workload.NewRNG(cfg.Seed)
+		shooter.ResetTime()
+		for i := 0; i < cfg.Remaps; i++ {
+			vpn := uint64(rng.Intn(cfg.RegionPages))
+			ma.Remap(0, vpn, uint64(1<<20+i), 1, active)
+		}
+		res.RemapUS = shooter.Time() / 1000 / float64(cfg.Remaps)
+
+		if readers > 0 {
+			// One representative reader does a full sequential pass while
+			// the shooter intersperses remaps (same ratio as above).
+			rd := ma.Core(1)
+			rng2 := workload.NewRNG(cfg.Seed ^ 1)
+			remapEvery := cfg.RegionPages / cfg.Remaps
+			if remapEvery < 1 {
+				remapEvery = 1
+			}
+			rd.ResetTime()
+			pages := 0
+			for p := 0; p < cfg.RegionPages; p++ {
+				rd.MustAccess(uint64(p) << simPageBits)
+				pages++
+				if p%remapEvery == 0 {
+					ma.Remap(0, uint64(rng2.Intn(cfg.RegionPages)), uint64(1<<21+p), 1, active)
+				}
+			}
+			res.ReadWithShootUS = rd.Time() / 1000 / float64(pages)
+			res.PagesReadPerRead = int64(pages)
+
+			// Quiet pass.
+			rd.ResetTime()
+			for p := 0; p < cfg.RegionPages; p++ {
+				rd.MustAccess(uint64(p) << simPageBits)
+			}
+			res.ReadQuietUS = rd.Time() / 1000 / float64(cfg.RegionPages)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/sys"
+	"vmshortcut/internal/vmsim"
+	"vmshortcut/internal/workload"
+)
+
+// Table1Config parameterizes the Table 1 reproduction: the normalized cost
+// of creating and then randomly accessing a wide inner node, comparing the
+// traditional pointer array against shortcut nodes with lazy and eager
+// page-table population.
+type Table1Config struct {
+	// Slots of the inner node. Paper: 2^22 (16 GB of leaves!). Default
+	// 2^18 (1 GB of leaves).
+	Slots int
+	// Accesses in phases (4) and (5). Paper: 10^7.
+	Accesses int
+	Seed     uint64
+	// Sim overrides the simulated machine for the vmsim variant.
+	Sim vmsim.Config
+}
+
+func (c *Table1Config) fill() {
+	if c.Slots <= 0 {
+		c.Slots = 1 << 18
+	}
+	if c.Accesses <= 0 {
+		c.Accesses = 1_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Table1Row holds one variant's normalized phase costs: per-page
+// microseconds for the construction phases and per-access nanoseconds for
+// the access phases.
+type Table1Row struct {
+	Variant      string
+	AllocPerPage float64 // µs
+	SetPerPage   float64 // µs per indirection
+	PopPerPage   float64 // µs (eager only)
+	Access1      float64 // ns per access, first pass
+	Access2      float64 // ns per access, second pass
+}
+
+// Table1 runs the real-backend Table 1 benchmark.
+func Table1(cfg Table1Config) ([]Table1Row, error) {
+	cfg.fill()
+	var rows []Table1Row
+
+	trad, err := table1Traditional(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("table1 traditional: %w", err)
+	}
+	rows = append(rows, trad)
+
+	lazy, err := table1Shortcut(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("table1 shortcut lazy: %w", err)
+	}
+	rows = append(rows, lazy)
+
+	eager, err := table1Shortcut(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("table1 shortcut eager: %w", err)
+	}
+	rows = append(rows, eager)
+	return rows, nil
+}
+
+func table1Traditional(cfg Table1Config) (Table1Row, error) {
+	p, refs, err := leafSet(cfg.Slots)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	defer p.Close()
+	stampLeaves(p, refs)
+
+	row := Table1Row{Variant: "Traditional"}
+	n := float64(cfg.Slots)
+
+	// (1) allocate: the pointer array.
+	start := time.Now()
+	node := core.NewTraditional(p, cfg.Slots)
+	row.AllocPerPage = us(time.Since(start)) / n
+
+	// (2) set n indirections: plain pointer stores.
+	start = time.Now()
+	for i := 0; i < cfg.Slots; i++ {
+		node.Set(i, refs[i])
+	}
+	row.SetPerPage = us(time.Since(start)) / n
+
+	// (4) + (5) random accesses.
+	row.Access1 = table1AccessPass(cfg, func(slot int, off uintptr) {
+		sink += readWord(node.LeafAddr(slot) + off)
+	})
+	row.Access2 = table1AccessPass(cfg, func(slot int, off uintptr) {
+		sink += readWord(node.LeafAddr(slot) + off)
+	})
+	return row, nil
+}
+
+func table1Shortcut(cfg Table1Config, eager bool) (Table1Row, error) {
+	p, refs, err := leafSet(cfg.Slots)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	defer p.Close()
+	stampLeaves(p, refs)
+
+	variant := "Shortcut (lazy)"
+	if eager {
+		variant = "Shortcut (eager)"
+	}
+	row := Table1Row{Variant: variant}
+	n := float64(cfg.Slots)
+
+	// (1) allocate: one anonymous reservation.
+	start := time.Now()
+	sc, err := core.NewShortcut(p, cfg.Slots)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	defer sc.Close()
+	row.AllocPerPage = us(time.Since(start)) / n
+
+	// (2) set n indirections: one mmap per slot — the paper's measured
+	// worst case of individual calls (coalescing is the ablation).
+	start = time.Now()
+	for i := 0; i < cfg.Slots; i++ {
+		if err := sc.Set(i, refs[i], false); err != nil {
+			return Table1Row{}, err
+		}
+	}
+	row.SetPerPage = us(time.Since(start)) / n
+
+	// (3) optional eager population.
+	if eager {
+		start = time.Now()
+		if err := sc.Populate(); err != nil {
+			return Table1Row{}, err
+		}
+		row.PopPerPage = us(time.Since(start)) / n
+	}
+
+	// (4) + (5) random accesses straight through the shortcut.
+	base := sc.Base()
+	ps := uintptr(sys.PageSize())
+	row.Access1 = table1AccessPass(cfg, func(slot int, off uintptr) {
+		sink += readWord(base + uintptr(slot)*ps + off)
+	})
+	row.Access2 = table1AccessPass(cfg, func(slot int, off uintptr) {
+		sink += readWord(base + uintptr(slot)*ps + off)
+	})
+	return row, nil
+}
+
+// table1AccessPass streams random slot accesses through fn and returns
+// nanoseconds per access.
+func table1AccessPass(cfg Table1Config, fn func(slot int, off uintptr)) float64 {
+	wpp := wordsPerPage()
+	start := time.Now()
+	workload.SlotStream(cfg.Seed, cfg.Slots, cfg.Accesses, func(slot int) {
+		fn(slot, uintptr((slot&(wpp-1))*8))
+	})
+	return float64(time.Since(start).Nanoseconds()) / float64(cfg.Accesses)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+// Table1Render converts rows into a harness table formatted like the
+// paper's Table 1.
+func Table1Render(rows []Table1Row) *harness.Table {
+	t := harness.NewTable("Table 1: cost of creating and accessing a wide inner node (normalized)")
+	for _, r := range rows {
+		pop := "-"
+		if r.PopPerPage > 0 {
+			pop = fmt.Sprintf("%.3f", r.PopPerPage)
+		}
+		t.AddRow(
+			"variant", r.Variant,
+			"alloc [us/page]", fmt.Sprintf("%.4f", r.AllocPerPage),
+			"set-indir [us/page]", fmt.Sprintf("%.3f", r.SetPerPage),
+			"populate [us/page]", pop,
+			"1st access [ns]", fmt.Sprintf("%.1f", r.Access1),
+			"2nd access [ns]", fmt.Sprintf("%.1f", r.Access2),
+		)
+	}
+	return t
+}

@@ -1,0 +1,198 @@
+package fifo
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestEmptyAndLen(t *testing.T) {
+	q := New[string]()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue should be empty")
+	}
+	q.Push("a")
+	if q.Empty() || q.Len() != 1 {
+		t.Fatal("queue with one element misreports")
+	}
+	q.Pop()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("drained queue misreports")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(i * i)
+	}
+	got := q.Drain()
+	if len(got) != 10 {
+		t.Fatalf("Drain returned %d elements", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Drain[%d] = %d", i, v)
+		}
+	}
+	if len(q.Drain()) != 0 {
+		t.Fatal("second Drain should be empty")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := New[int]()
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%5+1; i++ {
+			q.Push(round*10 + i)
+		}
+		for {
+			v, ok := q.Pop()
+			if !ok {
+				break
+			}
+			_ = v
+			next++
+		}
+	}
+	if next != totalPushed(50) {
+		t.Fatalf("popped %d, want %d", next, totalPushed(50))
+	}
+}
+
+func totalPushed(rounds int) int {
+	n := 0
+	for r := 0; r < rounds; r++ {
+		n += r%5 + 1
+	}
+	return n
+}
+
+// TestConcurrentProducersFIFOPerProducer: with multiple producers the
+// global order is unspecified, but each producer's own elements must
+// arrive in their push order, and nothing may be lost or duplicated.
+func TestConcurrentProducersFIFOPerProducer(t *testing.T) {
+	const producers = 8
+	const perProducer = 5000
+	q := New[[2]int]() // [producer, seq]
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+
+	lastSeen := make([]int, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	for got < producers*perProducer {
+		v, ok := q.Pop()
+		if !ok {
+			select {
+			case <-done:
+				// producers finished; drain what's left
+				if v, ok = q.Pop(); !ok && got < producers*perProducer {
+					// give the final Push's next-pointer store a chance
+					continue
+				}
+				if !ok {
+					continue
+				}
+			default:
+				continue
+			}
+		}
+		p, seq := v[0], v[1]
+		if seq != lastSeen[p]+1 {
+			t.Fatalf("producer %d: got seq %d after %d", p, seq, lastSeen[p])
+		}
+		lastSeen[p] = seq
+		got++
+	}
+	for p, last := range lastSeen {
+		if last != perProducer-1 {
+			t.Fatalf("producer %d: only %d elements arrived", p, last+1)
+		}
+	}
+}
+
+func TestQuickSequentialModel(t *testing.T) {
+	// Against a slice model: any sequence of pushes and pops matches.
+	check := func(ops []int16) bool {
+		q := New[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Push(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		for _, want := range model {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	q := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}

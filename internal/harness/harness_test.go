@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScale(t *testing.T) {
+	if Scale(0.1).N(100_000_000) != 10_000_000 {
+		t.Fatal("scale 0.1 of 100M should be 10M")
+	}
+	if Scale(0.0000001).N(100) != 1 {
+		t.Fatal("scale must floor at 1")
+	}
+	if Scale(1).N(42) != 42 {
+		t.Fatal("scale 1 must be identity")
+	}
+}
+
+func TestTimerPhases(t *testing.T) {
+	var tm Timer
+	tm.Start("a")
+	time.Sleep(5 * time.Millisecond)
+	tm.Start("b") // implicitly ends a
+	time.Sleep(1 * time.Millisecond)
+	tm.End()
+	ph := tm.Phases()
+	if len(ph) != 2 || ph[0].Name != "a" || ph[1].Name != "b" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if tm.Get("a") < 4*time.Millisecond {
+		t.Fatalf("phase a too short: %v", tm.Get("a"))
+	}
+	if tm.Get("missing") != 0 {
+		t.Fatal("missing phase should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo")
+	tbl.AddRow("name", "alpha", "value", "1")
+	tbl.AddRow("name", "beta-longer", "value", "23456")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "beta-longer") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // banner, header, rule, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("csv")
+	tbl.AddRow("x", "1", "y", "2.5")
+	tbl.AddRow("x", "2", "y", "7.5")
+	var sb strings.Builder
+	tbl.RenderCSV(&sb)
+	want := "x,y\n1,2.5\n2,7.5\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	series := []Series{
+		{Label: "Traditional", Points: []Point{{X: "1", Y: 10}, {X: "2", Y: 20}}},
+		{Label: "Shortcut", Points: []Point{{X: "1", Y: 5}, {X: "2", Y: 8}}},
+	}
+	var sb strings.Builder
+	RenderSeries(&sb, "fig", "size", series)
+	out := sb.String()
+	for _, want := range []string{"fig", "size", "Traditional", "Shortcut", "10.000", "8.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 5) != "2.00x" {
+		t.Fatalf("Ratio = %s", Ratio(10, 5))
+	}
+	if Ratio(1, 0) != "inf" {
+		t.Fatal("division by zero unguarded")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}

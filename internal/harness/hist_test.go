@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram misbehaves")
+	}
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %f", m)
+	}
+	// p50 of uniform 1..1000 is ~500; bucket upper bound gives ≤1023.
+	p50 := h.Percentile(50)
+	if p50 < 500 || p50 > 1023 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 990 || p99 > 1023 {
+		t.Fatalf("p99 = %d", p99)
+	}
+}
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatal("zero sample mishandled")
+	}
+	if h.Percentile(100) > 1 {
+		t.Fatalf("p100 = %d for a single zero", h.Percentile(100))
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	seed := uint64(12345)
+	for i := 0; i < 10000; i++ {
+		seed = seed*6364136223846793005 + 1
+		h.Record(seed >> 40)
+	}
+	last := uint64(0)
+	for p := 0.0; p <= 100; p += 5 {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("percentile not monotone at %f: %d < %d", p, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+		b.Record(v * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 100000 {
+		t.Fatalf("merged extremes = %d..%d", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	if a.Count() != 200 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(uint64(i%10 + 1))
+	}
+	var sb strings.Builder
+	h.Render(&sb, "latencies")
+	out := sb.String()
+	for _, want := range []string{"latencies", "samples 100", "p99", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	var empty Histogram
+	sb.Reset()
+	empty.Render(&sb, "none")
+	if !strings.Contains(sb.String(), "no samples") {
+		t.Fatal("empty render broken")
+	}
+}
+
+// Property: percentile upper bound is never below the true percentile of
+// the recorded multiset (bucketing only rounds up).
+func TestQuickHistogramUpperBound(t *testing.T) {
+	check := func(vals []uint16, pRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		sorted := make([]uint64, len(vals))
+		for i, v := range vals {
+			h.Record(uint64(v))
+			sorted[i] = uint64(v)
+		}
+		p := float64(pRaw % 101)
+		rank := int(p / 100 * float64(len(sorted)))
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		// selection via simple sort
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		return h.Percentile(p) >= sorted[rank]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

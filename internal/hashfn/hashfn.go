@@ -1,0 +1,63 @@
+// Package hashfn provides the lightweight multiplicative hash function
+// shared by all indexes in the evaluation (paper §4.2: "all methods utilize
+// the same lightweight multiplicative hash function") plus the bit-slicing
+// helpers extendible hashing needs: the directory is indexed with the most
+// significant bits of the hash, and the in-bucket slot comes from an
+// independent second hash.
+package hashfn
+
+// Multiplicative hashing constants: two independent 64-bit odd multipliers.
+// fib64 is 2^64 / phi, the classic Fibonacci-hashing constant.
+const (
+	fib64  = 0x9E3779B97F4A7C15
+	mix64b = 0xC2B2AE3D27D4EB4F
+)
+
+// Hash is the primary hash: multiplicative with an xor-fold so the most
+// significant bits (which index the directory) also depend on the low key
+// bits.
+func Hash(key uint64) uint64 {
+	x := key * fib64
+	x ^= x >> 29
+	x *= mix64b
+	x ^= x >> 32
+	return x
+}
+
+// Hash2 is the independent second hash used to pick the slot inside a
+// bucket, so probe order does not correlate with directory placement.
+func Hash2(key uint64) uint64 {
+	x := key ^ 0x94D049BB133111EB
+	x *= mix64b
+	x ^= x >> 31
+	x *= fib64
+	x ^= x >> 33
+	return x
+}
+
+// DirIndex extracts the globalDepth most significant bits of h — the
+// directory slot of extendible hashing. depth 0 always yields 0.
+func DirIndex(h uint64, globalDepth uint) uint64 {
+	if globalDepth == 0 {
+		return 0
+	}
+	return h >> (64 - globalDepth)
+}
+
+// SplitBit returns the bit that decides which of the two split buckets an
+// entry with hash h moves to when a bucket of local depth ld splits: bit
+// number ld (0-based) counted from the most significant end.
+func SplitBit(h uint64, ld uint) uint64 {
+	return (h >> (63 - ld)) & 1
+}
+
+// PrefixRange returns the half-open directory slot range [lo, hi) that
+// shares the ld most significant hash bits with h in a directory of depth
+// gd (gd >= ld). These are exactly the slots that reference the same
+// bucket.
+func PrefixRange(h uint64, ld, gd uint) (lo, hi uint64) {
+	idx := DirIndex(h, gd)
+	span := uint64(1) << (gd - ld)
+	lo = idx &^ (span - 1)
+	return lo, lo + span
+}

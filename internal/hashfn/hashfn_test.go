@@ -1,0 +1,141 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashSpreadsLowBitKeys(t *testing.T) {
+	// Sequential keys must not collide in the top bits that index the
+	// directory: count distinct 8-bit prefixes of the first 4096 keys.
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 4096; k++ {
+		seen[DirIndex(Hash(k), 8)] = true
+	}
+	if len(seen) < 250 {
+		t.Fatalf("only %d of 256 directory slots hit by sequential keys", len(seen))
+	}
+}
+
+func TestHashAndHash2Differ(t *testing.T) {
+	same := 0
+	for k := uint64(0); k < 1000; k++ {
+		if Hash(k) == Hash2(k) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d keys where Hash == Hash2", same)
+	}
+}
+
+func TestDirIndexDepthZero(t *testing.T) {
+	if DirIndex(^uint64(0), 0) != 0 {
+		t.Fatal("depth 0 must map everything to slot 0")
+	}
+}
+
+func TestDirIndexUsesMSB(t *testing.T) {
+	h := uint64(0xF000000000000000)
+	if got := DirIndex(h, 4); got != 0xF {
+		t.Fatalf("DirIndex = %x, want f", got)
+	}
+	if got := DirIndex(h, 1); got != 1 {
+		t.Fatalf("DirIndex depth1 = %d, want 1", got)
+	}
+}
+
+func TestSplitBit(t *testing.T) {
+	// ld=1: the split consults bit 62 (second most significant).
+	if SplitBit(1<<62, 1) != 1 {
+		t.Fatal("bit 62 should be 1")
+	}
+	if SplitBit(1<<63, 1) != 0 {
+		t.Fatal("bit 63 must not leak into ld=1 split")
+	}
+}
+
+func TestPrefixRange(t *testing.T) {
+	// gd=3, ld=1: hash starting with bit 1 covers slots [4,8).
+	h := uint64(1) << 63
+	lo, hi := PrefixRange(h, 1, 3)
+	if lo != 4 || hi != 8 {
+		t.Fatalf("range = [%d,%d), want [4,8)", lo, hi)
+	}
+	// gd == ld: a single slot.
+	lo, hi = PrefixRange(h, 3, 3)
+	if hi-lo != 1 {
+		t.Fatalf("span = %d, want 1", hi-lo)
+	}
+}
+
+// Property: every slot in PrefixRange shares the ld-bit prefix of h, and
+// slots just outside do not.
+func TestQuickPrefixRangeInvariant(t *testing.T) {
+	check := func(h uint64, ldRaw, gdRaw uint8) bool {
+		gd := uint(gdRaw%16) + 1
+		ld := uint(ldRaw) % (gd + 1)
+		lo, hi := PrefixRange(h, ld, gd)
+		if hi-lo != 1<<(gd-ld) {
+			return false
+		}
+		prefix := h >> (64 - ld)
+		if ld == 0 {
+			prefix = 0
+		}
+		for s := lo; s < hi; s++ {
+			sp := s >> (gd - ld)
+			if ld == 0 {
+				sp = 0
+			}
+			if sp != prefix {
+				return false
+			}
+		}
+		if lo > 0 && ld > 0 && (lo-1)>>(gd-ld) == prefix {
+			return false
+		}
+		if hi < 1<<gd && ld > 0 && hi>>(gd-ld) == prefix {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DirIndex is monotone in h — MSB indexing is order-preserving.
+func TestQuickDirIndexMonotone(t *testing.T) {
+	check := func(a, b uint64, dRaw uint8) bool {
+		d := uint(dRaw%24) + 1
+		if a > b {
+			a, b = b, a
+		}
+		return DirIndex(a, d) <= DirIndex(b, d)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Hash(0x123456789ABCDEF)
+	for bit := 0; bit < 64; bit += 7 {
+		diff := base ^ Hash(0x123456789ABCDEF^(1<<bit))
+		pop := popcount(diff)
+		if pop < 16 || pop > 48 {
+			t.Fatalf("bit %d avalanche popcount = %d", bit, pop)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package ht
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tbl := New(Config{})
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k*7)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k*7 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tbl.Lookup(n + 5); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	tbl := New(Config{})
+	if _, ok := tbl.Lookup(0); ok {
+		t.Fatal("zero key in empty table")
+	}
+	tbl.Insert(0, 9)
+	if v, ok := tbl.Lookup(0); !ok || v != 9 {
+		t.Fatalf("Lookup(0) = %d,%v", v, ok)
+	}
+	tbl.Insert(0, 10)
+	if tbl.Len() != 1 {
+		t.Fatal("zero-key upsert grew the table")
+	}
+	if !tbl.Delete(0) || tbl.Delete(0) {
+		t.Fatal("zero-key delete misbehaves")
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tbl := New(Config{})
+	tbl.Insert(3, 1)
+	tbl.Insert(3, 2)
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if v, _ := tbl.Lookup(3); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestDoublingStaircase(t *testing.T) {
+	tbl := New(Config{})
+	startSlots := tbl.Slots()
+	if startSlots != 256 {
+		t.Fatalf("initial slots = %d, want 256 (4 KB)", startSlots)
+	}
+	for k := uint64(0); k < 100000; k++ {
+		tbl.Insert(k+1, k)
+	}
+	if tbl.Rehashes == 0 {
+		t.Fatal("no rehashes happened")
+	}
+	if tbl.Slots()&(tbl.Slots()-1) != 0 {
+		t.Fatal("slot count not a power of two")
+	}
+	// Load factor must respect the threshold after growth.
+	if lf := float64(tbl.Len()) / float64(tbl.Slots()); lf > 0.35 {
+		t.Fatalf("load factor %f exceeds threshold", lf)
+	}
+	// MovedEntries across all rehashes ≈ sum of table sizes at rehash
+	// time; it must be at least Len (each entry moved at least once).
+	if tbl.MovedEntries < tbl.Len() {
+		t.Fatalf("MovedEntries = %d < Len = %d", tbl.MovedEntries, tbl.Len())
+	}
+}
+
+func TestDeleteBackwardShift(t *testing.T) {
+	tbl := New(Config{})
+	const n = 3000
+	for k := uint64(1); k <= n; k++ {
+		tbl.Insert(k, k)
+	}
+	for k := uint64(1); k <= n; k += 2 {
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tbl.Delete(n + 1) {
+		t.Fatal("deleted absent key")
+	}
+	for k := uint64(1); k <= n; k++ {
+		_, ok := tbl.Lookup(k)
+		if k%2 == 1 && ok {
+			t.Fatalf("deleted key %d present", k)
+		}
+		if k%2 == 0 && !ok {
+			t.Fatalf("key %d lost after neighbour deletes", k)
+		}
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	tbl := New(Config{})
+	model := map[uint64]uint64{}
+	check := func(kRaw uint16, v uint64, op uint8) bool {
+		k := uint64(kRaw % 2048)
+		switch op % 4 {
+		case 0, 1:
+			tbl.Insert(k, v)
+			model[k] = v
+		case 2:
+			got, ok := tbl.Lookup(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if tbl.Delete(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package hti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tbl := New(Config{})
+	const n = 10000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k+1)
+	}
+	if tbl.Len() != n {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k+1 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestIncrementalMigrationHappens(t *testing.T) {
+	tbl := New(Config{MigrationBatch: 4})
+	// Fill until a resize starts.
+	k := uint64(1)
+	for !tbl.Migrating() {
+		tbl.Insert(k, k)
+		k++
+		if k > 1<<20 {
+			t.Fatal("resize never started")
+		}
+	}
+	if tbl.Resizes != 1 {
+		t.Fatalf("Resizes = %d", tbl.Resizes)
+	}
+	// During migration, all keys must remain visible.
+	for q := uint64(1); q < k; q++ {
+		if _, ok := tbl.Lookup(q); !ok {
+			t.Fatalf("key %d invisible during migration", q)
+		}
+	}
+	// Keep accessing until migration finishes; each access moves a batch.
+	steps := 0
+	for tbl.Migrating() {
+		tbl.Lookup(1)
+		steps++
+		if steps > 1<<20 {
+			t.Fatal("migration never finished")
+		}
+	}
+	if tbl.MovedEntries == 0 {
+		t.Fatal("no entries were migrated")
+	}
+	for q := uint64(1); q < k; q++ {
+		if v, ok := tbl.Lookup(q); !ok || v != q {
+			t.Fatalf("key %d broken after migration: %d,%v", q, v, ok)
+		}
+	}
+}
+
+func TestUpsertDuringMigration(t *testing.T) {
+	tbl := New(Config{MigrationBatch: 1})
+	k := uint64(1)
+	for !tbl.Migrating() {
+		tbl.Insert(k, k)
+		k++
+	}
+	// Upsert keys that still sit in the old table; Len must not grow.
+	before := tbl.Len()
+	for q := uint64(1); q < k && tbl.Migrating(); q++ {
+		tbl.Insert(q, q*100)
+	}
+	if tbl.Len() != before {
+		t.Fatalf("Len changed by upserts: %d -> %d", before, tbl.Len())
+	}
+	for q := uint64(1); q < k; q++ {
+		v, ok := tbl.Lookup(q)
+		if !ok || (v != q && v != q*100) {
+			t.Fatalf("key %d = %d,%v", q, v, ok)
+		}
+	}
+}
+
+func TestDeleteAcrossTables(t *testing.T) {
+	tbl := New(Config{MigrationBatch: 2})
+	k := uint64(1)
+	for !tbl.Migrating() {
+		tbl.Insert(k, k)
+		k++
+	}
+	// Delete every third key while migration is in flight.
+	deleted := map[uint64]bool{}
+	for q := uint64(1); q < k; q += 3 {
+		if !tbl.Delete(q) {
+			t.Fatalf("Delete(%d) failed mid-migration", q)
+		}
+		deleted[q] = true
+	}
+	for tbl.Migrating() {
+		tbl.Lookup(0)
+	}
+	for q := uint64(1); q < k; q++ {
+		_, ok := tbl.Lookup(q)
+		if deleted[q] && ok {
+			t.Fatalf("deleted key %d reappeared", q)
+		}
+		if !deleted[q] && !ok {
+			t.Fatalf("key %d lost", q)
+		}
+	}
+}
+
+func TestZeroKeyMigration(t *testing.T) {
+	tbl := New(Config{MigrationBatch: 1})
+	tbl.Insert(0, 42)
+	k := uint64(1)
+	for !tbl.Migrating() {
+		tbl.Insert(k, k)
+		k++
+	}
+	for tbl.Migrating() {
+		tbl.Lookup(5)
+	}
+	if v, ok := tbl.Lookup(0); !ok || v != 42 {
+		t.Fatalf("zero key after migration = %d,%v", v, ok)
+	}
+}
+
+func TestMultipleResizes(t *testing.T) {
+	tbl := New(Config{})
+	const n = 200000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k)
+	}
+	if tbl.Resizes < 2 {
+		t.Fatalf("Resizes = %d, want several", tbl.Resizes)
+	}
+	miss := 0
+	for k := uint64(0); k < n; k++ {
+		if v, ok := tbl.Lookup(k); !ok || v != k {
+			miss++
+		}
+	}
+	if miss != 0 {
+		t.Fatalf("%d keys broken after %d resizes", miss, tbl.Resizes)
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	tbl := New(Config{MigrationBatch: 3})
+	model := map[uint64]uint64{}
+	check := func(kRaw uint16, v uint64, op uint8) bool {
+		k := uint64(kRaw % 2048)
+		switch op % 4 {
+		case 0, 1:
+			tbl.Insert(k, v)
+			model[k] = v
+		case 2:
+			got, ok := tbl.Lookup(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if tbl.Delete(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

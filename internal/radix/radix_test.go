@@ -1,0 +1,245 @@
+package radix
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"vmshortcut/internal/pool"
+)
+
+func newMap(t testing.TB, cfg Config) (*pool.Pool, *Map) {
+	t.Helper()
+	p, err := pool.New(pool.Config{GrowChunkPages: 8, MaxPages: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		p.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close(); p.Close() })
+	return p, m
+}
+
+func TestSetGet(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 100000})
+	for k := uint64(0); k < 5000; k += 3 {
+		if err := m.Set(k, k*2); err != nil {
+			t.Fatalf("Set(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 5000; k++ {
+		v, ok := m.Get(k)
+		if k%3 == 0 {
+			if !ok || v != k*2 {
+				t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+			}
+		} else if ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestZeroValueIsStorable(t *testing.T) {
+	// Presence comes from the bitmap, so storing value 0 must work.
+	_, m := newMap(t, Config{Capacity: 1000})
+	m.Set(7, 0)
+	if v, ok := m.Get(7); !ok || v != 0 {
+		t.Fatalf("Get(7) = %d,%v, want 0,true", v, ok)
+	}
+}
+
+func TestShortcutAndTraditionalAgree(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 50000})
+	for k := uint64(0); k < 50000; k += 7 {
+		m.Set(k, k+1)
+	}
+	for k := uint64(0); k < 50000; k++ {
+		sv, sok := m.Get(k)
+		tv, tok := m.GetTraditional(k)
+		if sok != tok || sv != tv {
+			t.Fatalf("key %d: shortcut (%d,%v) != traditional (%d,%v)", k, sv, sok, tv, tok)
+		}
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 100})
+	if err := m.Set(100, 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Set out of range = %v", err)
+	}
+	if _, ok := m.Get(100); ok {
+		t.Fatal("Get out of range succeeded")
+	}
+	if m.Delete(100) {
+		t.Fatal("Delete out of range succeeded")
+	}
+	if err := m.Set(99, 1); err != nil {
+		t.Fatalf("Set(99): %v", err)
+	}
+}
+
+func TestLeafLifecycle(t *testing.T) {
+	p, m := newMap(t, Config{Capacity: 10 * EntriesPerLeaf})
+	before := p.Stats().UsedPages
+
+	// Fill one leaf's range.
+	base := uint64(3 * EntriesPerLeaf)
+	for i := uint64(0); i < EntriesPerLeaf; i++ {
+		m.Set(base+i, i)
+	}
+	if m.LeafAllocs != 1 {
+		t.Fatalf("LeafAllocs = %d, want 1", m.LeafAllocs)
+	}
+	if p.Stats().UsedPages != before+1 {
+		t.Fatalf("used pages = %d, want %d", p.Stats().UsedPages, before+1)
+	}
+	// Drain it: the page must go back to the pool.
+	for i := uint64(0); i < EntriesPerLeaf; i++ {
+		if !m.Delete(base + i) {
+			t.Fatalf("Delete(%d) failed", base+i)
+		}
+	}
+	if m.LeafFrees != 1 {
+		t.Fatalf("LeafFrees = %d, want 1", m.LeafFrees)
+	}
+	if p.Stats().UsedPages != before {
+		t.Fatalf("leaf page not returned: used = %d", p.Stats().UsedPages)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// The range must be reusable.
+	m.Set(base+5, 42)
+	if v, ok := m.Get(base + 5); !ok || v != 42 {
+		t.Fatal("slot not reusable after leaf free")
+	}
+}
+
+func TestOverwriteKeepsCount(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 1000})
+	m.Set(1, 10)
+	m.Set(1, 20)
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, _ := m.Get(1); v != 20 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestRangeAscending(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 5000})
+	keys := []uint64{4999, 3, 481, 962, 0}
+	for _, k := range keys {
+		m.Set(k, k+1)
+	}
+	var got []uint64
+	m.Range(func(k, v uint64) bool {
+		if v != k+1 {
+			t.Fatalf("Range saw (%d,%d)", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Range visited %d keys", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("Range not ascending")
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(k, v uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDisableShortcut(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 10000, DisableShortcut: true})
+	for k := uint64(0); k < 10000; k += 11 {
+		m.Set(k, k)
+	}
+	for k := uint64(0); k < 10000; k += 11 {
+		if v, ok := m.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestSlotsAccessor(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 10 * EntriesPerLeaf})
+	if m.Slots() != 10 {
+		t.Fatalf("Slots = %d, want 10", m.Slots())
+	}
+	_, m2 := newMap(t, Config{Capacity: 10*EntriesPerLeaf + 1})
+	if m2.Slots() != 11 {
+		t.Fatalf("Slots = %d, want 11 (round up)", m2.Slots())
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	_, m := newMap(t, Config{Capacity: 4096})
+	model := map[uint64]uint64{}
+	check := func(kRaw uint16, v uint64, op uint8) bool {
+		k := uint64(kRaw % 4096)
+		switch op % 4 {
+		case 0, 1:
+			if err := m.Set(k, v); err != nil {
+				return false
+			}
+			model[k] = v
+		case 2:
+			got, ok := m.Get(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if m.Delete(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return m.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRadixGet(b *testing.B) {
+	p, err := pool.New(pool.Config{MaxPages: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	const capacity = 1 << 22
+	m, err := New(p, Config{Capacity: capacity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for k := uint64(0); k < capacity; k += 16 {
+		m.Set(k, k)
+	}
+	rng := uint64(12345)
+	b.Run("Shortcut", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			m.Get((rng >> 11) % capacity)
+		}
+	})
+	b.Run("Traditional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			m.GetTraditional((rng >> 11) % capacity)
+		}
+	})
+}

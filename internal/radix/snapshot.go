@@ -1,0 +1,100 @@
+package radix
+
+// Snapshots for the radix map, mirroring eh's: occupied leaf pages plus
+// their slot numbers serialize to a compact self-contained stream.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/sys"
+)
+
+// snapshotMagic identifies and versions the radix snapshot format.
+const snapshotMagic = uint64(0x5643_5244_5853_0001) // "VCRDXS" v1
+
+// WriteSnapshot serializes the map: header, then (slot, page) pairs for
+// every occupied slot.
+func (m *Map) WriteSnapshot(w io.Writer) error {
+	occupied := 0
+	for _, r := range m.refs {
+		if r != pool.NoRef {
+			occupied++
+		}
+	}
+	hdr := []uint64{snapshotMagic, uint64(sys.PageSize()), m.cfg.Capacity,
+		uint64(m.count), uint64(occupied)}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("radix: snapshot header: %w", err)
+		}
+	}
+	for slot, r := range m.refs {
+		if r == pool.NoRef {
+			continue
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(slot)); err != nil {
+			return fmt.Errorf("radix: snapshot slot: %w", err)
+		}
+		if _, err := w.Write(m.pool.Page(r)); err != nil {
+			return fmt.Errorf("radix: snapshot page: %w", err)
+		}
+	}
+	return nil
+}
+
+// RestoreMap reads a snapshot produced by WriteSnapshot into a fresh map
+// backed by p. cfg.Capacity is taken from the snapshot; DisableShortcut is
+// honoured from cfg.
+func RestoreMap(p *pool.Pool, cfg Config, r io.Reader) (*Map, error) {
+	var hdr [5]uint64
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("radix: restore header: %w", err)
+	}
+	if hdr[0] != snapshotMagic {
+		return nil, fmt.Errorf("radix: restore: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != uint64(sys.PageSize()) {
+		return nil, fmt.Errorf("radix: restore: page size %d != host %d", hdr[1], sys.PageSize())
+	}
+	cfg.Capacity = hdr[2]
+	m, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	occupied := int(hdr[4])
+	for i := 0; i < occupied; i++ {
+		var slot uint64
+		if err := binary.Read(r, binary.LittleEndian, &slot); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("radix: restore slot: %w", err)
+		}
+		if slot >= uint64(m.slots) {
+			m.Close()
+			return nil, fmt.Errorf("radix: restore: slot %d out of %d", slot, m.slots)
+		}
+		ref, err := p.Alloc()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		if _, err := io.ReadFull(r, p.Page(ref)); err != nil {
+			p.Free(ref)
+			m.Close()
+			return nil, fmt.Errorf("radix: restore page: %w", err)
+		}
+		m.refs[slot] = ref
+		m.trad.Set(int(slot), ref)
+		if m.sc != nil {
+			if err := m.sc.Set(int(slot), ref, true); err != nil {
+				m.Close()
+				return nil, err
+			}
+		}
+		m.LeafAllocs++
+	}
+	m.count = int(hdr[3])
+	return m, nil
+}

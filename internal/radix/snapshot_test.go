@@ -1,0 +1,91 @@
+package radix
+
+import (
+	"bytes"
+	"testing"
+
+	"vmshortcut/internal/pool"
+)
+
+func newBarePool(t testing.TB) *pool.Pool {
+	t.Helper()
+	p, err := pool.New(pool.Config{GrowChunkPages: 8, MaxPages: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestRadixSnapshotRoundTrip(t *testing.T) {
+	_, src := newMap(t, Config{Capacity: 200000})
+	for k := uint64(0); k < 200000; k += 13 {
+		src.Set(k, k^7)
+	}
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	dst, err := RestoreMap(newBarePool(t), Config{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("RestoreMap: %v", err)
+	}
+	defer dst.Close()
+	if dst.Len() != src.Len() {
+		t.Fatalf("len %d != %d", dst.Len(), src.Len())
+	}
+	for k := uint64(0); k < 200000; k++ {
+		sv, sok := src.Get(k)
+		dv, dok := dst.Get(k)
+		if sok != dok || sv != dv {
+			t.Fatalf("key %d: src (%d,%v) dst (%d,%v)", k, sv, sok, dv, dok)
+		}
+	}
+	// Independence.
+	src.Set(0, 999)
+	if v, ok := dst.Get(0); ok && v == 999 {
+		t.Fatal("restored map aliases the source")
+	}
+}
+
+func TestRadixSnapshotRejectsGarbage(t *testing.T) {
+	p := newBarePool(t)
+	if _, err := RestoreMap(p, Config{}, bytes.NewReader([]byte("garbage stream here, not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated stream.
+	_, src := newMap(t, Config{Capacity: 10000})
+	for k := uint64(0); k < 10000; k += 3 {
+		src.Set(k, k)
+	}
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	if _, err := RestoreMap(p, Config{}, bytes.NewReader(buf.Bytes()[:buf.Len()/3])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestRadixSnapshotRestoredGrows(t *testing.T) {
+	_, src := newMap(t, Config{Capacity: 50000})
+	for k := uint64(0); k < 25000; k += 5 {
+		src.Set(k, k)
+	}
+	var buf bytes.Buffer
+	src.WriteSnapshot(&buf)
+	dst, err := RestoreMap(newBarePool(t), Config{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	// Keep writing into fresh and existing leaves.
+	for k := uint64(25000); k < 50000; k += 5 {
+		if err := dst.Set(k, k); err != nil {
+			t.Fatalf("post-restore Set(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 50000; k += 5 {
+		if v, ok := dst.Get(k); !ok || v != k {
+			t.Fatalf("post-restore Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

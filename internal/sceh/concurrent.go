@@ -1,0 +1,73 @@
+package sceh
+
+import (
+	"sync"
+	"time"
+
+	"vmshortcut/internal/pool"
+)
+
+// Concurrent wraps a Table behind a readers-writer lock, lifting the
+// paper's single-writer model to safe multi-goroutine use: any number of
+// concurrent Lookups, exclusive Insert/Delete. The mapper thread needs no
+// part in this locking — its interaction with readers is already race-free
+// through the version protocol — so reads scale until a writer arrives.
+type Concurrent struct {
+	mu sync.RWMutex
+	t  *Table
+}
+
+// NewConcurrent creates a concurrency-safe Shortcut-EH table.
+func NewConcurrent(p *pool.Pool, cfg Config) (*Concurrent, error) {
+	t, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{t: t}, nil
+}
+
+// Insert upserts (key, value) under the write lock.
+func (c *Concurrent) Insert(key, value uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Insert(key, value)
+}
+
+// Lookup returns the value stored for key under a read lock.
+func (c *Concurrent) Lookup(key uint64) (uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Lookup(key)
+}
+
+// Delete removes key under the write lock.
+func (c *Concurrent) Delete(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Delete(key)
+}
+
+// Len returns the number of stored entries.
+func (c *Concurrent) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Len()
+}
+
+// WaitSync blocks until the shortcut directory catches up (no lock held
+// while waiting; the mapper needs the table quiescent only logically).
+func (c *Concurrent) WaitSync(timeout time.Duration) bool { return c.t.WaitSync(timeout) }
+
+// Stats returns the underlying table's counters.
+func (c *Concurrent) Stats() Stats { return c.t.Stats() }
+
+// Table exposes the wrapped table for read-only inspection. The caller
+// must not mutate through it concurrently with this wrapper.
+func (c *Concurrent) Table() *Table { return c.t }
+
+// Close stops the mapper thread and releases the shortcut areas.
+func (c *Concurrent) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Close()
+}

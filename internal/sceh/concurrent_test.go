@@ -1,0 +1,105 @@
+package sceh
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vmshortcut/internal/workload"
+)
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	p := newPool(t)
+	c, err := NewConcurrent(p, Config{PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const writers = 2
+	const readers = 4
+	const perWriter = 15000
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	// Writers own disjoint key ranges; value == key.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * perWriter
+			for i := uint64(0); i < perWriter; i++ {
+				if err := c.Insert(base+i+1, base+i+1); err != nil {
+					errs <- err
+					return
+				}
+				if i%7 == 0 {
+					c.Delete(base + i/2 + 1)
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := workload.NewRNG(seed)
+			for i := 0; i < 40000; i++ {
+				k := uint64(rng.Intn(writers*perWriter)) + 1
+				if v, ok := c.Lookup(k); ok && v != k {
+					errs <- errValue(k, v)
+					return
+				}
+			}
+			errs <- nil
+		}(uint64(r + 100))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !c.WaitSync(10 * time.Second) {
+		t.Fatal("never synced")
+	}
+	// Verify all surviving keys (deletions removed some of the first half
+	// of each writer's range).
+	for w := 0; w < writers; w++ {
+		base := uint64(w) * perWriter
+		for i := uint64(perWriter/2 + 1); i < perWriter; i++ {
+			k := base + i + 1
+			if v, ok := c.Lookup(k); !ok || v != k {
+				t.Fatalf("key %d = %d,%v", k, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentLenAndStats(t *testing.T) {
+	p := newPool(t)
+	c, err := NewConcurrent(p, Config{PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for k := uint64(1); k <= 1000; k++ {
+		c.Insert(k, k)
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.WaitSync(5 * time.Second)
+	c.Lookup(5)
+	s := c.Stats()
+	if s.ShortcutLookups+s.TraditionalLookups == 0 {
+		t.Fatal("stats not wired through")
+	}
+	if c.Table().Len() != 1000 {
+		t.Fatal("Table() accessor broken")
+	}
+}

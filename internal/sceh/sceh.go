@@ -1,0 +1,528 @@
+// Package sceh implements Shortcut-EH (paper §4.1): extendible hashing
+// whose directory is additionally expressed as a shortcut in the page
+// table of the OS.
+//
+// The traditional pointer directory stays authoritative: every
+// directory-modifying operation is applied to it synchronously. A separate
+// mapper thread replays those modifications into a shortcut directory
+// asynchronously, driven by a concurrent lock-free FIFO queue of
+// maintenance requests:
+//
+//   - a bucket split enqueues an update request (remap the two affected
+//     slot ranges onto the two new bucket pages);
+//   - a directory doubling enqueues a create request (destroy the shortcut
+//     and build a new one from a snapshot of all slot refs) — pending
+//     update requests are superseded by it.
+//
+// Both directories carry version numbers. The shortcut's version advances
+// only after the page-table population of the replayed request completes,
+// so an in-sync shortcut never takes a page fault. Lookups route through
+// the shortcut only when (a) the versions match and (b) the average fan-in
+// is at most FanInThreshold (paper §3.2: high fan-in thrashes the TLB).
+package sceh
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmshortcut/internal/bucket"
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/fifo"
+	"vmshortcut/internal/hashfn"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/sys"
+)
+
+// pageShift converts a directory slot number into a byte offset inside a
+// shortcut directory (slot << pageShift).
+var pageShift = uint(log2(sys.PageSize()))
+
+// Config tunes Shortcut-EH. The zero value selects the paper's parameters.
+type Config struct {
+	// EH configures the underlying traditional extendible hash table.
+	EH eh.Config
+	// PollInterval is the mapper thread's queue polling frequency.
+	// Default 25ms (paper §4.1: "empirically determined 25ms to work
+	// well"). Tests and benchmarks shorten it.
+	PollInterval time.Duration
+	// FanInThreshold routes lookups through the shortcut only while the
+	// average directory fan-in is at most this. Default 8 (paper §4.1).
+	FanInThreshold float64
+	// AdaptiveRouting replaces the fixed fan-in threshold with online
+	// measurement: the router periodically times a window of lookups on
+	// each access path and prefers the faster one. The fan-in crossover
+	// is host-dependent (virtualized TLBs shift it far below the paper's
+	// 8–16), so measuring beats guessing on unknown hardware.
+	AdaptiveRouting bool
+	// Synchronous applies maintenance requests on the writer goroutine
+	// immediately instead of via the mapper thread. Ablation only: it
+	// exposes the full remap + TLB-shootdown cost to insertions.
+	Synchronous bool
+	// DisableShortcut routes every lookup through the traditional
+	// directory (turns Shortcut-EH back into EH; used by ablations).
+	DisableShortcut bool
+}
+
+func (c *Config) fill() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if c.FanInThreshold <= 0 {
+		c.FanInThreshold = 8
+	}
+}
+
+// request is one maintenance request on the queue.
+type request struct {
+	create  bool
+	version uint64
+
+	// update fields: remap [lo0,hi0) onto ref0 and [lo1,hi1) onto ref1.
+	lo0, hi0 uint64
+	ref0     pool.Ref
+	lo1, hi1 uint64
+	ref1     pool.Ref
+
+	// create fields: rebuild with 2^gd slots mapped onto refs.
+	gd   uint
+	refs []pool.Ref
+}
+
+// scState is the atomically published snapshot lookups read: the in-sync
+// shortcut directory base, its depth, and the version it reflects.
+type scState struct {
+	base    uintptr
+	gd      uint
+	version uint64
+}
+
+// Stats exposes counters for the experiments.
+type Stats struct {
+	ShortcutLookups    uint64 // lookups answered through the shortcut
+	TraditionalLookups uint64 // lookups answered through the pointer directory
+	UpdatesApplied     uint64 // update requests replayed
+	CreatesApplied     uint64 // create requests replayed
+	UpdatesSuperseded  uint64 // update requests dropped due to a newer create
+	Remaps             uint64 // mmap calls issued by the mapper
+}
+
+// Table is a Shortcut-EH index.
+//
+// Concurrency model (mirroring the paper §4.1): a single goroutine issues
+// Insert/Delete/Lookup; the mapper thread runs concurrently and only
+// touches the shortcut directory. Additional goroutines may call Lookup
+// concurrently with the mapper while the writer is quiescent — the version
+// check, shortcut publication, and retirement of old generations are all
+// race-free. Lookups concurrent with Insert/Delete require external
+// synchronization, exactly as in the original C++ prototype.
+type Table struct {
+	cfg  Config
+	pool *pool.Pool
+	eh   *eh.Table
+
+	queue   *fifo.Queue[request]
+	tradVer atomic.Uint64
+	fanIn   atomic.Uint64 // float64 bits of the current average fan-in
+
+	published atomic.Pointer[scState]
+
+	// mapper-owned state
+	sc      *core.Shortcut
+	retired []*core.Shortcut // previous generations, unmapped lazily
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	scLookups   atomic.Uint64
+	tradLookups atomic.Uint64
+	updates     atomic.Uint64
+	creates     atomic.Uint64
+	superseded  atomic.Uint64
+	remaps      atomic.Uint64
+
+	// adaptive-routing state (see lookupAdaptive)
+	adaptN      atomic.Uint64
+	adaptT0     atomic.Int64
+	adaptSCNS   atomic.Int64
+	adaptPrefSC atomic.Bool
+}
+
+// Adaptive routing window sizes: every adaptPeriod lookups, one sample
+// window per path is timed and the preference re-decided.
+const (
+	adaptPeriod = 1 << 14
+	adaptSample = 1 << 9
+)
+
+// New creates a Shortcut-EH table over the given page pool and starts its
+// mapper thread (unless cfg.Synchronous).
+func New(p *pool.Pool, cfg Config) (*Table, error) {
+	cfg.fill()
+	inner, err := eh.New(p, cfg.EH)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		cfg:   cfg,
+		pool:  p,
+		eh:    inner,
+		queue: fifo.New[request](),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	t.storeFanIn(inner.AvgFanIn())
+	t.tradVer.Store(inner.Version()) // pre-sized directories start above 0
+	inner.SetEventFunc(t.onEvent)
+
+	// Build the initial shortcut synchronously so lookups can use it from
+	// the start.
+	if err := t.applyCreate(request{
+		create:  true,
+		version: inner.Version(),
+		gd:      inner.GlobalDepth(),
+		refs:    inner.Refs(),
+	}); err != nil {
+		return nil, fmt.Errorf("sceh: building initial shortcut: %w", err)
+	}
+	if !cfg.Synchronous {
+		go t.mapperLoop()
+	} else {
+		close(t.done)
+	}
+	return t, nil
+}
+
+// onEvent runs synchronously on the writer goroutine after each directory
+// modification of the traditional table.
+func (t *Table) onEvent(e eh.Event) {
+	var req request
+	switch ev := e.(type) {
+	case eh.SplitEvent:
+		req = request{
+			version: ev.Version,
+			lo0:     ev.Lo0, hi0: ev.Hi0, ref0: ev.Ref0,
+			lo1: ev.Lo1, hi1: ev.Hi1, ref1: ev.Ref1,
+		}
+	case eh.MergeEvent:
+		// A merge remaps one slot range onto the coalesced bucket; the
+		// second range of the request stays empty.
+		req = request{
+			version: ev.Version,
+			lo0:     ev.Lo, hi0: ev.Hi, ref0: ev.Ref,
+		}
+	case eh.DoubleEvent:
+		req = request{create: true, version: ev.Version, gd: ev.GlobalDepth, refs: ev.Refs}
+	case eh.HalveEvent:
+		// Halving shrinks the directory: rebuild the shortcut from the
+		// snapshot, exactly like a doubling.
+		req = request{create: true, version: ev.Version, gd: ev.GlobalDepth, refs: ev.Refs}
+	}
+	t.storeFanIn(t.eh.AvgFanIn())
+	if t.cfg.Synchronous {
+		t.tradVer.Store(req.version)
+		t.apply(req)
+		return
+	}
+	t.queue.Push(req)
+	// Publish the new traditional version last: once lookups observe it,
+	// the shortcut is considered stale until the mapper catches up.
+	t.tradVer.Store(req.version)
+}
+
+// mapperLoop is the mapper thread: it polls the request queue at the
+// configured frequency and replays pending modifications into the shortcut
+// directory (paper §4.1).
+func (t *Table) mapperLoop() {
+	// The mapper performs a continuous stream of mmap syscalls and is the
+	// thread TLB shootdowns penalize; pin it to an OS thread like the
+	// paper's dedicated mapper thread.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			// Final drain so WaitSync during shutdown can still succeed.
+			t.drainAndApply()
+			return
+		case <-ticker.C:
+			t.drainAndApply()
+		}
+	}
+}
+
+// drainAndApply replays every pending request. Update requests older than
+// a pending create request became outdated the moment the directory
+// doubled; they are dropped, mirroring the paper's "pop all pending update
+// requests" before pushing a create.
+func (t *Table) drainAndApply() {
+	reqs := t.queue.Drain()
+	if len(reqs) == 0 {
+		return
+	}
+	lastCreate := -1
+	for i, r := range reqs {
+		if r.create {
+			lastCreate = i
+		}
+	}
+	for i, r := range reqs {
+		if i < lastCreate && !r.create {
+			t.superseded.Add(1)
+			continue
+		}
+		t.apply(r)
+	}
+}
+
+// apply replays one request and publishes the resulting shortcut state.
+func (t *Table) apply(r request) {
+	if r.create {
+		if err := t.applyCreate(r); err != nil {
+			// Leave the shortcut stale; lookups keep using the
+			// traditional directory. The next create retries from a
+			// fresh snapshot.
+			return
+		}
+		return
+	}
+	if t.sc == nil {
+		return
+	}
+	// Remap the two slot ranges onto the split buckets. Every slot in a
+	// range maps onto the same physical page, so the calls cannot
+	// coalesce — this is the fan-in situation of paper §3.2.
+	for s := r.lo0; s < r.hi0; s++ {
+		if err := t.sc.Set(int(s), r.ref0, true); err != nil {
+			return
+		}
+		t.remaps.Add(1)
+	}
+	for s := r.lo1; s < r.hi1; s++ {
+		if err := t.sc.Set(int(s), r.ref1, true); err != nil {
+			return
+		}
+		t.remaps.Add(1)
+	}
+	t.updates.Add(1)
+	// MAP_POPULATE installed the page-table entries during the remaps, so
+	// the version can advance immediately (paper §4.1: populate before
+	// bumping the version).
+	t.publish(r.version)
+}
+
+// applyCreate destroys the current shortcut directory and builds a new one
+// from the snapshot in r (paper §4.1, directory doubling).
+func (t *Table) applyCreate(r request) error {
+	sc, err := core.NewShortcut(t.pool, 1<<r.gd)
+	if err != nil {
+		return err
+	}
+	calls, err := sc.SetAll(r.refs, true)
+	if err != nil {
+		sc.Close()
+		return err
+	}
+	t.remaps.Add(uint64(calls))
+
+	// Retire the previous generation instead of unmapping it immediately:
+	// a concurrent lookup that just passed its version check may still be
+	// dereferencing the old base. By the time two further creates have
+	// happened (two poll intervals at minimum), any such lookup has long
+	// finished; only then is the area reclaimed.
+	if t.sc != nil {
+		t.retired = append(t.retired, t.sc)
+		if len(t.retired) > 2 {
+			t.retired[0].Close()
+			t.retired = t.retired[1:]
+		}
+	}
+	t.sc = sc
+	t.creates.Add(1)
+	t.publish(r.version)
+	return nil
+}
+
+func (t *Table) publish(version uint64) {
+	t.published.Store(&scState{base: t.sc.Base(), gd: uint(log2(t.sc.Slots())), version: version})
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func (t *Table) storeFanIn(f float64) { t.fanIn.Store(math.Float64bits(f)) }
+
+func (t *Table) loadFanIn() float64 { return math.Float64frombits(t.fanIn.Load()) }
+
+// Insert upserts (key, value). Directory modifications are applied to the
+// traditional directory synchronously and to the shortcut asynchronously.
+func (t *Table) Insert(key, value uint64) error {
+	return t.eh.Insert(key, value)
+}
+
+// Lookup returns the value stored for key. It routes through the shortcut
+// directory when it is in sync and the fan-in permits (or, with
+// AdaptiveRouting, when the shortcut path measured faster), and through
+// the traditional directory otherwise.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	if !t.cfg.DisableShortcut {
+		st := t.published.Load()
+		if st != nil && st.version == t.tradVer.Load() {
+			if t.cfg.AdaptiveRouting {
+				if t.adaptWantShortcut() {
+					return t.lookupVia(st, key)
+				}
+			} else if t.loadFanIn() <= t.cfg.FanInThreshold {
+				return t.lookupVia(st, key)
+			}
+		}
+	}
+	t.tradLookups.Add(1)
+	return t.eh.Lookup(key)
+}
+
+// lookupVia answers through the in-sync shortcut directory st.
+func (t *Table) lookupVia(st *scState, key uint64) (uint64, bool) {
+	h := hashfn.Hash(key)
+	slot := hashfn.DirIndex(h, st.gd)
+	t.scLookups.Add(1)
+	return bucket.ViewAddr(st.base + uintptr(slot)<<pageShift).Lookup(key)
+}
+
+// adaptWantShortcut implements the measuring router: lookups 0..adaptSample
+// of each period run via the shortcut, the next adaptSample via the
+// traditional directory, both windows are wall-clock timed, and the rest
+// of the period follows the winner. Timing is approximate under
+// concurrency — windows may interleave with inserts — but the decision
+// re-converges every period.
+func (t *Table) adaptWantShortcut() bool {
+	n := t.adaptN.Add(1) % adaptPeriod
+	switch {
+	case n == 1:
+		t.adaptT0.Store(time.Now().UnixNano())
+		return true
+	case n < adaptSample:
+		return true
+	case n == adaptSample:
+		now := time.Now().UnixNano()
+		t.adaptSCNS.Store(now - t.adaptT0.Load())
+		t.adaptT0.Store(now)
+		return false
+	case n < 2*adaptSample:
+		return false
+	case n == 2*adaptSample:
+		now := time.Now().UnixNano()
+		t.adaptPrefSC.Store(now-t.adaptT0.Load() >= t.adaptSCNS.Load())
+		return t.adaptPrefSC.Load()
+	default:
+		return t.adaptPrefSC.Load()
+	}
+}
+
+// LookupShortcut forces the shortcut path (benchmarks; caller must ensure
+// the table is in sync, e.g. via WaitSync).
+func (t *Table) LookupShortcut(key uint64) (uint64, bool) {
+	st := t.published.Load()
+	h := hashfn.Hash(key)
+	slot := hashfn.DirIndex(h, st.gd)
+	return bucket.ViewAddr(st.base + uintptr(slot)<<pageShift).Lookup(key)
+}
+
+// Delete removes key. With merging disabled (the paper's configuration)
+// bucket contents are shared physical pages and no shortcut maintenance is
+// needed; with Config.EH.MergeLoadFactor set, merges and halvings are
+// replayed like any other directory modification.
+func (t *Table) Delete(key uint64) bool {
+	if t.cfg.EH.MergeLoadFactor > 0 {
+		return t.eh.DeleteAndMerge(key)
+	}
+	return t.eh.Delete(key)
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.eh.Len() }
+
+// EH exposes the underlying traditional table (read-only use).
+func (t *Table) EH() *eh.Table { return t.eh }
+
+// TradVersion returns the traditional directory's version number.
+func (t *Table) TradVersion() uint64 { return t.tradVer.Load() }
+
+// ShortcutVersion returns the version the shortcut directory reflects.
+func (t *Table) ShortcutVersion() uint64 {
+	if st := t.published.Load(); st != nil {
+		return st.version
+	}
+	return 0
+}
+
+// InSync reports whether the shortcut directory has caught up.
+func (t *Table) InSync() bool { return t.ShortcutVersion() == t.tradVer.Load() }
+
+// UsingShortcut reports whether the next lookup would take the shortcut.
+func (t *Table) UsingShortcut() bool {
+	return !t.cfg.DisableShortcut && t.InSync() && t.loadFanIn() <= t.cfg.FanInThreshold
+}
+
+// AvgFanIn returns the current average directory fan-in.
+func (t *Table) AvgFanIn() float64 { return t.loadFanIn() }
+
+// WaitSync blocks until the shortcut directory is in sync or the timeout
+// elapses, reporting success.
+func (t *Table) WaitSync(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for !t.InSync() {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		ShortcutLookups:    t.scLookups.Load(),
+		TraditionalLookups: t.tradLookups.Load(),
+		UpdatesApplied:     t.updates.Load(),
+		CreatesApplied:     t.creates.Load(),
+		UpdatesSuperseded:  t.superseded.Load(),
+		Remaps:             t.remaps.Load(),
+	}
+}
+
+// Close stops the mapper thread and releases all shortcut virtual areas.
+// The underlying pool and its bucket pages belong to the caller.
+func (t *Table) Close() error {
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+	var firstErr error
+	for _, r := range t.retired {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.retired = nil
+	if t.sc != nil {
+		if err := t.sc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		t.sc = nil
+	}
+	return firstErr
+}

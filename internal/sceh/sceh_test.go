@@ -1,0 +1,456 @@
+package sceh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/pool"
+)
+
+func newPool(t testing.TB) *pool.Pool {
+	t.Helper()
+	p, err := pool.New(pool.Config{GrowChunkPages: 32, MaxPages: 1 << 18})
+	if err != nil {
+		t.Fatalf("pool.New: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func newTable(t testing.TB, cfg Config) *Table {
+	t.Helper()
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = time.Millisecond
+	}
+	tbl, err := New(newPool(t), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { tbl.Close() })
+	return tbl
+}
+
+func TestFreshTableInSync(t *testing.T) {
+	tbl := newTable(t, Config{})
+	if !tbl.InSync() {
+		t.Fatal("fresh table should be in sync")
+	}
+	if !tbl.UsingShortcut() {
+		t.Fatal("fresh table should route through the shortcut")
+	}
+	if _, ok := tbl.Lookup(1); ok {
+		t.Fatal("phantom key")
+	}
+	s := tbl.Stats()
+	if s.ShortcutLookups != 1 || s.TraditionalLookups != 0 {
+		t.Fatalf("lookup routing stats: %+v", s)
+	}
+}
+
+func TestInsertLookupThroughShortcut(t *testing.T) {
+	tbl := newTable(t, Config{})
+	const n = 30000
+	for k := uint64(0); k < n; k++ {
+		if err := tbl.Insert(k, k^0xFF); err != nil {
+			t.Fatalf("Insert(%d): %v", k, err)
+		}
+	}
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatalf("shortcut never synced: trad=%d sc=%d",
+			tbl.TradVersion(), tbl.ShortcutVersion())
+	}
+	if !tbl.UsingShortcut() {
+		t.Fatalf("should use shortcut: fan-in=%f", tbl.AvgFanIn())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k^0xFF {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	s := tbl.Stats()
+	if s.ShortcutLookups == 0 {
+		t.Fatal("no lookups went through the shortcut")
+	}
+	if s.CreatesApplied == 0 {
+		t.Fatal("directory doublings should have triggered creates")
+	}
+}
+
+func TestShortcutAndTraditionalAgree(t *testing.T) {
+	tbl := newTable(t, Config{})
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k*2654435761+1, k)
+	}
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatal("never synced")
+	}
+	for k := uint64(0); k < n; k++ {
+		key := k*2654435761 + 1
+		sv, sok := tbl.LookupShortcut(key)
+		tv, tok := tbl.EH().Lookup(key)
+		if sok != tok || sv != tv {
+			t.Fatalf("key %d: shortcut (%d,%v) != traditional (%d,%v)", key, sv, sok, tv, tok)
+		}
+	}
+}
+
+func TestOutOfSyncFallsBackToTraditional(t *testing.T) {
+	// A long poll interval keeps the shortcut stale after inserts, so
+	// lookups must route through the traditional directory and still be
+	// correct.
+	tbl := newTable(t, Config{PollInterval: time.Hour})
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k+7)
+	}
+	if tbl.InSync() {
+		t.Skip("no directory modification happened (impossible at this n)")
+	}
+	if tbl.UsingShortcut() {
+		t.Fatal("stale shortcut must not be used")
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k+7 {
+			t.Fatalf("fallback Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	s := tbl.Stats()
+	if s.ShortcutLookups != 0 {
+		t.Fatalf("%d lookups used a stale shortcut", s.ShortcutLookups)
+	}
+}
+
+func TestVersionsAdvanceMonotonically(t *testing.T) {
+	tbl := newTable(t, Config{})
+	lastSc := uint64(0)
+	for k := uint64(0); k < 30000; k++ {
+		tbl.Insert(k, k)
+		if sv := tbl.ShortcutVersion(); sv < lastSc {
+			t.Fatalf("shortcut version went backwards: %d -> %d", lastSc, sv)
+		} else {
+			lastSc = sv
+		}
+		if tbl.ShortcutVersion() > tbl.TradVersion() {
+			t.Fatal("shortcut version ahead of traditional")
+		}
+	}
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatal("never synced")
+	}
+	if tbl.ShortcutVersion() != tbl.TradVersion() {
+		t.Fatal("versions differ after sync")
+	}
+}
+
+func TestSynchronousMode(t *testing.T) {
+	tbl := newTable(t, Config{Synchronous: true})
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		tbl.Insert(k, k*2)
+	}
+	// Synchronous maintenance keeps the shortcut permanently in sync.
+	if !tbl.InSync() {
+		t.Fatalf("synchronous table out of sync: trad=%d sc=%d",
+			tbl.TradVersion(), tbl.ShortcutVersion())
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := tbl.Lookup(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestDisableShortcut(t *testing.T) {
+	tbl := newTable(t, Config{DisableShortcut: true})
+	for k := uint64(0); k < 5000; k++ {
+		tbl.Insert(k, k)
+	}
+	tbl.WaitSync(5 * time.Second)
+	for k := uint64(0); k < 5000; k++ {
+		if _, ok := tbl.Lookup(k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if s := tbl.Stats(); s.ShortcutLookups != 0 {
+		t.Fatalf("disabled shortcut served %d lookups", s.ShortcutLookups)
+	}
+}
+
+func TestFanInThresholdRouting(t *testing.T) {
+	// Pre-size the directory so global depth is large while only one
+	// bucket exists: fan-in = dirSize, far above the threshold.
+	tbl := newTable(t, Config{EH: ehInitial(6)})
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatal("never synced")
+	}
+	if tbl.AvgFanIn() != 64 {
+		t.Fatalf("fan-in = %f, want 64", tbl.AvgFanIn())
+	}
+	if tbl.UsingShortcut() {
+		t.Fatal("fan-in 64 must route traditionally")
+	}
+	tbl.Insert(1, 2)
+	if v, ok := tbl.Lookup(1); !ok || v != 2 {
+		t.Fatal("lookup misrouted")
+	}
+	if s := tbl.Stats(); s.ShortcutLookups != 0 {
+		t.Fatal("shortcut used despite fan-in")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tbl := newTable(t, Config{})
+	for k := uint64(0); k < 10000; k++ {
+		tbl.Insert(k, k)
+	}
+	tbl.WaitSync(5 * time.Second)
+	for k := uint64(0); k < 10000; k += 2 {
+		if !tbl.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	// Deletes do not touch the directory: still in sync, and the shortcut
+	// must observe the removals (shared physical pages).
+	if !tbl.InSync() {
+		t.Fatal("delete desynced the directory")
+	}
+	for k := uint64(0); k < 10000; k++ {
+		_, ok := tbl.LookupShortcut(k)
+		if k%2 == 0 && ok {
+			t.Fatalf("deleted key %d visible through shortcut", k)
+		}
+		if k%2 == 1 && !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if tbl.Len() != 5000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestConcurrentLookupsDuringMapperReplay(t *testing.T) {
+	// The paper's concurrency model: one writer goroutine (which also
+	// issues its own lookups) plus the mapper thread. Here readers race
+	// against the *mapper* while it is still replaying a burst of
+	// directory modifications — exercising the version check, the atomic
+	// publication of new shortcut generations, and the deferred unmap of
+	// retired ones. Run with -race.
+	tbl := newTable(t, Config{PollInterval: 2 * time.Millisecond})
+	const n = 60000
+	// Writer phase: create a large backlog of maintenance requests.
+	for k := uint64(0); k < n; k++ {
+		if err := tbl.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reader phase: writer is quiet, mapper is (likely) still replaying.
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50000; i++ {
+				k := uint64(rng.Intn(n))
+				v, ok := tbl.Lookup(k)
+				if !ok || v != k {
+					errs <- errValue(k, v)
+					return
+				}
+			}
+			errs <- nil
+		}(int64(r))
+	}
+	for r := 0; r < 4; r++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatal("never synced after concurrent phase")
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := tbl.Lookup(k); !ok || v != k {
+			t.Fatalf("post-phase Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+type valueErr struct{ k, v uint64 }
+
+func (e valueErr) Error() string { return "wrong value" }
+
+func errValue(k, v uint64) error { return valueErr{k, v} }
+
+func TestSupersededUpdates(t *testing.T) {
+	// With a slow mapper, doublings arrive while updates are still queued;
+	// the mapper must drop the superseded ones and still converge.
+	tbl := newTable(t, Config{PollInterval: 50 * time.Millisecond})
+	for k := uint64(0); k < 50000; k++ {
+		tbl.Insert(k, k)
+	}
+	if !tbl.WaitSync(10 * time.Second) {
+		t.Fatal("never synced")
+	}
+	s := tbl.Stats()
+	if s.UpdatesSuperseded == 0 {
+		t.Log("no updates were superseded (mapper kept up); acceptable but unusual")
+	}
+	for k := uint64(0); k < 50000; k += 97 {
+		if v, ok := tbl.Lookup(k); !ok || v != k {
+			t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndStopsMapper(t *testing.T) {
+	p := newPool(t)
+	tbl, err := New(p, Config{PollInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		tbl.Insert(k, k)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestQuickModelEquivalence: random op streams against a map model, with
+// sync waits sprinkled in so both access paths get exercised.
+func TestQuickModelEquivalence(t *testing.T) {
+	tbl := newTable(t, Config{PollInterval: time.Millisecond})
+	model := map[uint64]uint64{}
+	ops := 0
+
+	check := func(kRaw uint16, v uint64, opRaw uint8) bool {
+		k := uint64(kRaw % 4096)
+		ops++
+		if ops%500 == 0 {
+			tbl.WaitSync(2 * time.Second)
+		}
+		switch opRaw % 4 {
+		case 0, 1:
+			if err := tbl.Insert(k, v); err != nil {
+				return false
+			}
+			model[k] = v
+		case 2:
+			got, ok := tbl.Lookup(k)
+			want, mok := model[k]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 3:
+			_, mok := model[k]
+			if tbl.Delete(k) != mok {
+				return false
+			}
+			delete(model, k)
+		}
+		return tbl.Len() == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ehInitial builds an eh.Config with the given initial global depth.
+func ehInitial(gd uint) (c eh.Config) {
+	c.InitialGlobalDepth = gd
+	return
+}
+
+func TestAdaptiveRoutingCorrectAndSamplesBothPaths(t *testing.T) {
+	tbl := newTable(t, Config{AdaptiveRouting: true})
+	const n = 30000
+	for k := uint64(1); k <= n; k++ {
+		tbl.Insert(k, k*3)
+	}
+	if !tbl.WaitSync(5 * time.Second) {
+		t.Fatal("never synced")
+	}
+	// Enough lookups to cross several adaptation periods.
+	for round := 0; round < 5; round++ {
+		for k := uint64(1); k <= n; k++ {
+			v, ok := tbl.Lookup(k)
+			if !ok || v != k*3 {
+				t.Fatalf("adaptive Lookup(%d) = %d,%v", k, v, ok)
+			}
+		}
+	}
+	s := tbl.Stats()
+	if s.ShortcutLookups == 0 || s.TraditionalLookups == 0 {
+		t.Fatalf("adaptive router never sampled both paths: %+v", s)
+	}
+	// The steady-state path must dominate the sampling windows.
+	total := s.ShortcutLookups + s.TraditionalLookups
+	if s.ShortcutLookups < total/10 && s.TraditionalLookups < total/10 {
+		t.Fatalf("no dominant path emerged: %+v", s)
+	}
+}
+
+func TestAdaptiveRoutingFallsBackWhenStale(t *testing.T) {
+	tbl := newTable(t, Config{AdaptiveRouting: true, PollInterval: time.Hour})
+	for k := uint64(1); k <= 20000; k++ {
+		tbl.Insert(k, k)
+	}
+	if tbl.InSync() {
+		t.Skip("table unexpectedly in sync")
+	}
+	for k := uint64(1); k <= 20000; k++ {
+		if v, ok := tbl.Lookup(k); !ok || v != k {
+			t.Fatalf("stale adaptive Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if s := tbl.Stats(); s.ShortcutLookups != 0 {
+		t.Fatalf("stale shortcut used %d times", s.ShortcutLookups)
+	}
+}
+
+func TestMergingRepliesThroughShortcut(t *testing.T) {
+	// With merging enabled, deletes trigger merges and halvings that the
+	// mapper must replay; lookups through the shortcut stay correct
+	// through grow-then-shrink cycles.
+	tbl := newTable(t, Config{EH: eh.Config{MergeLoadFactor: 0.1}})
+	const n = 30000
+	for k := uint64(1); k <= n; k++ {
+		tbl.Insert(k, k)
+	}
+	gdGrown := tbl.EH().GlobalDepth()
+	for k := uint64(1); k <= n; k++ {
+		if k%5 != 0 {
+			if !tbl.Delete(k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+		}
+	}
+	if tbl.EH().Merges == 0 {
+		t.Fatal("no merges under 80% deletion")
+	}
+	if !tbl.WaitSync(10 * time.Second) {
+		t.Fatalf("never synced after merges: trad=%d sc=%d",
+			tbl.TradVersion(), tbl.ShortcutVersion())
+	}
+	if tbl.EH().GlobalDepth() >= gdGrown {
+		t.Logf("directory did not halve (gd %d); acceptable if depth histogram blocks it", gdGrown)
+	}
+	for k := uint64(1); k <= n; k++ {
+		v, ok := tbl.Lookup(k)
+		if k%5 == 0 && (!ok || v != k) {
+			t.Fatalf("survivor %d = %d,%v", k, v, ok)
+		}
+		if k%5 != 0 && ok {
+			t.Fatalf("deleted key %d visible", k)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package sys
+
+import "testing"
+
+// The tmpfs fallback is only reached on kernels without memfd_create, so
+// exercise it directly: it must behave like a main-memory file.
+func TestTmpfsFallbackBehavesLikeMemfd(t *testing.T) {
+	fd, err := tmpfsFile("sys-fallback-test")
+	if err != nil {
+		t.Fatalf("tmpfsFile: %v", err)
+	}
+	defer CloseFD(fd)
+	ps := PageSize()
+	if err := Ftruncate(fd, int64(2*ps)); err != nil {
+		t.Fatalf("Ftruncate: %v", err)
+	}
+	win, err := MapSharedNew(2*ps, fd, 0, true)
+	if err != nil {
+		t.Fatalf("MapSharedNew: %v", err)
+	}
+	defer Unmap(win, 2*ps)
+	Bytes(win, ps)[0] = 42
+
+	// Rewiring must work over the fallback file too.
+	area, err := ReserveAnon(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Unmap(area, ps)
+	if err := MapShared(area, ps, fd, 0, true); err != nil {
+		t.Fatalf("MapShared over fallback: %v", err)
+	}
+	if Bytes(area, ps)[0] != 42 {
+		t.Fatal("fallback file does not alias")
+	}
+}
+
+func TestTmpfsFallbackUniqueNames(t *testing.T) {
+	a, err := tmpfsFile("sys-dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseFD(a)
+	// The file is unlinked immediately, so the same name is reusable.
+	b, err := tmpfsFile("sys-dup")
+	if err != nil {
+		t.Fatalf("second tmpfsFile with same name: %v", err)
+	}
+	CloseFD(b)
+}
+
+func TestReserveNone(t *testing.T) {
+	ps := PageSize()
+	addr, err := ReserveNone(4 * ps)
+	if err != nil {
+		t.Fatalf("ReserveNone: %v", err)
+	}
+	defer Unmap(addr, 4*ps)
+	// PROT_NONE area: becomes usable once rewired.
+	fd, err := MemfdCreate("sys-none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseFD(fd)
+	if err := Ftruncate(fd, int64(ps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := MapShared(addr+uintptr(ps), ps, fd, 0, true); err != nil {
+		t.Fatalf("MapShared into PROT_NONE window: %v", err)
+	}
+	Bytes(addr+uintptr(ps), ps)[0] = 7
+	if Bytes(addr+uintptr(ps), ps)[0] != 7 {
+		t.Fatal("rewired window page unusable")
+	}
+}
+
+func TestStatDir(t *testing.T) {
+	if ok, err := statDir("/tmp"); err != nil || !ok {
+		t.Fatalf("statDir(/tmp) = %v, %v", ok, err)
+	}
+	if ok, _ := statDir("/etc/hostname"); ok {
+		t.Fatal("file reported as directory")
+	}
+	if _, err := statDir("/does/not/exist"); err == nil {
+		t.Fatal("missing path accepted")
+	}
+}

@@ -1,0 +1,70 @@
+//go:build linux
+
+package sys
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// Real 2 MB huge-page support — the paper's future-work direction on
+// actual hardware: a main-memory file backed by the hugetlb pool, mapped
+// with 2 MB translations, multiplies TLB reach by 512 and shortens every
+// page walk by one level. Requires a configured pool
+// (sysctl vm.nr_hugepages > 0); callers must handle ErrNoHugePages.
+
+const (
+	mfdHugetlb  = 0x0004
+	mapHugetlb  = 0x40000
+	hugePageLog = 21
+)
+
+// HugePageSize is the huge page size used by the helpers below (2 MB).
+const HugePageSize = 1 << hugePageLog
+
+// ErrNoHugePages is returned when the kernel's hugetlb pool cannot back
+// the request (vm.nr_hugepages unset or exhausted).
+var ErrNoHugePages = fmt.Errorf("sys: hugetlb pool unavailable (set vm.nr_hugepages)")
+
+// MemfdCreateHuge creates a main-memory file backed by 2 MB huge pages.
+func MemfdCreateHuge(name string) (int, error) {
+	if err := injected(OpMemfdCreate); err != nil {
+		return -1, errOp(OpMemfdCreate, err)
+	}
+	p, err := syscall.BytePtrFromString(name)
+	if err != nil {
+		return -1, errOp(OpMemfdCreate, err)
+	}
+	fd, _, errno := syscall.Syscall(sysMemfdCreate, uintptr(unsafe.Pointer(p)), mfdHugetlb, 0)
+	if errno == syscall.EINVAL || errno == syscall.ENOSYS {
+		return -1, ErrNoHugePages
+	}
+	if errno != 0 {
+		return -1, errOp(OpMemfdCreate, errno)
+	}
+	return int(fd), nil
+}
+
+// MapSharedHuge maps length bytes (a multiple of HugePageSize) of the
+// hugetlb-backed file fd at a kernel-chosen address with 2 MB
+// translations, pre-faulting the pages. Fails with ErrNoHugePages when
+// the pool cannot satisfy the request.
+func MapSharedHuge(length int, fd int, off int64) (uintptr, error) {
+	if err := injected(OpMapShared); err != nil {
+		return 0, errOp(OpMapShared, err)
+	}
+	if length%HugePageSize != 0 {
+		return 0, fmt.Errorf("sys: huge mapping length %d not a multiple of %d", length, HugePageSize)
+	}
+	addr, _, errno := syscall.Syscall6(syscall.SYS_MMAP, 0, uintptr(length),
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_SHARED|mapHugetlb|mapPopulate, uintptr(fd), uintptr(off))
+	if errno == syscall.ENOMEM || errno == syscall.EINVAL {
+		return 0, ErrNoHugePages
+	}
+	if errno != 0 {
+		return 0, errOp(OpMapShared, errno)
+	}
+	return addr, nil
+}

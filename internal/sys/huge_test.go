@@ -1,0 +1,76 @@
+package sys
+
+import (
+	"errors"
+	"testing"
+)
+
+// hugeAvailable reports whether the kernel's hugetlb pool can satisfy a
+// single 2 MB mapping right now.
+func hugeAvailable(t *testing.T) (int, uintptr, bool) {
+	t.Helper()
+	fd, err := MemfdCreateHuge("sys-huge-test")
+	if errors.Is(err, ErrNoHugePages) {
+		return 0, 0, false
+	}
+	if err != nil {
+		t.Fatalf("MemfdCreateHuge: %v", err)
+	}
+	if err := Ftruncate(fd, HugePageSize); err != nil {
+		CloseFD(fd)
+		t.Fatalf("Ftruncate huge: %v", err)
+	}
+	addr, err := MapSharedHuge(HugePageSize, fd, 0)
+	if errors.Is(err, ErrNoHugePages) {
+		CloseFD(fd)
+		return 0, 0, false
+	}
+	if err != nil {
+		CloseFD(fd)
+		t.Fatalf("MapSharedHuge: %v", err)
+	}
+	return fd, addr, true
+}
+
+func TestHugeMappingReadWrite(t *testing.T) {
+	fd, addr, ok := hugeAvailable(t)
+	if !ok {
+		t.Skip("hugetlb pool unavailable (vm.nr_hugepages = 0)")
+	}
+	defer CloseFD(fd)
+	defer Unmap(addr, HugePageSize)
+
+	w := Words(addr, HugePageSize/8)
+	w[0] = 0xAB
+	w[len(w)-1] = 0xCD
+	if w[0] != 0xAB || w[len(w)-1] != 0xCD {
+		t.Fatal("huge mapping not read/writable across its extent")
+	}
+
+	// A second mapping of the same file must alias the same memory.
+	addr2, err := MapSharedHuge(HugePageSize, fd, 0)
+	if errors.Is(err, ErrNoHugePages) {
+		t.Skip("pool too small for a second view")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Unmap(addr2, HugePageSize)
+	if Words(addr2, 8)[0] != 0xAB {
+		t.Fatal("second huge view does not alias")
+	}
+}
+
+func TestMapSharedHugeRejectsBadLength(t *testing.T) {
+	fd, err := MemfdCreateHuge("sys-huge-len")
+	if errors.Is(err, ErrNoHugePages) {
+		t.Skip("hugetlb pool unavailable")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseFD(fd)
+	if _, err := MapSharedHuge(4096, fd, 0); err == nil {
+		t.Fatal("non-multiple length accepted")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package sys
+
+// sysMemfdCreate is the memfd_create(2) syscall number on linux/amd64.
+const sysMemfdCreate = 319

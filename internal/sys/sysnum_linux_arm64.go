@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package sys
+
+// sysMemfdCreate is the memfd_create(2) syscall number on linux/arm64.
+const sysMemfdCreate = 279

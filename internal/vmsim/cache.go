@@ -1,0 +1,153 @@
+package vmsim
+
+// cache is one set-associative cache level with LRU replacement. Tags are
+// line addresses (paddr >> lineShift); an age counter per set implements
+// LRU without timestamps on every line.
+type cache struct {
+	sets      [][]cacheLine
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tick      uint64
+}
+
+type cacheLine struct {
+	tag   uint64 // line address + 1 (0 = invalid)
+	stamp uint64
+}
+
+func newCache(size, ways, lineSize int) *cache {
+	lines := size / lineSize
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	// Round down to a power of two so the set index is a mask.
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	c := &cache{
+		sets:    make([][]cacheLine, numSets),
+		ways:    ways,
+		setMask: uint64(numSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, ways)
+	}
+	for ls := lineSize; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// access looks up the line containing paddr, inserting it on miss.
+// It reports whether the line was already present.
+func (c *cache) access(paddr uint64) bool {
+	line := paddr >> c.lineShift
+	tag := line + 1
+	set := c.sets[line&c.setMask]
+	c.tick++
+	victim := 0
+	for i := range set {
+		if set[i].tag == tag {
+			set[i].stamp = c.tick
+			return true
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{tag: tag, stamp: c.tick}
+	return false
+}
+
+// invalidateAll drops every line (used by Reset).
+func (c *cache) invalidateAll() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}
+
+// tlb is a set-associative TLB with LRU replacement, mapping vpn → ppn.
+type tlb struct {
+	sets    [][]tlbEntry
+	ways    int
+	setMask uint64
+	tick    uint64
+}
+
+type tlbEntry struct {
+	vpn   uint64 // vpn + 1 (0 = invalid)
+	ppn   uint64
+	stamp uint64
+}
+
+func newTLB(entries, ways int) *tlb {
+	numSets := entries / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	t := &tlb{sets: make([][]tlbEntry, numSets), ways: ways, setMask: uint64(numSets - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, ways)
+	}
+	return t
+}
+
+// lookup returns the cached translation for vpn.
+func (t *tlb) lookup(vpn uint64) (uint64, bool) {
+	set := t.sets[vpn&t.setMask]
+	t.tick++
+	for i := range set {
+		if set[i].vpn == vpn+1 {
+			set[i].stamp = t.tick
+			return set[i].ppn, true
+		}
+	}
+	return 0, false
+}
+
+// insert caches vpn → ppn.
+func (t *tlb) insert(vpn, ppn uint64) {
+	set := t.sets[vpn&t.setMask]
+	t.tick++
+	victim := 0
+	for i := range set {
+		if set[i].vpn == vpn+1 {
+			set[i].ppn = ppn
+			set[i].stamp = t.tick
+			return
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{vpn: vpn + 1, ppn: ppn, stamp: t.tick}
+}
+
+// invalidate drops the translation for vpn if present, reporting whether
+// an entry was dropped.
+func (t *tlb) invalidate(vpn uint64) bool {
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].vpn == vpn+1 {
+			set[i] = tlbEntry{}
+			return true
+		}
+	}
+	return false
+}
+
+// invalidateAll flushes the TLB.
+func (t *tlb) invalidateAll() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tlbEntry{}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package vmsim
+
+// Huge-page support — the paper's natural future-work direction: a
+// shortcut whose neighbouring slots map contiguous physical pages can be
+// expressed as a single 2 MB mapping, multiplying TLB reach by 512 and
+// shortening the page walk by one level. This only applies at fan-in 1
+// (a huge page cannot alias the same 4 KB leaf from many slots), which is
+// exactly extendible hashing's directory right after splits complete.
+//
+// The model mirrors x86-64: a 2 MB translation terminates at the PMD
+// level (3 entry reads instead of 4) and is cached in a dedicated small
+// L1 TLB for huge pages plus the shared L2 TLB.
+
+const hugeShiftDelta = 9 // 2 MB page = 512 * 4 KB pages
+
+// hugeTLBEntries / hugeTLBWays size the dedicated 2 MB-page L1 TLB
+// (32 entries on the paper's i7-12700KF).
+const (
+	hugeTLBEntries = 32
+	hugeTLBWays    = 4
+)
+
+// MapHuge installs a 2 MB translation: hvpn and hppn are huge-frame
+// numbers (vaddr >> (PageShift+9)). Any 4 KB translations below it are
+// shadowed by the walk order (huge entry wins).
+func (m *MMU) MapHuge(hvpn, hppn uint64) {
+	m.ensureHugeTLB()
+	m.pt.insertHuge(hvpn, hppn)
+	m.hugeTLB.invalidate(hvpn)
+}
+
+func (m *MMU) ensureHugeTLB() {
+	if m.hugeTLB == nil {
+		m.hugeTLB = newTLB(hugeTLBEntries, hugeTLBWays)
+	}
+}
+
+// translateHuge attempts a 2 MB translation for vpn (a 4 KB-frame
+// number). Returns the physical 4 KB frame, the cost, and whether a huge
+// mapping covered the address.
+func (m *MMU) translateHuge(vpn uint64) (uint64, float64, bool) {
+	if m.hugeTLB == nil {
+		return 0, 0, false
+	}
+	hvpn := vpn >> hugeShiftDelta
+	sub := vpn & (1<<hugeShiftDelta - 1)
+	if hppn, ok := m.hugeTLB.lookup(hvpn); ok {
+		m.stats.TLB1Hits++
+		return hppn<<hugeShiftDelta | sub, 0, true
+	}
+	// Walk: 3 entry reads, terminating at the PMD level.
+	refs, levels, hppn, ok := m.pt.walkHuge(hvpn)
+	if !ok {
+		return 0, 0, false
+	}
+	m.stats.Walks++
+	cost := m.cfg.LatTLB1
+	for l := 0; l < levels; l++ {
+		cost += m.walkRef(refs[l])
+	}
+	m.hugeTLB.insert(hvpn, hppn)
+	return hppn<<hugeShiftDelta | sub, cost, true
+}
+
+// insertHuge stores a 2 MB translation at the PMD level.
+func (pt *pageTable) insertHuge(hvpn, hppn uint64) {
+	n := pt.root
+	idxh := indicesHuge(hvpn)
+	for l := 0; l < 2; l++ {
+		next := n.children[idxh[l]]
+		if next == nil {
+			next = pt.newNode(false)
+			n.children[idxh[l]] = next
+		}
+		n = next
+	}
+	if n.hugeEntries == nil {
+		n.hugeEntries = make([]uint64, ptFanout)
+	}
+	n.hugeEntries[idxh[2]] = hppn + 1
+}
+
+// walkHuge walks 3 levels for a huge-frame number.
+func (pt *pageTable) walkHuge(hvpn uint64) (refs [ptLevels]uint64, levels int, hppn uint64, ok bool) {
+	n := pt.root
+	idxh := indicesHuge(hvpn)
+	for l := 0; l < 3; l++ {
+		refs[l] = n.paddr + idxh[l]*ptEntrySize
+		levels = l + 1
+		if l == 2 {
+			if n.hugeEntries == nil || n.hugeEntries[idxh[l]] == 0 {
+				return refs, levels, 0, false
+			}
+			return refs, levels, n.hugeEntries[idxh[l]] - 1, true
+		}
+		next := n.children[idxh[l]]
+		if next == nil {
+			return refs, levels, 0, false
+		}
+		n = next
+	}
+	return refs, levels, 0, false
+}
+
+// indicesHuge splits a huge-frame number into the three upper radix
+// indices (PGD, PUD, PMD).
+func indicesHuge(hvpn uint64) [3]uint64 {
+	var idx [3]uint64
+	for l := 2; l >= 0; l-- {
+		idx[l] = hvpn & (ptFanout - 1)
+		hvpn >>= ptIdxBits
+	}
+	return idx
+}

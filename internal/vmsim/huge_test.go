@@ -1,0 +1,106 @@
+package vmsim
+
+import "testing"
+
+func TestMapHugeTranslates(t *testing.T) {
+	m := New(Config{})
+	m.MapHuge(3, 7) // vaddrs [3*2MB, 4*2MB) -> paddrs [7*2MB, 8*2MB)
+	// Any 4 KB page inside the huge frame must translate.
+	vaddr := uint64(3)<<21 + 5<<12 + 123
+	c, err := m.Access(vaddr)
+	if err != nil {
+		t.Fatalf("Access under huge mapping: %v", err)
+	}
+	if c <= 0 {
+		t.Fatal("no cost charged")
+	}
+	// Second access: huge-TLB hit, only the (overlapped) data ref.
+	c2, err := m.Access(vaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.Config().LatL1 / m.Config().MLP; c2 != want {
+		t.Fatalf("huge-TLB-hit access = %.2f, want %.2f", c2, want)
+	}
+}
+
+func TestHugeWalkIsShorter(t *testing.T) {
+	// A 2 MB walk reads 3 entries; a 4 KB walk reads 4. With cold caches
+	// and cold TLBs, the huge access must be cheaper.
+	small := New(Config{})
+	small.Map(1<<18, 42)
+	huge := New(Config{})
+	huge.MapHuge(1<<9, 42)
+
+	cs, err := small.Access(uint64(1) << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := huge.Access(uint64(1) << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch >= cs {
+		t.Fatalf("huge walk %.1f >= 4K walk %.1f", ch, cs)
+	}
+}
+
+func TestHugeShadowsSmall(t *testing.T) {
+	m := New(Config{})
+	m.Map(512, 1000)  // 4 KB mapping inside huge frame 1
+	m.MapHuge(1, 500) // huge frame 1 -> huge phys frame 500
+	ppn, _, err := m.translate(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(500)<<9 | 0; ppn != want {
+		t.Fatalf("translate = %#x, want huge-derived %#x", ppn, want)
+	}
+}
+
+func TestHugeTLBReach(t *testing.T) {
+	// 4096 pages of working set: thrashes the 4 KB TLBs (needs walks),
+	// but 8 huge pages sit entirely in the huge TLB.
+	cfg := Config{TLB1Entries: 64, TLB1Ways: 4, TLB2Entries: 256, TLB2Ways: 4}
+	smallPages := New(cfg)
+	for p := uint64(0); p < 4096; p++ {
+		smallPages.Map(p, p)
+	}
+	hugePages := New(cfg)
+	for h := uint64(0); h < 8; h++ {
+		hugePages.MapHuge(h, h)
+	}
+
+	var smallCost, hugeCost float64
+	for r := 0; r < 3; r++ {
+		for p := uint64(0); p < 4096; p++ {
+			c1 := smallPages.MustAccess(p << 12)
+			c2 := hugePages.MustAccess(p << 12)
+			if r > 0 { // skip the cold pass
+				smallCost += c1
+				hugeCost += c2
+			}
+		}
+	}
+	if hugeCost >= smallCost/2 {
+		t.Fatalf("huge pages should at least halve translation cost: %.0f vs %.0f",
+			hugeCost, smallCost)
+	}
+	if w := hugePages.Stats().Walks; w > 16 {
+		t.Fatalf("huge mapping still walked %d times", w)
+	}
+}
+
+func TestMapHugeInvalidatesStaleEntry(t *testing.T) {
+	m := New(Config{})
+	m.MapHuge(2, 10)
+	m.MustAccess(2 << 21) // cache the translation
+	m.MapHuge(2, 20)      // remap must invalidate
+	ppn, _, err := m.translate(2 << 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppn>>9 != 20 {
+		t.Fatalf("stale huge translation survived: ppn=%#x", ppn)
+	}
+}

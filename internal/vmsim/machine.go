@@ -1,0 +1,77 @@
+package vmsim
+
+// Machine models a small multi-core system for the TLB-shootdown analysis
+// (paper §3.3, Figure 5): all cores share one page table, but each core
+// has private TLBs and caches. TLBs have no hardware coherency, so a core
+// that remaps a page must have the OS deliver inter-processor interrupts
+// (IPIs) to every other core running the process — the cost lands on the
+// *shooting* core, while readers merely lose a TLB entry and re-walk.
+type Machine struct {
+	cfg   Config
+	pt    *pageTable
+	cores []*MMU
+}
+
+// NewMachine creates a machine with n cores sharing one page table.
+func NewMachine(cfg Config, n int) *Machine {
+	cfg.fill()
+	ma := &Machine{cfg: cfg, pt: newPageTable(uint64(1) << cfg.PageShift)}
+	for i := 0; i < n; i++ {
+		c := New(cfg)
+		c.pt = ma.pt // share the page table
+		ma.cores = append(ma.cores, c)
+	}
+	return ma
+}
+
+// Core returns core i's MMU for issuing accesses.
+func (ma *Machine) Core(i int) *MMU { return ma.cores[i] }
+
+// Cores returns the number of cores.
+func (ma *Machine) Cores() int { return len(ma.cores) }
+
+// Remap performs one mmap(MAP_FIXED)-style remap of npages pages at vpn
+// onto ppn from core shooter, while the cores listed in active are
+// concurrently running threads of the same process. The shooting core is
+// charged the remap plus one IPI per active remote core; each remote core
+// loses its TLB entries for the remapped pages (counted as shootdowns).
+// Returns the cost charged to the shooter.
+func (ma *Machine) Remap(shooter int, vpn, ppn uint64, npages int, active []int) float64 {
+	sc := ma.cores[shooter]
+	cost := sc.cfg.LatRemap
+	for i := 0; i < npages; i++ {
+		v, p := vpn+uint64(i), ppn+uint64(i)
+		ma.pt.insert(v, p)
+		sc.tlb1.invalidate(v)
+		sc.tlb2.invalidate(v)
+	}
+	sc.stats.Remaps++
+	remotes := 0
+	for _, a := range active {
+		if a == shooter {
+			continue
+		}
+		remotes++
+		rc := ma.cores[a]
+		for i := 0; i < npages; i++ {
+			v := vpn + uint64(i)
+			if rc.tlb1.invalidate(v) {
+				rc.stats.Shootdowns++
+			}
+			if rc.tlb2.invalidate(v) {
+				rc.stats.Shootdowns++
+			}
+		}
+	}
+	cost += float64(remotes) * sc.cfg.LatIPI
+	sc.timeNS += cost
+	return cost
+}
+
+// MapShared installs a translation visible to every core without charging
+// anyone (setup helper for experiments).
+func (ma *Machine) MapShared(vpn, ppn uint64, npages int) {
+	for i := 0; i < npages; i++ {
+		ma.pt.insert(vpn+uint64(i), ppn+uint64(i))
+	}
+}

@@ -1,0 +1,262 @@
+package vmsim
+
+import "fmt"
+
+// MMU simulates one core's view of the memory subsystem: its private TLBs,
+// the cache hierarchy, and the shared page table. Every Access accumulates
+// simulated time; the caller reads Time() afterwards.
+//
+// An MMU can run in auto-fault mode (AutoFault true), where an access to
+// an unmapped page behaves like anonymous memory: it costs a soft page
+// fault and maps a fresh physical page — the lazy page-table population of
+// Table 1. With AutoFault off, unmapped accesses are an error, catching
+// simulation bugs.
+type MMU struct {
+	cfg Config
+	pt  *pageTable
+
+	tlb1, tlb2 *tlb
+	hugeTLB    *tlb // dedicated 2 MB-page TLB, created on first MapHuge
+	walkCache  *pwc // paging-structure caches (nil unless configured)
+	l1, l2, l3 *cache
+
+	// AutoFault enables map-on-access semantics for unmapped pages.
+	AutoFault bool
+
+	nextAnonPPN uint64
+	timeNS      float64
+	stats       Stats
+}
+
+// New creates an MMU with the given configuration.
+func New(cfg Config) *MMU {
+	cfg.fill()
+	m := &MMU{
+		cfg:         cfg,
+		pt:          newPageTable(uint64(1) << cfg.PageShift),
+		tlb1:        newTLB(cfg.TLB1Entries, cfg.TLB1Ways),
+		tlb2:        newTLB(cfg.TLB2Entries, cfg.TLB2Ways),
+		l1:          newCache(cfg.L1Size, cfg.L1Ways, cfg.LineSize),
+		l2:          newCache(cfg.L2Size, cfg.L2Ways, cfg.LineSize),
+		l3:          newCache(cfg.L3Size, cfg.L3Ways, cfg.LineSize),
+		nextAnonPPN: 1 << 30, // anonymous pages live in a high ppn region
+	}
+	if cfg.PageWalkCache {
+		m.walkCache = newPWC()
+	}
+	return m
+}
+
+// Config returns the effective (defaults-filled) configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// Time returns the accumulated simulated time in nanoseconds.
+func (m *MMU) Time() float64 { return m.timeNS }
+
+// ResetTime zeroes the simulated clock (stats and state are kept).
+func (m *MMU) ResetTime() { m.timeNS = 0 }
+
+// Stats returns a snapshot of the event counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// memRef simulates one memory reference to paddr through the cache
+// hierarchy and returns its cost.
+func (m *MMU) memRef(paddr uint64) float64 {
+	if m.l1.access(paddr) {
+		m.stats.L1Hits++
+		return m.cfg.LatL1
+	}
+	if m.l2.access(paddr) {
+		m.stats.L2Hits++
+		return m.cfg.LatL2
+	}
+	if m.l3.access(paddr) {
+		m.stats.L3Hits++
+		return m.cfg.LatL3
+	}
+	m.stats.DRAM++
+	return m.cfg.LatDRAM
+}
+
+// eptRegionBase places the host (EPT) page-table pages in their own
+// simulated physical region, distinct from guest data and guest PT nodes.
+const eptRegionBase = uint64(1) << 47
+
+// walkRef charges one guest page-table entry read at guest-physical
+// address gpa. Under NestedPaging the hardware walker first translates
+// gpa through the host page table: EPTLevels extra reads whose upper
+// levels are heavily shared (and thus cache-resident) while the leaf
+// level spreads with the guest PT footprint — the 2D-walk cost structure
+// of Intel EPT.
+func (m *MMU) walkRef(gpa uint64) float64 {
+	cost := 0.0
+	if m.cfg.NestedPaging {
+		for l := 0; l < m.cfg.EPTLevels; l++ {
+			shift := uint(12 + 9*(m.cfg.EPTLevels-1-l))
+			cost += m.memRef(eptRegionBase + (gpa>>shift)*ptEntrySize)
+			m.stats.EPTRefs++
+		}
+	}
+	return cost + m.memRef(gpa)
+}
+
+// translate resolves vpn to ppn, simulating TLB lookups and, on a double
+// miss, the hardware page-table walk (whose entry reads go through the
+// cache hierarchy). Returns the translation cost.
+func (m *MMU) translate(vpn uint64) (uint64, float64, error) {
+	// Huge mappings shadow 4 KB ones (checked first, like the hardware
+	// walker honouring a PMD-level PS bit).
+	if ppn, cost, ok := m.translateHuge(vpn); ok {
+		return ppn, cost, nil
+	}
+	if ppn, ok := m.tlb1.lookup(vpn); ok {
+		m.stats.TLB1Hits++
+		return ppn, 0, nil
+	}
+	if ppn, ok := m.tlb2.lookup(vpn); ok {
+		m.stats.TLB2Hits++
+		m.tlb1.insert(vpn, ppn)
+		return ppn, m.cfg.LatTLB1, nil
+	}
+	// Full walk. The paging-structure caches, when enabled, skip the
+	// upper levels whose partial translation was walked recently.
+	m.stats.Walks++
+	cost := m.cfg.LatTLB1
+	refs, levels, ppn, ok := m.pt.walk(vpn)
+	skip := 0
+	if m.walkCache != nil {
+		skip = m.walkCache.lookup(vpn)
+		if skip > levels {
+			skip = levels
+		}
+		m.stats.PWCSkips += uint64(skip)
+	}
+	for l := skip; l < levels; l++ {
+		cost += m.walkRef(refs[l])
+	}
+	if m.walkCache != nil && ok {
+		m.walkCache.insert(vpn)
+	}
+	if !ok {
+		if !m.AutoFault {
+			return 0, cost, fmt.Errorf("vmsim: access to unmapped vpn %#x", vpn)
+		}
+		// Soft fault: the kernel allocates an anonymous page and inserts
+		// the PTE; the walk is then repeated.
+		m.stats.PageFaults++
+		cost += m.cfg.LatFault
+		ppn = m.nextAnonPPN
+		m.nextAnonPPN++
+		m.pt.insert(vpn, ppn)
+		refs2, levels2, _, _ := m.pt.walk(vpn)
+		for l := 0; l < levels2; l++ {
+			cost += m.walkRef(refs2[l])
+		}
+	}
+	m.tlb1.insert(vpn, ppn)
+	m.tlb2.insert(vpn, ppn)
+	return ppn, cost, nil
+}
+
+// Access simulates one data access to virtual address vaddr and returns
+// its cost in simulated nanoseconds (also added to the clock).
+func (m *MMU) Access(vaddr uint64) (float64, error) {
+	m.stats.Accesses++
+	vpn := vaddr >> m.cfg.PageShift
+	off := vaddr & ((1 << m.cfg.PageShift) - 1)
+	ppn, cost, err := m.translate(vpn)
+	if err != nil {
+		m.timeNS += cost
+		return cost, err
+	}
+	// Data misses overlap across independent accesses (MLP); translation
+	// walks, being dependent load chains, were charged in full above.
+	cost += m.memRef(ppn<<m.cfg.PageShift|off) / m.cfg.MLP
+	m.timeNS += cost
+	return cost, nil
+}
+
+// MustAccess is Access for callers that guarantee the page is mapped (or
+// AutoFault is on); it panics on unmapped access.
+func (m *MMU) MustAccess(vaddr uint64) float64 {
+	c, err := m.Access(vaddr)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Map installs the translation vpn → ppn without simulating cost (the
+// caller accounts for the mmap itself, e.g. via RemapCost). The stale TLB
+// entry for vpn, if any, is invalidated — this core's TLB only; remote
+// cores need Machine.Remap for shootdown accounting.
+func (m *MMU) Map(vpn, ppn uint64) {
+	m.pt.insert(vpn, ppn)
+	m.tlb1.invalidate(vpn)
+	m.tlb2.invalidate(vpn)
+}
+
+// Unmap removes the translation for vpn, dropping TLB entries — the model
+// of mmap over an existing mapping dropping the PTE (paper §2.1 Details).
+func (m *MMU) Unmap(vpn uint64) bool {
+	m.tlb1.invalidate(vpn)
+	m.tlb2.invalidate(vpn)
+	return m.pt.remove(vpn)
+}
+
+// Mapped reports the current translation for vpn.
+func (m *MMU) Mapped(vpn uint64) (uint64, bool) { return m.pt.lookup(vpn) }
+
+// Populate eagerly installs translations for npages pages starting at
+// vpn, charging the per-page MAP_POPULATE cost (Table 1 phase 3). Pages
+// already mapped are recharged too, like a real MAP_POPULATE re-touch.
+func (m *MMU) Populate(vpn uint64, npages int) float64 {
+	cost := 0.0
+	for i := 0; i < npages; i++ {
+		v := vpn + uint64(i)
+		if _, ok := m.pt.lookup(v); !ok {
+			m.pt.insert(v, m.nextAnonPPN)
+			m.nextAnonPPN++
+		}
+		cost += m.cfg.LatPopMmap
+	}
+	m.timeNS += cost
+	return cost
+}
+
+// RemapCost charges the base cost of one mmap(MAP_SHARED|MAP_FIXED) call
+// covering npages pages and performs the remap of those pages onto the
+// physical pages starting at ppn. TLB entries are invalidated locally.
+func (m *MMU) RemapCost(vpn, ppn uint64, npages int) float64 {
+	cost := m.cfg.LatRemap
+	for i := 0; i < npages; i++ {
+		m.Map(vpn+uint64(i), ppn+uint64(i))
+	}
+	m.stats.Remaps++
+	m.timeNS += cost
+	return cost
+}
+
+// FlushTLB empties all TLB levels and paging-structure caches
+// (context-switch model).
+func (m *MMU) FlushTLB() {
+	m.tlb1.invalidateAll()
+	m.tlb2.invalidateAll()
+	if m.hugeTLB != nil {
+		m.hugeTLB.invalidateAll()
+	}
+	if m.walkCache != nil {
+		m.walkCache.invalidateAll()
+	}
+}
+
+// DropCaches empties the data caches (cold-start model).
+func (m *MMU) DropCaches() {
+	m.l1.invalidateAll()
+	m.l2.invalidateAll()
+	m.l3.invalidateAll()
+}
+
+// PageTableNodes reports how many radix nodes the page table allocated —
+// the simulated memory footprint of the translation structure itself.
+func (m *MMU) PageTableNodes() int { return m.pt.nodes }

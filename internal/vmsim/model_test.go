@@ -1,0 +1,146 @@
+package vmsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// refCache is a straightforward reference implementation of a
+// set-associative LRU cache, used to property-check the optimized one.
+type refCache struct {
+	sets      map[uint64][]uint64 // set index -> line tags, MRU first
+	ways      int
+	lineShift uint
+	setMask   uint64
+}
+
+func newRefCache(size, ways, lineSize int) *refCache {
+	lines := size / lineSize
+	numSets := lines / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	var shift uint
+	for ls := lineSize; ls > 1; ls >>= 1 {
+		shift++
+	}
+	return &refCache{
+		sets: map[uint64][]uint64{}, ways: ways,
+		lineShift: shift, setMask: uint64(numSets - 1),
+	}
+}
+
+func (c *refCache) access(paddr uint64) bool {
+	line := paddr >> c.lineShift
+	set := line & c.setMask
+	lst := c.sets[set]
+	for i, tag := range lst {
+		if tag == line {
+			// Move to front (MRU).
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = line
+			return true
+		}
+	}
+	lst = append([]uint64{line}, lst...)
+	if len(lst) > c.ways {
+		lst = lst[:c.ways]
+	}
+	c.sets[set] = lst
+	return false
+}
+
+// TestQuickCacheMatchesReference: the optimized stamp-LRU cache must
+// behave identically to the explicit MRU-list reference on random access
+// streams.
+func TestQuickCacheMatchesReference(t *testing.T) {
+	check := func(addrs []uint16) bool {
+		fast := newCache(2048, 4, 64) // 8 sets, 4 ways
+		ref := newRefCache(2048, 4, 64)
+		for _, a := range addrs {
+			if fast.access(uint64(a)) != ref.access(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refTLB mirrors the same approach for the TLB.
+type refTLB struct {
+	sets    map[uint64][][2]uint64 // set -> [vpn, ppn], MRU first
+	ways    int
+	setMask uint64
+}
+
+func newRefTLB(entries, ways int) *refTLB {
+	numSets := entries / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	for numSets&(numSets-1) != 0 {
+		numSets &= numSets - 1
+	}
+	return &refTLB{sets: map[uint64][][2]uint64{}, ways: ways, setMask: uint64(numSets - 1)}
+}
+
+func (t *refTLB) lookup(vpn uint64) (uint64, bool) {
+	set := vpn & t.setMask
+	lst := t.sets[set]
+	for i, e := range lst {
+		if e[0] == vpn {
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = e
+			return e[1], true
+		}
+	}
+	return 0, false
+}
+
+func (t *refTLB) insert(vpn, ppn uint64) {
+	set := vpn & t.setMask
+	lst := t.sets[set]
+	for i, e := range lst {
+		if e[0] == vpn {
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = [2]uint64{vpn, ppn}
+			t.sets[set] = lst
+			return
+		}
+	}
+	lst = append([][2]uint64{{vpn, ppn}}, lst...)
+	if len(lst) > t.ways {
+		lst = lst[:t.ways]
+	}
+	t.sets[set] = lst
+}
+
+func TestQuickTLBMatchesReference(t *testing.T) {
+	check := func(ops []uint16) bool {
+		fast := newTLB(16, 2) // 8 sets, 2 ways
+		ref := newRefTLB(16, 2)
+		for i, o := range ops {
+			vpn := uint64(o % 64)
+			if i%3 == 0 {
+				fast.insert(vpn, vpn*10)
+				ref.insert(vpn, vpn*10)
+				continue
+			}
+			fp, fok := fast.lookup(vpn)
+			rp, rok := ref.lookup(vpn)
+			if fok != rok || (fok && fp != rp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

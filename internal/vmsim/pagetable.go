@@ -1,0 +1,134 @@
+package vmsim
+
+// The simulated page table is a 4-level radix tree with 512 children per
+// node, mirroring x86-64: a 48-bit virtual address is translated using
+// four 9-bit indices. Each node occupies one simulated physical page, so a
+// page-table walk issues four memory references that compete for cache
+// space with the application's data — exactly the effect that makes wide
+// shortcut nodes pay for their larger virtual footprint (Figure 4).
+
+const (
+	ptFanout    = 512
+	ptIdxBits   = 9
+	ptLevels    = 4
+	ptEntrySize = 8
+)
+
+// ptNode is one radix node. Upper levels use children; the leaf level
+// stores ppn+1 in entries (0 = not present).
+type ptNode struct {
+	children [ptFanout]*ptNode
+	entries  []uint64 // allocated only at leaf level
+	// hugeEntries holds 2 MB translations (hppn+1) at the PMD level,
+	// shadowing any 4 KB subtree below the same index (see huge.go).
+	hugeEntries []uint64
+	paddr       uint64 // simulated physical address of this node
+}
+
+// pageTable is the 4-level radix tree plus a bump allocator for the
+// simulated physical addresses of its nodes.
+type pageTable struct {
+	root      *ptNode
+	nextPaddr uint64
+	pageSize  uint64
+	nodes     int
+}
+
+// ptRegionBase places page-table node pages in a high physical region so
+// they never collide with data pages, yet still index into the same
+// simulated caches.
+const ptRegionBase = uint64(1) << 46
+
+func newPageTable(pageSize uint64) *pageTable {
+	pt := &pageTable{nextPaddr: ptRegionBase, pageSize: pageSize}
+	pt.root = pt.newNode(false)
+	return pt
+}
+
+func (pt *pageTable) newNode(leaf bool) *ptNode {
+	n := &ptNode{paddr: pt.nextPaddr}
+	pt.nextPaddr += pt.pageSize
+	pt.nodes++
+	if leaf {
+		n.entries = make([]uint64, ptFanout)
+	}
+	return n
+}
+
+// indices splits a vpn into the four per-level radix indices, most
+// significant first.
+func indices(vpn uint64) [ptLevels]uint64 {
+	var idx [ptLevels]uint64
+	for l := ptLevels - 1; l >= 0; l-- {
+		idx[l] = vpn & (ptFanout - 1)
+		vpn >>= ptIdxBits
+	}
+	return idx
+}
+
+// walk descends the tree for vpn and returns, per level, the simulated
+// physical address of the entry the hardware walker reads. If the
+// translation exists, ppn holds it. The walk stops early at a missing
+// node; levels reports how many entry reads happened.
+func (pt *pageTable) walk(vpn uint64) (refs [ptLevels]uint64, levels int, ppn uint64, ok bool) {
+	n := pt.root
+	idx := indices(vpn)
+	for l := 0; l < ptLevels; l++ {
+		refs[l] = n.paddr + idx[l]*ptEntrySize
+		levels = l + 1
+		if l == ptLevels-1 {
+			e := n.entries[idx[l]]
+			if e == 0 {
+				return refs, levels, 0, false
+			}
+			return refs, levels, e - 1, true
+		}
+		next := n.children[idx[l]]
+		if next == nil {
+			return refs, levels, 0, false
+		}
+		n = next
+	}
+	return refs, levels, 0, false
+}
+
+// insert maps vpn → ppn, allocating intermediate nodes as needed.
+func (pt *pageTable) insert(vpn, ppn uint64) {
+	n := pt.root
+	idx := indices(vpn)
+	for l := 0; l < ptLevels-1; l++ {
+		next := n.children[idx[l]]
+		if next == nil {
+			next = pt.newNode(l == ptLevels-2)
+			n.children[idx[l]] = next
+		}
+		n = next
+	}
+	n.entries[idx[ptLevels-1]] = ppn + 1
+}
+
+// remove unmaps vpn, reporting whether a translation existed. Empty
+// intermediate nodes are not reclaimed (matching real kernels, which
+// reclaim lazily at best).
+func (pt *pageTable) remove(vpn uint64) bool {
+	n := pt.root
+	idx := indices(vpn)
+	for l := 0; l < ptLevels-1; l++ {
+		next := n.children[idx[l]]
+		if next == nil {
+			return false
+		}
+		n = next
+	}
+	if n.entries[idx[ptLevels-1]] == 0 {
+		return false
+	}
+	n.entries[idx[ptLevels-1]] = 0
+	return true
+}
+
+// lookup returns the translation without simulating costs.
+func (pt *pageTable) lookup(vpn uint64) (uint64, bool) {
+	_, _, ppn, ok := pt.walk(vpn)
+	return ppn, ok
+}

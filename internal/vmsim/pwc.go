@@ -1,0 +1,66 @@
+package vmsim
+
+// Page-walk caches (PWC) — the MMU structure the basic model omits: real
+// walkers cache *partial* translations (PML4E/PDPTE/PDE entries), so a TLB
+// miss whose upper page-table levels were recently walked only reads the
+// missing lower levels from memory. Intel calls these the paging-structure
+// caches; they are the reason adjacent-page walks cost ~1 memory reference
+// rather than 4.
+//
+// Modeling them matters for shortcut analysis: a shortcut node spreads
+// accesses over a huge virtual range, but consecutive directory slots
+// share upper-level entries — with a PWC the walk cost becomes one PTE
+// read for most misses, which is precisely why the paper's shortcut stays
+// competitive even while TLB-thrashing.
+
+// pwc caches partial translations per level: key = vpn prefix at that
+// level, mapping to the ptNode resolved at the next level down.
+type pwc struct {
+	levels [ptLevels - 1]*tlb // level l caches the prefix covering levels 0..l
+}
+
+// pwcEntries/pwcWays size each paging-structure cache level (small,
+// fully-practical values similar to measured Intel parts).
+const (
+	pwcEntries = 32
+	pwcWays    = 4
+)
+
+func newPWC() *pwc {
+	p := &pwc{}
+	for i := range p.levels {
+		p.levels[i] = newTLB(pwcEntries, pwcWays)
+	}
+	return p
+}
+
+// prefix returns the vpn prefix that identifies a partial walk through
+// level l (0 = root level): the upper (l+1)*9 bits of the vpn.
+func pwcPrefix(vpn uint64, l int) uint64 {
+	return vpn >> uint(ptIdxBits*(ptLevels-1-l))
+}
+
+// lookup returns the deepest cached level (the number of levels that can
+// be skipped) for vpn: 0 = nothing cached, up to ptLevels-1.
+func (p *pwc) lookup(vpn uint64) int {
+	for l := ptLevels - 2; l >= 0; l-- {
+		if _, ok := p.levels[l].lookup(pwcPrefix(vpn, l)); ok {
+			return l + 1
+		}
+	}
+	return 0
+}
+
+// insert caches the partial translations of a completed walk.
+func (p *pwc) insert(vpn uint64) {
+	for l := 0; l < ptLevels-1; l++ {
+		p.levels[l].insert(pwcPrefix(vpn, l), 1)
+	}
+}
+
+// invalidateAll flushes the paging-structure caches.
+func (p *pwc) invalidateAll() {
+	for _, t := range p.levels {
+		t.invalidateAll()
+	}
+}

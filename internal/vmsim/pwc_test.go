@@ -1,0 +1,69 @@
+package vmsim
+
+import "testing"
+
+func TestPWCSkipsUpperLevels(t *testing.T) {
+	m := New(Config{PageWalkCache: true, TLB1Entries: 4, TLB1Ways: 4, TLB2Entries: 4, TLB2Ways: 4})
+	// Map many pages under the same upper-level subtree; tiny TLBs force
+	// a walk on almost every access, but the PWC covers the shared upper
+	// levels after the first walk.
+	const pages = 1 << 10
+	for p := uint64(0); p < pages; p++ {
+		m.Map(p, p)
+	}
+	for p := uint64(0); p < pages; p++ {
+		m.MustAccess(p << 12)
+	}
+	st := m.Stats()
+	if st.PWCSkips == 0 {
+		t.Fatal("walk cache never skipped a level")
+	}
+	// Nearly every walk after the first should skip 3 levels.
+	if st.Walks > 1 && st.PWCSkips < (st.Walks-1)*2 {
+		t.Fatalf("PWC too weak: %d skips over %d walks", st.PWCSkips, st.Walks)
+	}
+}
+
+func TestPWCMakesLocalWalksCheaper(t *testing.T) {
+	run := func(pwcOn bool) float64 {
+		m := New(Config{
+			PageWalkCache: pwcOn,
+			TLB1Entries:   4, TLB1Ways: 4, TLB2Entries: 4, TLB2Ways: 4,
+		})
+		const pages = 1 << 12
+		for p := uint64(0); p < pages; p++ {
+			m.Map(p, p)
+		}
+		m.ResetTime()
+		for r := 0; r < 3; r++ {
+			for p := uint64(0); p < pages; p++ {
+				m.MustAccess(p << 12)
+			}
+		}
+		return m.Time()
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("PWC did not help: %.0f vs %.0f", with, without)
+	}
+}
+
+func TestPWCDisabledByDefault(t *testing.T) {
+	m := New(Config{})
+	m.Map(1, 1)
+	m.MustAccess(1 << 12)
+	if m.Stats().PWCSkips != 0 {
+		t.Fatal("PWC active without being configured")
+	}
+}
+
+func TestPWCPrefixMath(t *testing.T) {
+	// vpn with distinct 9-bit groups: level prefixes must nest.
+	vpn := uint64(5)<<27 | uint64(6)<<18 | uint64(7)<<9 | 8
+	p0 := pwcPrefix(vpn, 0)
+	p1 := pwcPrefix(vpn, 1)
+	p2 := pwcPrefix(vpn, 2)
+	if p0 != 5 || p1 != 5<<9|6 || p2 != (5<<9|6)<<9|7 {
+		t.Fatalf("prefixes = %d, %d, %d", p0, p1, p2)
+	}
+}

@@ -1,0 +1,321 @@
+package vmsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableInsertWalkRemove(t *testing.T) {
+	pt := newPageTable(4096)
+	pt.insert(0x12345, 0x777)
+	if ppn, ok := pt.lookup(0x12345); !ok || ppn != 0x777 {
+		t.Fatalf("lookup = %#x,%v", ppn, ok)
+	}
+	if _, ok := pt.lookup(0x12346); ok {
+		t.Fatal("phantom translation")
+	}
+	refs, levels, ppn, ok := pt.walk(0x12345)
+	if !ok || levels != ptLevels || ppn != 0x777 {
+		t.Fatalf("walk = levels %d ppn %#x ok %v", levels, ppn, ok)
+	}
+	// Entry addresses must be distinct and within the PT region.
+	seen := map[uint64]bool{}
+	for _, r := range refs {
+		if r < ptRegionBase {
+			t.Fatalf("PT entry ref %#x below PT region", r)
+		}
+		if seen[r] {
+			t.Fatal("duplicate PT entry refs in one walk")
+		}
+		seen[r] = true
+	}
+	if !pt.remove(0x12345) {
+		t.Fatal("remove failed")
+	}
+	if pt.remove(0x12345) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := pt.lookup(0x12345); ok {
+		t.Fatal("translation survived remove")
+	}
+}
+
+func TestPageTableQuickModel(t *testing.T) {
+	pt := newPageTable(4096)
+	model := map[uint64]uint64{}
+	check := func(vRaw uint32, ppn uint64, op uint8) bool {
+		vpn := uint64(vRaw % 100000)
+		switch op % 3 {
+		case 0:
+			pt.insert(vpn, ppn)
+			model[vpn] = ppn
+		case 1:
+			got, ok := pt.lookup(vpn)
+			want, mok := model[vpn]
+			if ok != mok || (ok && got != want) {
+				return false
+			}
+		case 2:
+			_, mok := model[vpn]
+			if pt.remove(vpn) != mok {
+				return false
+			}
+			delete(model, vpn)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tl := newTLB(8, 2) // 4 sets, 2 ways
+	// Three vpns in the same set (stride = number of sets).
+	tl.insert(0, 100)
+	tl.insert(4, 104)
+	if _, ok := tl.lookup(0); !ok {
+		t.Fatal("entry 0 evicted too early")
+	}
+	tl.insert(8, 108) // set is full; LRU is vpn 4
+	if _, ok := tl.lookup(4); ok {
+		t.Fatal("vpn 4 should have been the LRU victim")
+	}
+	if _, ok := tl.lookup(0); !ok {
+		t.Fatal("vpn 0 (recently used) evicted")
+	}
+	if ppn, ok := tl.lookup(8); !ok || ppn != 108 {
+		t.Fatal("vpn 8 missing")
+	}
+}
+
+func TestCacheLRUAndHits(t *testing.T) {
+	c := newCache(1024, 2, 64) // 8 sets, 2 ways
+	if c.access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.access(32) {
+		t.Fatal("same line (different offset) missed")
+	}
+	// Two more lines in set 0: 8 sets * 64 B = 512 B stride.
+	c.access(512)
+	c.access(0) // refresh 0
+	c.access(1024)
+	if c.access(512) {
+		t.Fatal("LRU victim 512 still cached")
+	}
+}
+
+func TestAccessCostOrdering(t *testing.T) {
+	m := New(Config{})
+	m.AutoFault = true
+	// First access: page fault + walk + DRAM — the most expensive.
+	cFault, err := m.Access(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second access to the same line: TLB hit + L1 hit — the cheapest.
+	cHot, _ := m.Access(0x1008)
+	if cHot >= cFault {
+		t.Fatalf("hot %.1f >= faulting %.1f", cHot, cFault)
+	}
+	if want := m.Config().LatL1 / m.Config().MLP; cHot != want {
+		t.Fatalf("hot access = %.2f, want overlapped L1 %.2f", cHot, want)
+	}
+	st := m.Stats()
+	if st.PageFaults != 1 || st.Walks == 0 || st.TLB1Hits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m.Time() != cFault+cHot {
+		t.Fatalf("clock %.1f != %.1f", m.Time(), cFault+cHot)
+	}
+}
+
+func TestUnmappedAccessErrorsWithoutAutoFault(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.Access(0x5000); err == nil {
+		t.Fatal("unmapped access should error")
+	}
+	m.Map(5, 77)
+	if _, err := m.Access(0x5000); err != nil {
+		t.Fatalf("mapped access failed: %v", err)
+	}
+	if ppn, ok := m.Mapped(5); !ok || ppn != 77 {
+		t.Fatalf("Mapped = %d,%v", ppn, ok)
+	}
+}
+
+func TestPopulateAvoidsFaults(t *testing.T) {
+	m := New(Config{})
+	m.AutoFault = true
+	const pages = 64
+	m.Populate(100, pages)
+	for i := uint64(0); i < pages; i++ {
+		if _, err := m.Access((100 + i) << 12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := m.Stats().PageFaults; f != 0 {
+		t.Fatalf("%d faults despite populate", f)
+	}
+
+	// Lazy variant for comparison: every first touch faults.
+	lazy := New(Config{})
+	lazy.AutoFault = true
+	for i := uint64(0); i < pages; i++ {
+		lazy.Access((200 + i) << 12)
+	}
+	if f := lazy.Stats().PageFaults; f != pages {
+		t.Fatalf("lazy faults = %d, want %d", f, pages)
+	}
+}
+
+func TestRemapDropsTLBEntry(t *testing.T) {
+	m := New(Config{})
+	m.Map(1, 10)
+	m.Access(1 << 12) // loads TLB
+	w1 := m.Stats().Walks
+	m.Access(1 << 12)
+	if m.Stats().Walks != w1 {
+		t.Fatal("second access should TLB-hit")
+	}
+	m.RemapCost(1, 20, 1)
+	m.Access(1 << 12)
+	if m.Stats().Walks != w1+1 {
+		t.Fatal("remap must force a re-walk")
+	}
+	if ppn, _ := m.Mapped(1); ppn != 20 {
+		t.Fatalf("remap lost: ppn = %d", ppn)
+	}
+}
+
+func TestTLBReachEffect(t *testing.T) {
+	// Accessing a working set within TLB reach must be much cheaper per
+	// access than one far beyond it — the mechanism behind Figure 4.
+	cfg := Config{}
+	small := New(cfg)
+	small.AutoFault = true
+	big := New(cfg)
+	big.AutoFault = true
+
+	const rounds = 4
+	// Small: 128 pages (fits the 256-entry L1 TLB).
+	for r := 0; r < rounds; r++ {
+		for p := uint64(0); p < 128; p++ {
+			small.Access(p << 12)
+		}
+	}
+	// Big: 16384 pages (beyond even the L2 TLB).
+	for r := 0; r < rounds; r++ {
+		for p := uint64(0); p < 16384; p++ {
+			big.Access(p << 12)
+		}
+	}
+	smallPer := small.Time() / float64(small.Stats().Accesses)
+	bigPer := big.Time() / float64(big.Stats().Accesses)
+	if smallPer >= bigPer {
+		t.Fatalf("TLB reach has no effect: small %.2f >= big %.2f", smallPer, bigPer)
+	}
+}
+
+func TestMachineShootdownCosts(t *testing.T) {
+	ma := NewMachine(Config{}, 8)
+	ma.MapShared(0, 0, 1024)
+
+	// Remap with no active remotes: base cost only.
+	base := ma.Remap(0, 5, 2000, 1, nil)
+	// Remap with 7 active remotes: base + 7 IPIs.
+	withReaders := ma.Remap(0, 6, 2001, 1, []int{1, 2, 3, 4, 5, 6, 7})
+	cfg := ma.Core(0).Config()
+	if base != cfg.LatRemap {
+		t.Fatalf("base remap = %.1f, want %.1f", base, cfg.LatRemap)
+	}
+	want := cfg.LatRemap + 7*cfg.LatIPI
+	if withReaders != want {
+		t.Fatalf("remap w/ 7 readers = %.1f, want %.1f", withReaders, want)
+	}
+	if withReaders <= base {
+		t.Fatal("shootdowns must penalize the shooter")
+	}
+}
+
+func TestMachineReadersBarelyAffected(t *testing.T) {
+	// Paper §3.3: shootdowns slow the shooter, not the targeted readers.
+	ma := NewMachine(Config{}, 2)
+	const pages = 4096
+	ma.MapShared(0, 0, pages)
+
+	reader := ma.Core(1)
+	// Warm pass without shootdowns.
+	for p := uint64(0); p < pages; p++ {
+		reader.MustAccess(p << 12)
+	}
+	reader.ResetTime()
+	for p := uint64(0); p < pages; p++ {
+		reader.MustAccess(p << 12)
+	}
+	quiet := reader.Time()
+
+	// Same pass with the shooter remapping 512 random-ish pages.
+	reader.ResetTime()
+	for p := uint64(0); p < pages; p++ {
+		if p%8 == 0 {
+			ma.Remap(0, (p*37)%pages, 1<<20+p, 1, []int{1})
+		}
+		reader.MustAccess(p << 12)
+	}
+	noisy := reader.Time()
+	if noisy > quiet*1.5 {
+		t.Fatalf("reader slowed too much by shootdowns: %.0f vs %.0f", noisy, quiet)
+	}
+	if ma.Core(1).Stats().Shootdowns == 0 {
+		t.Fatal("no shootdowns were delivered")
+	}
+}
+
+func TestPageTableNodesGrow(t *testing.T) {
+	m := New(Config{})
+	before := m.PageTableNodes()
+	for v := uint64(0); v < 10_000; v += 512 {
+		m.Map(v, v)
+	}
+	if m.PageTableNodes() <= before {
+		t.Fatal("page table did not allocate nodes")
+	}
+}
+
+func TestWalkCompetesForCache(t *testing.T) {
+	// A huge data working set must evict page-table nodes from the caches,
+	// making walks expensive (DRAM refs from PT region).
+	m := New(Config{})
+	m.AutoFault = true
+	for p := uint64(0); p < 1_000_000; p += 7 {
+		m.Access(p << 12)
+	}
+	st := m.Stats()
+	if st.DRAM == 0 {
+		t.Fatal("no DRAM accesses in a 4 GB working set")
+	}
+	if st.Walks == 0 {
+		t.Fatal("no walks despite TLB-thrashing working set")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := New(Config{})
+		m.AutoFault = true
+		x := uint64(12345)
+		for i := 0; i < 50000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			m.Access((x % (1 << 22)) << 3)
+		}
+		return m.Time()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("simulation not deterministic: %.2f != %.2f", a, b)
+	}
+}

@@ -1,0 +1,107 @@
+package workload
+
+// Trace replay: a minimal line-oriented operation log so real application
+// traces (or synthetic ones from other tools) can be replayed against any
+// index. Format, one op per line:
+//
+//	I <key> <value>   insert/upsert
+//	L <key>           lookup
+//	D <key>           delete
+//	# ...             comment (ignored), as are blank lines
+//
+// Keys and values are decimal or 0x-prefixed hex uint64.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceOp is one parsed trace operation.
+type TraceOp struct {
+	Kind  byte // 'I', 'L', or 'D'
+	Key   uint64
+	Value uint64 // inserts only
+}
+
+// ReadTrace parses ops from r, calling fn for each. It stops at EOF or on
+// the first malformed line (reported with its line number).
+func ReadTrace(r io.Reader, fn func(op TraceOp) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := parseTraceLine(line)
+		if err != nil {
+			return fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+		if err := fn(op); err != nil {
+			return fmt.Errorf("trace line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func parseTraceLine(line string) (TraceOp, error) {
+	fields := strings.Fields(line)
+	kind := strings.ToUpper(fields[0])
+	switch kind {
+	case "I":
+		if len(fields) != 3 {
+			return TraceOp{}, fmt.Errorf("insert needs key and value")
+		}
+		k, err := parseU64(fields[1])
+		if err != nil {
+			return TraceOp{}, err
+		}
+		v, err := parseU64(fields[2])
+		if err != nil {
+			return TraceOp{}, err
+		}
+		return TraceOp{Kind: 'I', Key: k, Value: v}, nil
+	case "L", "D":
+		if len(fields) != 2 {
+			return TraceOp{}, fmt.Errorf("%s needs exactly one key", kind)
+		}
+		k, err := parseU64(fields[1])
+		if err != nil {
+			return TraceOp{}, err
+		}
+		return TraceOp{Kind: kind[0], Key: k}, nil
+	}
+	return TraceOp{}, fmt.Errorf("unknown op %q", fields[0])
+}
+
+func parseU64(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// WriteTrace serializes ops to w in the trace format.
+func WriteTrace(w io.Writer, ops []TraceOp) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case 'I':
+			_, err = fmt.Fprintf(bw, "I %d %d\n", op.Key, op.Value)
+		case 'L', 'D':
+			_, err = fmt.Fprintf(bw, "%c %d\n", op.Kind, op.Key)
+		default:
+			err = fmt.Errorf("workload: unknown trace op %q", op.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadTraceBasics(t *testing.T) {
+	in := `
+# a comment
+I 1 100
+L 1
+i 2 0x2a
+d 2
+L 0xdeadbeef
+`
+	var ops []TraceOp
+	err := ReadTrace(strings.NewReader(in), func(op TraceOp) error {
+		ops = append(ops, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	want := []TraceOp{
+		{'I', 1, 100},
+		{'L', 1, 0},
+		{'I', 2, 42},
+		{'D', 2, 0},
+		{'L', 0xdeadbeef, 0},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	for i, op := range ops {
+		if op != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, op, want[i])
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"X 1",     // unknown op
+		"I 1",     // missing value
+		"L",       // missing key
+		"L 1 2",   // extra field
+		"I foo 1", // bad key
+		"I 1 bar", // bad value
+		"D 0xzz",  // bad hex
+	}
+	for _, in := range cases {
+		err := ReadTrace(strings.NewReader(in), func(TraceOp) error { return nil })
+		if err == nil {
+			t.Fatalf("malformed line %q accepted", in)
+		}
+		if !strings.Contains(err.Error(), "line 1") {
+			t.Fatalf("error lacks line number: %v", err)
+		}
+	}
+}
+
+func TestReadTraceCallbackErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := ReadTrace(strings.NewReader("L 1\nL 2\nL 3"), func(TraceOp) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestQuickTraceRoundTrip(t *testing.T) {
+	check := func(kinds []uint8, keys []uint64, vals []uint64) bool {
+		n := len(kinds)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		if len(vals) < n {
+			n = len(vals)
+		}
+		ops := make([]TraceOp, 0, n)
+		for i := 0; i < n; i++ {
+			kind := []byte{'I', 'L', 'D'}[kinds[i]%3]
+			op := TraceOp{Kind: kind, Key: keys[i]}
+			if kind == 'I' {
+				op.Value = vals[i]
+			}
+			ops = append(ops, op)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			return false
+		}
+		var got []TraceOp
+		if err := ReadTrace(&buf, func(op TraceOp) error {
+			got = append(got, op)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got[i] != ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTraceRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []TraceOp{{Kind: 'Q'}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

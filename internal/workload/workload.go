@@ -1,0 +1,115 @@
+// Package workload generates the deterministic workloads of the paper's
+// evaluation: uniform random 64-bit keys for insertion (Figure 7a), random
+// hit-only lookup streams (Figure 7b), the wide-inner-node access streams
+// of the microbenchmarks (Table 1, Figures 2 and 4), and the wave-shaped
+// mixed workload of Figure 8.
+//
+// All generators are seeded and reproducible. Distinct keys are produced
+// by passing a counter through an invertible 64-bit mixer, so key i is
+// unique by construction — no rejection sampling, no set of seen keys.
+package workload
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and good enough
+// for uniform workload generation.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// mix64 is an invertible finalizer (same structure as splitmix64's): used
+// to derive unique uniform-looking keys from a counter.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Key returns the i-th key of the keyspace identified by seed. Keys are
+// pairwise distinct for distinct i (mix64 is a bijection) and uniformly
+// spread over 64 bits.
+func Key(seed uint64, i uint64) uint64 {
+	return mix64(i + 1 + seed*0x9E3779B97F4A7C15)
+}
+
+// Keys materializes keys [0, n) of a keyspace. For paper-scale runs prefer
+// streaming via Key to avoid the 8n-byte slice.
+func Keys(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = Key(seed, uint64(i))
+	}
+	return out
+}
+
+// LookupStream yields count indices in [0, n) for hit-only lookups
+// (Figure 7b: "100M random lookups (only hits)"): pass each index through
+// Key to obtain an existing key.
+func LookupStream(seed uint64, n int, count int, fn func(idx int)) {
+	r := NewRNG(seed ^ 0xABCD)
+	for i := 0; i < count; i++ {
+		fn(r.Intn(n))
+	}
+}
+
+// Wave describes one burst of the Figure 8 mixed workload: Accesses
+// operations of which the first InsertFraction are insertions and the rest
+// are hit-only lookups.
+type Wave struct {
+	Accesses       int
+	InsertFraction float64
+}
+
+// MixedOp is one operation of a mixed workload.
+type MixedOp struct {
+	Insert bool
+	Key    uint64
+	Value  uint64
+}
+
+// MixedWaves streams the Figure 8 workload: the index is bulk-loaded with
+// loaded entries already; waves are fired in order, each inserting its
+// first InsertFraction·Accesses fresh keys and then looking up uniformly
+// random existing keys. fn receives every operation in order.
+func MixedWaves(seed uint64, loaded int, waves []Wave, fn func(op MixedOp)) {
+	r := NewRNG(seed ^ 0x5117)
+	inserted := loaded
+	for _, w := range waves {
+		nIns := int(float64(w.Accesses) * w.InsertFraction)
+		for i := 0; i < w.Accesses; i++ {
+			if i < nIns {
+				k := Key(seed, uint64(inserted))
+				fn(MixedOp{Insert: true, Key: k, Value: uint64(inserted)})
+				inserted++
+			} else {
+				idx := r.Intn(inserted)
+				fn(MixedOp{Key: Key(seed, uint64(idx)), Value: uint64(idx)})
+			}
+		}
+	}
+}
+
+// SlotStream yields count uniformly random slot numbers in [0, slots) —
+// the random inner-node access pattern of Table 1 and Figures 2/4.
+func SlotStream(seed uint64, slots int, count int, fn func(slot int)) {
+	r := NewRNG(seed ^ 0xF00D)
+	for i := 0; i < count; i++ {
+		fn(r.Intn(slots))
+	}
+}

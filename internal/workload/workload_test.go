@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestKeysAreDistinct(t *testing.T) {
+	const n = 200000
+	seen := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		k := Key(1, i)
+		if seen[k] {
+			t.Fatalf("duplicate key at index %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestQuickKeyBijective(t *testing.T) {
+	check := func(i, j uint64, seed uint64) bool {
+		if i == j {
+			return true
+		}
+		return Key(seed, i) != Key(seed, j)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysMatchesKey(t *testing.T) {
+	ks := Keys(9, 100)
+	for i, k := range ks {
+		if k != Key(9, uint64(i)) {
+			t.Fatalf("Keys[%d] mismatch", i)
+		}
+	}
+}
+
+func TestKeysSpreadAcrossPrefixes(t *testing.T) {
+	// Directory indexing uses the hash MSBs, but key MSBs spreading is a
+	// cheap sanity check on uniformity.
+	counts := [16]int{}
+	for i := uint64(0); i < 16000; i++ {
+		counts[Key(2, i)>>60]++
+	}
+	for b, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("prefix %x count %d far from uniform (1000)", b, c)
+		}
+	}
+}
+
+func TestLookupStreamHitsOnly(t *testing.T) {
+	n := 1000
+	count := 0
+	LookupStream(5, n, 5000, func(idx int) {
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range", idx)
+		}
+		count++
+	})
+	if count != 5000 {
+		t.Fatalf("stream yielded %d ops", count)
+	}
+}
+
+func TestMixedWavesShape(t *testing.T) {
+	waves := []Wave{{Accesses: 1000, InsertFraction: 0.01}, {Accesses: 1000, InsertFraction: 0.01}}
+	var ops []MixedOp
+	MixedWaves(11, 500, waves, func(op MixedOp) { ops = append(ops, op) })
+	if len(ops) != 2000 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	// First 10 of each wave are inserts, the rest lookups.
+	for w := 0; w < 2; w++ {
+		base := w * 1000
+		for i := 0; i < 1000; i++ {
+			op := ops[base+i]
+			if i < 10 && !op.Insert {
+				t.Fatalf("wave %d op %d should be insert", w, i)
+			}
+			if i >= 10 && op.Insert {
+				t.Fatalf("wave %d op %d should be lookup", w, i)
+			}
+		}
+	}
+	// Inserted keys continue the bulk-loaded keyspace.
+	if ops[0].Key != Key(11, 500) {
+		t.Fatal("first inserted key must continue the keyspace")
+	}
+	// Lookup keys must reference already-inserted indices.
+	for _, op := range ops {
+		if !op.Insert && op.Value >= 520 {
+			t.Fatalf("lookup references not-yet-inserted index %d", op.Value)
+		}
+	}
+}
+
+func TestSlotStreamRange(t *testing.T) {
+	SlotStream(3, 64, 1000, func(s int) {
+		if s < 0 || s >= 64 {
+			t.Fatalf("slot %d out of range", s)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package workload
+
+// YCSB-style operation mixes — the standard cloud-serving workloads used
+// to exercise key-value indexes beyond the paper's uniform streams. The
+// Zipfian request distribution follows the rejection-free incremental
+// method of Gray et al. ("Quickly generating billion-record synthetic
+// databases", SIGMOD 1994), the same generator YCSB itself uses.
+
+import "math"
+
+// Zipfian draws keys in [0, n) with the classic YCSB skew
+// (theta = 0.99 by default: a few keys dominate).
+type Zipfian struct {
+	rng      *RNG
+	n        uint64
+	theta    float64
+	alpha    float64
+	zetan    float64
+	eta      float64
+	zeta2    float64
+	halfPowT float64
+}
+
+// NewZipfian creates a generator over [0, n) with skew theta in (0, 1).
+func NewZipfian(seed uint64, n int, theta float64) *Zipfian {
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipfian{rng: NewRNG(seed), n: uint64(n), theta: theta}
+	z.zetan = zeta(uint64(n), theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	z.halfPowT = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key index.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowT {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// OpKind is a YCSB operation type.
+type OpKind uint8
+
+// Operation kinds of the standard mixes.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpReadModifyWrite
+)
+
+// Mix describes an operation mix as proportions summing to 1.
+type Mix struct {
+	Name   string
+	Read   float64
+	Update float64
+	Insert float64
+	RMW    float64
+	// Zipf selects the skewed request distribution (YCSB default);
+	// false = uniform.
+	Zipf bool
+}
+
+// Standard YCSB core workload mixes over a key-value store.
+var (
+	MixA = Mix{Name: "A", Read: 0.5, Update: 0.5, Zipf: true}
+	MixB = Mix{Name: "B", Read: 0.95, Update: 0.05, Zipf: true}
+	MixC = Mix{Name: "C", Read: 1.0, Zipf: true}
+	MixD = Mix{Name: "D", Read: 0.95, Insert: 0.05} // latest-ish: uniform over recent
+	MixF = Mix{Name: "F", Read: 0.5, RMW: 0.5, Zipf: true}
+)
+
+// Mixes lists the implemented standard mixes.
+var Mixes = []Mix{MixA, MixB, MixC, MixD, MixF}
+
+// YCSBOp is one generated operation. KeyIndex is an index into the loaded
+// keyspace for reads/updates (resolve via Key), or the next fresh index
+// for inserts.
+type YCSBOp struct {
+	Kind     OpKind
+	KeyIndex uint64
+}
+
+// YCSB streams count operations of the mix over a store pre-loaded with
+// loaded entries. Inserts extend the keyspace; reads/updates draw from the
+// currently loaded prefix (zipfian or uniform).
+func YCSB(seed uint64, mix Mix, loaded int, count int, fn func(op YCSBOp)) {
+	opRNG := NewRNG(seed ^ 0xDADA)
+	keyRNG := NewRNG(seed ^ 0xFEED)
+	var zipf *Zipfian
+	if mix.Zipf {
+		zipf = NewZipfian(seed^0x21F, loaded, 0.99)
+	}
+	next := uint64(loaded)
+	draw := func() uint64 {
+		if zipf != nil {
+			k := zipf.Next()
+			if k >= next {
+				k = next - 1
+			}
+			return k
+		}
+		return keyRNG.Next() % next
+	}
+	for i := 0; i < count; i++ {
+		r := opRNG.Float64()
+		switch {
+		case r < mix.Read:
+			fn(YCSBOp{Kind: OpRead, KeyIndex: draw()})
+		case r < mix.Read+mix.Update:
+			fn(YCSBOp{Kind: OpUpdate, KeyIndex: draw()})
+		case r < mix.Read+mix.Update+mix.Insert:
+			fn(YCSBOp{Kind: OpInsert, KeyIndex: next})
+			next++
+		default:
+			fn(YCSBOp{Kind: OpReadModifyWrite, KeyIndex: draw()})
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(7, n, 0.99)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= n {
+			t.Fatalf("zipf key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Skew: the hottest key must receive far more than uniform share, and
+	// the head must dominate.
+	uniform := draws / n
+	if counts[0] < uniform*20 {
+		t.Fatalf("key 0 drawn %d times; uniform share is %d — no skew?", counts[0], uniform)
+	}
+	head := 0
+	for k := uint64(0); k < 100; k++ {
+		head += counts[k]
+	}
+	if float64(head) < 0.3*draws {
+		t.Fatalf("hottest 1%% of keys got only %.1f%% of draws", 100*float64(head)/draws)
+	}
+}
+
+func TestZipfianDeterminism(t *testing.T) {
+	a, b := NewZipfian(3, 1000, 0.99), NewZipfian(3, 1000, 0.99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfianBadThetaFallsBack(t *testing.T) {
+	z := NewZipfian(1, 100, 5.0) // invalid theta -> 0.99
+	if math.IsNaN(float64(z.Next())) {
+		t.Fatal("NaN from fallback theta")
+	}
+}
+
+func TestYCSBMixProportions(t *testing.T) {
+	const count = 100000
+	for _, mix := range Mixes {
+		got := map[OpKind]int{}
+		YCSB(9, mix, 10000, count, func(op YCSBOp) { got[op.Kind]++ })
+		total := 0
+		for _, c := range got {
+			total += c
+		}
+		if total != count {
+			t.Fatalf("%s: generated %d ops", mix.Name, total)
+		}
+		checks := []struct {
+			kind OpKind
+			want float64
+		}{
+			{OpRead, mix.Read}, {OpUpdate, mix.Update},
+			{OpInsert, mix.Insert}, {OpReadModifyWrite, mix.RMW},
+		}
+		for _, c := range checks {
+			frac := float64(got[c.kind]) / count
+			if math.Abs(frac-c.want) > 0.02 {
+				t.Fatalf("%s: kind %d fraction %.3f, want %.3f", mix.Name, c.kind, frac, c.want)
+			}
+		}
+	}
+}
+
+func TestYCSBReadsTargetLoadedKeys(t *testing.T) {
+	const loaded = 5000
+	maxInsert := uint64(loaded)
+	YCSB(4, MixD, loaded, 50000, func(op YCSBOp) {
+		switch op.Kind {
+		case OpInsert:
+			if op.KeyIndex != maxInsert {
+				t.Fatalf("insert index %d, want %d (sequential)", op.KeyIndex, maxInsert)
+			}
+			maxInsert++
+		default:
+			if op.KeyIndex >= maxInsert {
+				t.Fatalf("read of not-yet-inserted index %d", op.KeyIndex)
+			}
+		}
+	})
+	if maxInsert == loaded {
+		t.Fatal("mix D generated no inserts")
+	}
+}
+
+func TestYCSBZipfReadsAreSkewed(t *testing.T) {
+	counts := map[uint64]int{}
+	YCSB(5, MixC, 10000, 100000, func(op YCSBOp) { counts[op.KeyIndex]++ })
+	if counts[0] < 1000 {
+		t.Fatalf("mix C not skewed: key 0 read %d times", counts[0])
+	}
+}

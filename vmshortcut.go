@@ -1,0 +1,163 @@
+// Package vmshortcut is a Go implementation of virtual-memory shortcuts —
+// database index indirections expressed directly in the page table of the
+// OS instead of materialized pointers — as introduced in
+//
+//	Felix Schuhknecht: "Taking the Shortcut: Actively Incorporating the
+//	Virtual Memory Index of the OS to Hardware-Accelerate Database
+//	Indexing", CIDR 2024.
+//
+// The package exposes three layers:
+//
+//   - The rewiring layer: a Pool of physical pages (one main-memory file
+//     created with memfd_create) plus TraditionalNode and ShortcutNode —
+//     radix-style inner nodes where the shortcut variant maps each slot's
+//     virtual page straight onto the physical page of its leaf, so a
+//     lookup resolves a single, hardware-accelerated indirection.
+//
+//   - The index layer: five uint64→uint64 hash indexes behind the Index
+//     interface — NewHashTable (HT), NewIncrementalHashTable (HTI, the
+//     Redis-style incremental rehasher), NewChainedHashTable (CH),
+//     NewExtendibleHashing (EH), and NewShortcutEH, the paper's
+//     contribution: extendible hashing whose directory is additionally
+//     expressed as a page-table shortcut maintained asynchronously by a
+//     mapper thread.
+//
+//   - The simulation layer (vmsim): a deterministic software MMU — 4-level
+//     page table, two-level TLB, three-level cache model — used by the
+//     benchmark harness to regenerate the paper's hardware-bound figures
+//     deterministically.
+//
+// All rewired memory lives outside the Go heap; the garbage collector
+// never observes it. Linux is required for the rewiring layer (memfd +
+// MAP_FIXED); every other layer is portable.
+package vmshortcut
+
+import (
+	"io"
+	"time"
+
+	"vmshortcut/internal/ch"
+	"vmshortcut/internal/core"
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/ht"
+	"vmshortcut/internal/hti"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/radix"
+	"vmshortcut/internal/sceh"
+)
+
+// Index is the common operation surface of all five hash indexes:
+// an upserting Insert, a Lookup, a Delete, and the entry count.
+type Index interface {
+	Insert(key, value uint64) error
+	Lookup(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+	Len() int
+}
+
+// Pool re-exports the physical page pool (one memfd-backed main-memory
+// file with a stable linear window).
+type Pool = pool.Pool
+
+// PoolConfig re-exports the pool configuration.
+type PoolConfig = pool.Config
+
+// PageRef identifies a physical page by its offset in the pool file.
+type PageRef = pool.Ref
+
+// TraditionalNode is a pointer-based radix inner node over pool pages.
+type TraditionalNode = core.Traditional
+
+// ShortcutNode is a page-table-expressed inner node: one virtual page per
+// slot, rewired onto the physical pages of its leaves.
+type ShortcutNode = core.Shortcut
+
+// NewPool creates a physical page pool.
+func NewPool(cfg PoolConfig) (*Pool, error) { return pool.New(cfg) }
+
+// NewTraditionalNode allocates a pointer-based inner node with k slots.
+func NewTraditionalNode(p *Pool, k int) *TraditionalNode { return core.NewTraditional(p, k) }
+
+// NewShortcutNode reserves the virtual area for a k-slot shortcut node.
+func NewShortcutNode(p *Pool, k int) (*ShortcutNode, error) { return core.NewShortcut(p, k) }
+
+// HashTableConfig configures NewHashTable.
+type HashTableConfig = ht.Config
+
+// NewHashTable creates the HT baseline: one open-addressing table that
+// doubles (with a full rehash) when its load factor exceeds the threshold.
+func NewHashTable(cfg HashTableConfig) Index { return ht.New(cfg) }
+
+// IncrementalConfig configures NewIncrementalHashTable.
+type IncrementalConfig = hti.Config
+
+// NewIncrementalHashTable creates the HTI baseline: Redis-style
+// incremental rehashing — each access migrates a batch of entries.
+func NewIncrementalHashTable(cfg IncrementalConfig) Index { return hti.New(cfg) }
+
+// ChainedConfig configures NewChainedHashTable.
+type ChainedConfig = ch.Config
+
+// NewChainedHashTable creates the CH baseline: a fixed-size table with
+// 128-byte overflow bucket chains and no rehashing.
+func NewChainedHashTable(cfg ChainedConfig) Index { return ch.New(cfg) }
+
+// ExtendibleConfig configures NewExtendibleHashing.
+type ExtendibleConfig = eh.Config
+
+// ExtendibleHashing is the EH baseline with access to its directory
+// statistics (global depth, bucket count, version).
+type ExtendibleHashing = eh.Table
+
+// NewExtendibleHashing creates classical extendible hashing over pool
+// pages: a pointer directory indexed by the hash's most significant bits
+// over 4 KB buckets.
+func NewExtendibleHashing(p *Pool, cfg ExtendibleConfig) (*ExtendibleHashing, error) {
+	return eh.New(p, cfg)
+}
+
+// ShortcutEHConfig configures NewShortcutEH.
+type ShortcutEHConfig = sceh.Config
+
+// ShortcutEH is the paper's contribution: extendible hashing whose
+// directory is additionally expressed as a page-table shortcut, maintained
+// asynchronously and used for lookups whenever it is in sync and the
+// average fan-in permits.
+type ShortcutEH = sceh.Table
+
+// NewShortcutEH creates a Shortcut-EH index and starts its mapper thread.
+// Close it to stop the mapper and release the shortcut's virtual areas.
+func NewShortcutEH(p *Pool, cfg ShortcutEHConfig) (*ShortcutEH, error) {
+	return sceh.New(p, cfg)
+}
+
+// ConcurrentShortcutEH is a Shortcut-EH table behind a readers-writer
+// lock: any number of concurrent Lookups, exclusive mutation.
+type ConcurrentShortcutEH = sceh.Concurrent
+
+// NewConcurrentShortcutEH creates a concurrency-safe Shortcut-EH table.
+func NewConcurrentShortcutEH(p *Pool, cfg ShortcutEHConfig) (*ConcurrentShortcutEH, error) {
+	return sceh.NewConcurrent(p, cfg)
+}
+
+// RadixMapConfig configures NewRadixMap.
+type RadixMapConfig = radix.Config
+
+// RadixMap is a second shortcut application: a sparse direct-mapped
+// uint64→uint64 index over a bounded key space, whose single wide inner
+// node is expressed as a synchronously maintained page-table shortcut.
+type RadixMap = radix.Map
+
+// NewRadixMap creates a sparse direct-mapped index covering keys
+// [0, cfg.Capacity).
+func NewRadixMap(p *Pool, cfg RadixMapConfig) (*RadixMap, error) { return radix.New(p, cfg) }
+
+// RestoreExtendibleHashing reads a snapshot written by
+// (*ExtendibleHashing).WriteSnapshot into a fresh table backed by p.
+func RestoreExtendibleHashing(p *Pool, cfg ExtendibleConfig, r io.Reader) (*ExtendibleHashing, error) {
+	return eh.Restore(p, cfg, r)
+}
+
+// DefaultPollInterval is the paper's empirically chosen mapper polling
+// frequency (§4.1).
+const DefaultPollInterval = 25 * time.Millisecond
