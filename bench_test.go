@@ -8,10 +8,12 @@ package vmshortcut
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"vmshortcut/internal/core"
+	"vmshortcut/internal/harness"
 	"vmshortcut/internal/pool"
 	"vmshortcut/internal/sys"
 	"vmshortcut/internal/vmsim"
@@ -223,42 +225,31 @@ func BenchmarkFig5Remap(b *testing.B) {
 
 // --- Figure 7a: insertions. ---
 
-func benchIndexes(b *testing.B) map[string]Index {
+// openBenchStore opens one competitor by legend name via the facade; only
+// the requested kind is constructed so no unrelated pool or mapper thread
+// runs during the timed loop.
+func openBenchStore(b *testing.B, name string) Store {
 	b.Helper()
-	out := map[string]Index{}
-	out["HT"] = NewHashTable(HashTableConfig{})
-	out["HTI"] = NewIncrementalHashTable(IncrementalConfig{})
-	out["CH"] = NewChainedHashTable(ChainedConfig{TableBytes: 32 << 20})
-	p1, err := NewPool(PoolConfig{})
+	kind, err := ParseKind(strings.ToLower(name))
 	if err != nil {
 		b.Fatal(err)
 	}
-	ehTbl, err := NewExtendibleHashing(p1, ExtendibleConfig{})
+	var opts []Option
+	if kind == KindCH {
+		opts = append(opts, WithTableBytes(32<<20))
+	}
+	s, err := Open(kind, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
-	out["EH"] = ehTbl
-	p2, err := NewPool(PoolConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	scTbl, err := NewShortcutEH(p2, ShortcutEHConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	out["Shortcut-EH"] = scTbl
-	b.Cleanup(func() {
-		scTbl.Close()
-		p1.Close()
-		p2.Close()
-	})
-	return out
+	b.Cleanup(func() { s.Close() })
+	return s
 }
 
 func BenchmarkFig7aInsert(b *testing.B) {
 	for _, name := range []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"} {
 		b.Run(name, func(b *testing.B) {
-			idx := benchIndexes(b)[name]
+			idx := openBenchStore(b, name)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -276,16 +267,14 @@ func BenchmarkFig7bLookup(b *testing.B) {
 	const n = 1 << 20
 	for _, name := range []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"} {
 		b.Run(name, func(b *testing.B) {
-			idx := benchIndexes(b)[name]
+			idx := openBenchStore(b, name)
 			for i := 0; i < n; i++ {
 				if err := idx.Insert(workload.Key(1, uint64(i)), uint64(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
-			if sct, ok := idx.(*ShortcutEH); ok {
-				if !sct.WaitSync(time.Minute) {
-					b.Fatal("shortcut never synced")
-				}
+			if !idx.WaitSync(time.Minute) {
+				b.Fatal("shortcut never synced")
 			}
 			rng := workload.NewRNG(9)
 			b.ReportAllocs()
@@ -303,12 +292,7 @@ func BenchmarkFig7bLookup(b *testing.B) {
 // --- Figure 8: the mixed workload op stream on Shortcut-EH. ---
 
 func BenchmarkFig8Mixed(b *testing.B) {
-	p, err := NewPool(PoolConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer p.Close()
-	idx, err := NewShortcutEH(p, ShortcutEHConfig{})
+	idx, err := Open(KindShortcutEH)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -388,19 +372,14 @@ func BenchmarkAblationCoalesce(b *testing.B) {
 func BenchmarkAblationMaintenance(b *testing.B) {
 	for _, v := range []struct {
 		name string
-		cfg  ShortcutEHConfig
+		opts []Option
 	}{
-		{"AsyncMapper", ShortcutEHConfig{}},
-		{"Synchronous", ShortcutEHConfig{Synchronous: true}},
-		{"NoShortcut", ShortcutEHConfig{DisableShortcut: true}},
+		{"AsyncMapper", nil},
+		{"Synchronous", []Option{WithSynchronousMaintenance(true)}},
+		{"NoShortcut", []Option{WithDisableShortcut(true)}},
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			p, err := NewPool(PoolConfig{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer p.Close()
-			idx, err := NewShortcutEH(p, v.cfg)
+			idx, err := Open(KindShortcutEH, v.opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -423,34 +402,21 @@ func BenchmarkYCSB(b *testing.B) {
 	for _, mix := range []workload.Mix{workload.MixA, workload.MixC, workload.MixF} {
 		for _, variant := range []string{"EH", "Shortcut-EH"} {
 			b.Run("mix"+mix.Name+"/"+variant, func(b *testing.B) {
-				p, err := NewPool(PoolConfig{})
+				kind := KindEH
+				if variant == "Shortcut-EH" {
+					kind = KindShortcutEH
+				}
+				idx, err := Open(kind)
 				if err != nil {
 					b.Fatal(err)
 				}
-				defer p.Close()
-				var idx Index
-				if variant == "EH" {
-					t, err := NewExtendibleHashing(p, ExtendibleConfig{})
-					if err != nil {
-						b.Fatal(err)
-					}
-					idx = t
-				} else {
-					t, err := NewShortcutEH(p, ShortcutEHConfig{})
-					if err != nil {
-						b.Fatal(err)
-					}
-					defer t.Close()
-					idx = t
-				}
+				defer idx.Close()
 				for i := 0; i < loaded; i++ {
 					if err := idx.Insert(workload.Key(8, uint64(i)), uint64(i)); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if sct, ok := idx.(*ShortcutEH); ok {
-					sct.WaitSync(time.Minute)
-				}
+				idx.WaitSync(time.Minute)
 				b.ReportAllocs()
 				b.ResetTimer()
 				done := 0
@@ -475,6 +441,97 @@ func BenchmarkYCSB(b *testing.B) {
 	}
 }
 
+// --- Facade batch operations vs loops of single calls. ---
+
+// BenchmarkBatchVsSingle compares InsertBatch/LookupBatch against loops of
+// single calls through the same Store surface. The batch variants amortize
+// interface dispatch, the closed-store check, and (for Shortcut-EH) the
+// per-lookup routing decision, so their per-op cost must not exceed the
+// single-call loop's.
+func BenchmarkBatchVsSingle(b *testing.B) {
+	const batch = 1024
+	const probeCount = 1 << 15 // multiple of batch
+	for _, name := range []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"} {
+		b.Run(name+"/InsertSingle", func(b *testing.B) {
+			idx := openBenchStore(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Insert(workload.Key(4, uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/InsertBatch", func(b *testing.B) {
+			idx := openBenchStore(b, name)
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			harness.Chunks(b.N, batch, func(lo, hi int) {
+				k, v := keys[:hi-lo], vals[:hi-lo]
+				for i := range k {
+					k[i] = workload.Key(4, uint64(lo+i))
+					v[i] = uint64(lo + i)
+				}
+				if err := idx.InsertBatch(k, v); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+
+		loaded := func(b *testing.B) (Store, []uint64) {
+			b.Helper()
+			idx := openBenchStore(b, name)
+			const n = 1 << 19
+			for i := 0; i < n; i++ {
+				if err := idx.Insert(workload.Key(4, uint64(i)), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !idx.WaitSync(time.Minute) {
+				b.Fatal("shortcut never synced")
+			}
+			rng := workload.NewRNG(17)
+			probes := make([]uint64, probeCount)
+			for i := range probes {
+				probes[i] = workload.Key(4, uint64(rng.Intn(n)))
+			}
+			return idx, probes
+		}
+		b.Run(name+"/LookupSingle", func(b *testing.B) {
+			idx, probes := loaded(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := idx.Lookup(probes[i%probeCount]); !ok {
+					b.Fatal("miss")
+				}
+			}
+		})
+		b.Run(name+"/LookupBatch", func(b *testing.B) {
+			idx, probes := loaded(b)
+			out := make([]uint64, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				k := probes[done%probeCount:]
+				if len(k) > batch {
+					k = k[:batch]
+				}
+				if done+len(k) > b.N {
+					k = k[:b.N-done]
+				}
+				for _, ok := range idx.LookupBatch(k, out[:len(k)]) {
+					if !ok {
+						b.Fatal("miss")
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- vmsim: the simulated translation path itself. ---
 
 func BenchmarkSimAccess(b *testing.B) {
@@ -496,21 +553,12 @@ func BenchmarkSimAccess(b *testing.B) {
 
 func BenchmarkHeadlineLookup(b *testing.B) {
 	const n = 1 << 20
-	p1, err := NewPool(PoolConfig{})
+	ehTbl, err := Open(KindEH)
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer p1.Close()
-	ehTbl, err := NewExtendibleHashing(p1, ExtendibleConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	p2, err := NewPool(PoolConfig{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer p2.Close()
-	scTbl, err := NewShortcutEH(p2, ShortcutEHConfig{})
+	defer ehTbl.Close()
+	scTbl, err := Open(KindShortcutEH)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,12 +1,13 @@
-// Command ehstore is a workbench for the five hash indexes: it loads a
-// generated keyspace into a chosen index, fires a query mix, and prints
-// throughput plus index-specific statistics. Useful for quick what-if runs
-// outside the full benchmark harness.
+// Command ehstore is a workbench for the hash indexes behind the
+// vmshortcut.Open facade: it loads a generated keyspace into a chosen
+// index kind, fires a query mix, and prints throughput plus the uniform
+// Stats counters. Useful for quick what-if runs outside the full
+// benchmark harness.
 //
 // Usage:
 //
 //	ehstore [-index shortcut-eh|eh|ht|hti|ch] [-n 1000000] [-reads 1000000]
-//	        [-deletes 0.1] [-poll 25ms]
+//	        [-deletes 0.1] [-poll 25ms] [-batch 0]
 package main
 
 import (
@@ -22,51 +23,34 @@ import (
 )
 
 func main() {
-	index := flag.String("index", "shortcut-eh", "index: shortcut-eh | eh | ht | hti | ch")
+	index := flag.String("index", "shortcut-eh", "index kind: shortcut-eh | eh | ht | hti | ch")
 	n := flag.Int("n", 1_000_000, "entries to load")
 	reads := flag.Int("reads", 1_000_000, "hit-only lookups to fire")
 	deletes := flag.Float64("deletes", 0, "fraction of entries to delete after the read phase")
 	poll := flag.Duration("poll", vmshortcut.DefaultPollInterval, "mapper poll interval (shortcut-eh)")
 	seed := flag.Uint64("seed", 42, "keyspace seed")
 	hist := flag.Bool("hist", false, "print a read-latency histogram")
+	batch := flag.Int("batch", 0, "run load and read phases through InsertBatch/LookupBatch in chunks of this size (0 = single ops)")
 	trace := flag.String("trace", "", "replay an operation trace file instead of the generated workload (I/L/D lines)")
 	flag.Parse()
 
-	var (
-		idx     vmshortcut.Index
-		cleanup func()
-	)
-	switch *index {
-	case "ht":
-		idx, cleanup = vmshortcut.NewHashTable(vmshortcut.HashTableConfig{}), func() {}
-	case "hti":
-		idx, cleanup = vmshortcut.NewIncrementalHashTable(vmshortcut.IncrementalConfig{}), func() {}
-	case "ch":
-		idx, cleanup = vmshortcut.NewChainedHashTable(vmshortcut.ChainedConfig{TableBytes: *n * 10}), func() {}
-	case "eh":
-		p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-		if err != nil {
-			log.Fatalf("pool: %v", err)
-		}
-		t, err := vmshortcut.NewExtendibleHashing(p, vmshortcut.ExtendibleConfig{})
-		if err != nil {
-			log.Fatalf("eh: %v", err)
-		}
-		idx, cleanup = t, func() { p.Close() }
-	case "shortcut-eh":
-		p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-		if err != nil {
-			log.Fatalf("pool: %v", err)
-		}
-		t, err := vmshortcut.NewShortcutEH(p, vmshortcut.ShortcutEHConfig{PollInterval: *poll})
-		if err != nil {
-			log.Fatalf("shortcut-eh: %v", err)
-		}
-		idx, cleanup = t, func() { t.Close(); p.Close() }
-	default:
-		log.Fatalf("unknown index %q", *index)
+	kind, err := vmshortcut.ParseKind(*index)
+	if err != nil {
+		log.Fatal(err)
 	}
-	defer cleanup()
+	if *hist && *batch > 0 {
+		log.Fatal("-hist records per-op latencies and requires -batch=0")
+	}
+	opts := []vmshortcut.Option{vmshortcut.WithPollInterval(*poll)}
+	if kind == vmshortcut.KindCH {
+		// The paper's 10-bytes-per-entry directory budget for CH.
+		opts = append(opts, vmshortcut.WithTableBytes(*n*10))
+	}
+	idx, err := vmshortcut.Open(kind, opts...)
+	if err != nil {
+		log.Fatalf("open %s: %v", kind, err)
+	}
+	defer idx.Close()
 
 	if *trace != "" {
 		if err := replayTrace(idx, *trace); err != nil {
@@ -75,42 +59,77 @@ func main() {
 		return
 	}
 
-	fmt.Printf("index=%s n=%d reads=%d\n", *index, *n, *reads)
+	fmt.Printf("index=%s n=%d reads=%d batch=%d\n", kind, *n, *reads, *batch)
 
 	start := time.Now()
-	for i := 0; i < *n; i++ {
-		if err := idx.Insert(workload.Key(*seed, uint64(i)), uint64(i)); err != nil {
-			log.Fatalf("insert %d: %v", i, err)
+	if *batch > 0 {
+		keys := make([]uint64, *batch)
+		vals := make([]uint64, *batch)
+		harness.Chunks(*n, *batch, func(lo, hi int) {
+			k, v := keys[:hi-lo], vals[:hi-lo]
+			for i := range k {
+				k[i] = workload.Key(*seed, uint64(lo+i))
+				v[i] = uint64(lo + i)
+			}
+			if err := idx.InsertBatch(k, v); err != nil {
+				log.Fatalf("insert batch [%d,%d): %v", lo, hi, err)
+			}
+		})
+	} else {
+		for i := 0; i < *n; i++ {
+			if err := idx.Insert(workload.Key(*seed, uint64(i)), uint64(i)); err != nil {
+				log.Fatalf("insert %d: %v", i, err)
+			}
 		}
 	}
 	loadDur := time.Since(start)
 	fmt.Printf("load:    %10s  (%.0f inserts/s)\n", loadDur.Round(time.Millisecond),
 		float64(*n)/loadDur.Seconds())
 
-	if sct, ok := idx.(*vmshortcut.ShortcutEH); ok {
-		start = time.Now()
-		if sct.WaitSync(time.Minute) {
-			fmt.Printf("sync:    %10s  (shortcut directory caught up)\n",
-				time.Since(start).Round(time.Millisecond))
-		}
+	start = time.Now()
+	if idx.WaitSync(time.Minute) && kind == vmshortcut.KindShortcutEH {
+		fmt.Printf("sync:    %10s  (shortcut directory caught up)\n",
+			time.Since(start).Round(time.Millisecond))
 	}
 
 	var latencies harness.Histogram
 	start = time.Now()
 	misses := 0
-	workload.LookupStream(*seed, *n, *reads, func(i int) {
-		if *hist {
-			t0 := time.Now()
+	if *batch > 0 {
+		keys := make([]uint64, 0, *batch)
+		out := make([]uint64, *batch)
+		flush := func() {
+			for _, ok := range idx.LookupBatch(keys, out) {
+				if !ok {
+					misses++
+				}
+			}
+			keys = keys[:0]
+		}
+		workload.LookupStream(*seed, *n, *reads, func(i int) {
+			keys = append(keys, workload.Key(*seed, uint64(i)))
+			if len(keys) == *batch {
+				flush()
+			}
+		})
+		if len(keys) > 0 {
+			flush()
+		}
+	} else {
+		workload.LookupStream(*seed, *n, *reads, func(i int) {
+			if *hist {
+				t0 := time.Now()
+				if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
+					misses++
+				}
+				latencies.Record(uint64(time.Since(t0).Nanoseconds()))
+				return
+			}
 			if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
 				misses++
 			}
-			latencies.Record(uint64(time.Since(t0).Nanoseconds()))
-			return
-		}
-		if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
-			misses++
-		}
-	})
+		})
+	}
 	readDur := time.Since(start)
 	fmt.Printf("read:    %10s  (%.0f lookups/s, %d misses)\n", readDur.Round(time.Millisecond),
 		float64(*reads)/readDur.Seconds(), misses)
@@ -132,21 +151,23 @@ func main() {
 			time.Since(start).Round(time.Millisecond), removed, idx.Len())
 	}
 
-	if sct, ok := idx.(*vmshortcut.ShortcutEH); ok {
-		s := sct.Stats()
+	st := idx.Stats()
+	switch kind {
+	case vmshortcut.KindShortcutEH:
 		fmt.Printf("stats:   global_depth=%d buckets=%d fan_in=%.2f shortcut_lookups=%d traditional=%d remaps=%d\n",
-			sct.EH().GlobalDepth(), sct.EH().Buckets(), sct.AvgFanIn(),
-			s.ShortcutLookups, s.TraditionalLookups, s.Remaps)
-	}
-	if et, ok := idx.(*vmshortcut.ExtendibleHashing); ok {
-		fmt.Printf("stats:   global_depth=%d buckets=%d fan_in=%.2f splits=%d doubles=%d\n",
-			et.GlobalDepth(), et.Buckets(), et.AvgFanIn(), et.Splits, et.Doubles)
+			st.GlobalDepth, st.Buckets, st.AvgFanIn,
+			st.ShortcutLookups, st.TraditionalLookups, st.Remaps)
+	case vmshortcut.KindEH:
+		fmt.Printf("stats:   global_depth=%d buckets=%d fan_in=%.2f structural_mods=%d\n",
+			st.GlobalDepth, st.Buckets, st.AvgFanIn, st.StructuralMods)
+	default:
+		fmt.Printf("stats:   entries=%d structural_mods=%d\n", st.Entries, st.StructuralMods)
 	}
 }
 
 // replayTrace streams a trace file through the index and reports counts
 // and throughput.
-func replayTrace(idx vmshortcut.Index, path string) error {
+func replayTrace(idx vmshortcut.Store, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err

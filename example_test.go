@@ -7,19 +7,13 @@ import (
 	"vmshortcut"
 )
 
-// ExampleNewShortcutEH builds the paper's index, inserts entries, waits
-// for the shortcut directory to synchronize, and looks the entries up
-// through the page table.
-func ExampleNewShortcutEH() {
-	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-	if err != nil {
-		panic(err)
-	}
-	defer pool.Close()
-
-	idx, err := vmshortcut.NewShortcutEH(pool, vmshortcut.ShortcutEHConfig{
-		PollInterval: time.Millisecond,
-	})
+// ExampleOpen builds the paper's index with the single facade constructor,
+// inserts entries, waits for the shortcut directory to synchronize, and
+// looks the entries up through the page table. Open creates and owns the
+// backing page pool; Close releases both.
+func ExampleOpen() {
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH,
+		vmshortcut.WithPollInterval(time.Millisecond))
 	if err != nil {
 		panic(err)
 	}
@@ -33,8 +27,87 @@ func ExampleNewShortcutEH() {
 	idx.WaitSync(5 * time.Second)
 
 	v, ok := idx.Lookup(262)
-	fmt.Println(v, ok, idx.UsingShortcut())
+	fmt.Println(v, ok, idx.Stats().UsingShortcut)
 	// Output: 68644 true true
+}
+
+// ExampleOpen_batch loads and reads through the batch operations, which
+// amortize per-call overhead and, for Shortcut-EH, make the shortcut
+// routing decision once per batch.
+func ExampleOpen_batch() {
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH,
+		vmshortcut.WithPollInterval(time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	defer idx.Close()
+
+	keys := make([]uint64, 10_000)
+	vals := make([]uint64, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		vals[i] = uint64(i+1) * 10
+	}
+	if err := idx.InsertBatch(keys, vals); err != nil {
+		panic(err)
+	}
+	idx.WaitSync(5 * time.Second)
+
+	out := make([]uint64, len(keys))
+	ok := idx.LookupBatch(keys, out)
+	fmt.Println(idx.Len(), out[41], ok[41])
+	// Output: 10000 420 true
+}
+
+// ExampleOpen_sweep runs the same workload over every hash-index kind
+// through the uniform Store surface — the facade makes the five
+// competitors of the paper's evaluation interchangeable.
+func ExampleOpen_sweep() {
+	for _, kind := range []vmshortcut.Kind{
+		vmshortcut.KindHT, vmshortcut.KindHTI, vmshortcut.KindCH,
+		vmshortcut.KindEH, vmshortcut.KindShortcutEH,
+	} {
+		idx, err := vmshortcut.Open(kind, vmshortcut.WithCapacity(10_000),
+			vmshortcut.WithPollInterval(time.Millisecond))
+		if err != nil {
+			panic(err)
+		}
+		for k := uint64(1); k <= 1000; k++ {
+			if err := idx.Insert(k, k+7); err != nil {
+				panic(err)
+			}
+		}
+		idx.WaitSync(5 * time.Second)
+		v, ok := idx.Lookup(999)
+		fmt.Println(kind, idx.Len(), v, ok)
+		idx.Close()
+	}
+	// Output:
+	// ht 1000 1006 true
+	// hti 1000 1006 true
+	// ch 1000 1006 true
+	// eh 1000 1006 true
+	// shortcut-eh 1000 1006 true
+}
+
+// ExampleOpen_radix shows the sparse direct-mapped index; WithCapacity
+// bounds its key space. The concrete map stays reachable for Range.
+func ExampleOpen_radix() {
+	idx, err := vmshortcut.Open(vmshortcut.KindRadix, vmshortcut.WithCapacity(1_000_000))
+	if err != nil {
+		panic(err)
+	}
+	defer idx.Close()
+
+	idx.Insert(123_456, 42)
+	v, ok := idx.Lookup(123_456)
+	_, miss := idx.Lookup(123_457)
+
+	m, _ := vmshortcut.AsRadixMap(idx)
+	sum := uint64(0)
+	m.Range(func(k, val uint64) bool { sum += val; return true })
+	fmt.Println(v, ok, miss, idx.Len(), sum)
+	// Output: 42 true false 1 42
 }
 
 // ExampleNewShortcutNode shows the rewiring layer directly: a shortcut
@@ -63,25 +136,4 @@ func ExampleNewShortcutNode() {
 
 	fmt.Printf("%s %s\n", sc.Leaf(0)[:5], sc.Leaf(1)[:5])
 	// Output: hello world
-}
-
-// ExampleNewRadixMap shows the sparse direct-mapped index.
-func ExampleNewRadixMap() {
-	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-	if err != nil {
-		panic(err)
-	}
-	defer pool.Close()
-
-	m, err := vmshortcut.NewRadixMap(pool, vmshortcut.RadixMapConfig{Capacity: 1_000_000})
-	if err != nil {
-		panic(err)
-	}
-	defer m.Close()
-
-	m.Set(123_456, 42)
-	v, ok := m.Get(123_456)
-	_, miss := m.Get(123_457)
-	fmt.Println(v, ok, miss, m.Len())
-	// Output: 42 true false 1
 }

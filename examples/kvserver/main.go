@@ -2,6 +2,11 @@
 // Shortcut-EH — the kind of workload the paper's HTI baseline (the Redis
 // dictionary) serves, here answered through the page table.
 //
+// The index is opened with WithConcurrency, so connections operate on it
+// directly: lookups run in parallel under a read lock, mutations get the
+// write lock, matching the paper's single-writer model without an
+// app-level mutex.
+//
 // Protocol (one command per line, values are unsigned 64-bit integers):
 //
 //	SET <key> <value>   -> OK
@@ -23,26 +28,20 @@ import (
 	"net"
 	"strconv"
 	"strings"
-	"sync"
 
 	"vmshortcut"
 )
 
-// store serializes index access: Shortcut-EH follows the paper's
-// single-writer model, so a lock turns concurrent connections into the
-// serial operation stream the index expects.
-type store struct {
-	mu  sync.Mutex
-	idx *vmshortcut.ShortcutEH
+// server answers the line protocol from a concurrency-safe Store.
+type server struct {
+	idx vmshortcut.Store
 }
 
-func (s *store) handle(line string) string {
+func (s *server) handle(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return ""
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch strings.ToUpper(fields[0]) {
 	case "SET":
 		if len(fields) != 3 {
@@ -88,8 +87,7 @@ func (s *store) handle(line string) string {
 		return fmt.Sprintf(
 			"entries=%d global_depth=%d buckets=%d fan_in=%.2f in_sync=%v "+
 				"shortcut_lookups=%d traditional_lookups=%d replayed_updates=%d rebuilds=%d",
-			s.idx.Len(), s.idx.EH().GlobalDepth(), s.idx.EH().Buckets(),
-			s.idx.AvgFanIn(), s.idx.InSync(),
+			st.Entries, st.GlobalDepth, st.Buckets, st.AvgFanIn, st.InSync,
 			st.ShortcutLookups, st.TraditionalLookups, st.UpdatesApplied, st.CreatesApplied)
 	case "QUIT":
 		return "BYE"
@@ -101,12 +99,7 @@ func main() {
 	addr := flag.String("addr", ":6380", "listen address")
 	flag.Parse()
 
-	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-	if err != nil {
-		log.Fatalf("pool: %v", err)
-	}
-	defer pool.Close()
-	idx, err := vmshortcut.NewShortcutEH(pool, vmshortcut.ShortcutEHConfig{})
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH, vmshortcut.WithConcurrency(true))
 	if err != nil {
 		log.Fatalf("index: %v", err)
 	}
@@ -119,7 +112,7 @@ func main() {
 	defer ln.Close()
 	log.Printf("kvserver (Shortcut-EH) listening on %s", *addr)
 
-	st := &store{idx: idx}
+	st := &server{idx: idx}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -130,7 +123,7 @@ func main() {
 	}
 }
 
-func serve(conn net.Conn, st *store) {
+func serve(conn net.Conn, st *server) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)

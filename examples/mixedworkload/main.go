@@ -15,15 +15,8 @@ import (
 )
 
 func main() {
-	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-	if err != nil {
-		log.Fatalf("pool: %v", err)
-	}
-	defer pool.Close()
-
-	idx, err := vmshortcut.NewShortcutEH(pool, vmshortcut.ShortcutEHConfig{
-		PollInterval: vmshortcut.DefaultPollInterval,
-	})
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH,
+		vmshortcut.WithPollInterval(vmshortcut.DefaultPollInterval))
 	if err != nil {
 		log.Fatalf("index: %v", err)
 	}
@@ -37,8 +30,9 @@ func main() {
 		}
 	}
 	idx.WaitSync(10 * time.Second)
+	st := idx.Stats()
 	fmt.Printf("bulk-loaded %d entries; directory versions: trad=%d shortcut=%d\n\n",
-		bulk, idx.TradVersion(), idx.ShortcutVersion())
+		bulk, st.TradVersion, st.ShortcutVersion)
 
 	// Fire waves: a burst of inserts followed by a lookup phase, printing
 	// the synchronization state as it evolves.
@@ -51,8 +45,9 @@ func main() {
 			}
 			next++
 		}
+		st = idx.Stats()
 		fmt.Printf("after insert burst:  trad=%-4d shortcut=%-4d in_sync=%-5v (lookups -> %s)\n",
-			idx.TradVersion(), idx.ShortcutVersion(), idx.InSync(), route(idx))
+			st.TradVersion, st.ShortcutVersion, st.InSync, route(st))
 
 		// Lookup phase: watch the mapper catch up mid-phase.
 		deadline := time.Now().Add(200 * time.Millisecond)
@@ -64,17 +59,18 @@ func main() {
 			}
 			lookups++
 		}
+		st = idx.Stats()
 		fmt.Printf("after %6d lookups: trad=%-4d shortcut=%-4d in_sync=%-5v (lookups -> %s)\n\n",
-			lookups, idx.TradVersion(), idx.ShortcutVersion(), idx.InSync(), route(idx))
+			lookups, st.TradVersion, st.ShortcutVersion, st.InSync, route(st))
 	}
 
-	s := idx.Stats()
+	st = idx.Stats()
 	fmt.Printf("totals: %d shortcut-routed lookups, %d traditional, %d replayed splits, %d rebuilds\n",
-		s.ShortcutLookups, s.TraditionalLookups, s.UpdatesApplied, s.CreatesApplied)
+		st.ShortcutLookups, st.TraditionalLookups, st.UpdatesApplied, st.CreatesApplied)
 }
 
-func route(idx *vmshortcut.ShortcutEH) string {
-	if idx.UsingShortcut() {
+func route(st vmshortcut.Stats) string {
+	if st.UsingShortcut {
 		return "shortcut directory"
 	}
 	return "traditional directory"

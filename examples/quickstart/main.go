@@ -1,5 +1,6 @@
-// Quickstart: build a Shortcut-EH index, insert a million entries, and
-// watch the shortcut directory take over lookups once it is in sync.
+// Quickstart: open a Shortcut-EH index with a single call, insert a
+// million entries, and watch the shortcut directory take over lookups
+// once it is in sync.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -13,17 +14,12 @@ import (
 )
 
 func main() {
-	// A pool of physical pages backs every bucket; the shortcut directory
-	// rewires its virtual pages straight onto them.
-	p, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
+	// One call: Open creates and owns the pool of physical pages backing
+	// the buckets; the shortcut directory rewires its virtual pages
+	// straight onto them. Close releases both.
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH)
 	if err != nil {
-		log.Fatalf("creating page pool: %v", err)
-	}
-	defer p.Close()
-
-	idx, err := vmshortcut.NewShortcutEH(p, vmshortcut.ShortcutEHConfig{})
-	if err != nil {
-		log.Fatalf("creating Shortcut-EH: %v", err)
+		log.Fatalf("opening Shortcut-EH: %v", err)
 	}
 	defer idx.Close()
 
@@ -35,8 +31,9 @@ func main() {
 		}
 	}
 	fmt.Printf("inserted %d entries in %s\n", n, time.Since(start).Round(time.Millisecond))
+	st := idx.Stats()
 	fmt.Printf("directory: global depth %d, %d buckets, avg fan-in %.2f\n",
-		idx.EH().GlobalDepth(), idx.EH().Buckets(), idx.AvgFanIn())
+		st.GlobalDepth, st.Buckets, st.AvgFanIn)
 
 	// The mapper thread replays directory modifications asynchronously;
 	// wait for the shortcut to catch up (usually a poll interval or two).
@@ -55,9 +52,9 @@ func main() {
 	}
 	fmt.Printf("looked up %d entries in %s\n", n, time.Since(start).Round(time.Millisecond))
 
-	s := idx.Stats()
+	st = idx.Stats()
 	fmt.Printf("routing: %d lookups via shortcut, %d via traditional directory\n",
-		s.ShortcutLookups, s.TraditionalLookups)
+		st.ShortcutLookups, st.TraditionalLookups)
 	fmt.Printf("maintenance: %d splits replayed, %d directory rebuilds, %d mmap calls\n",
-		s.UpdatesApplied, s.CreatesApplied, s.Remaps)
+		st.UpdatesApplied, st.CreatesApplied, st.Remaps)
 }

@@ -20,18 +20,12 @@ import (
 )
 
 func main() {
-	pool, err := vmshortcut.NewPool(vmshortcut.PoolConfig{})
-	if err != nil {
-		log.Fatalf("pool: %v", err)
-	}
-	defer pool.Close()
-
 	const capacity = 50_000_000 // row-id space
-	m, err := vmshortcut.NewRadixMap(pool, vmshortcut.RadixMapConfig{Capacity: capacity})
+	idx, err := vmshortcut.Open(vmshortcut.KindRadix, vmshortcut.WithCapacity(capacity))
 	if err != nil {
 		log.Fatalf("radix map: %v", err)
 	}
-	defer m.Close()
+	defer idx.Close()
 
 	// A sparse population: every 1000th row-id carries a value, in a few
 	// dense runs — the pattern that makes direct-mapped indexes shine.
@@ -39,29 +33,35 @@ func main() {
 	stored := 0
 	for base := uint64(0); base < capacity; base += 5_000_000 {
 		for i := uint64(0); i < 200_000; i += 100 {
-			if err := m.Set(base+i, base+i+1); err != nil {
-				log.Fatalf("set: %v", err)
+			if err := idx.Insert(base+i, base+i+1); err != nil {
+				log.Fatalf("insert: %v", err)
 			}
 			stored++
 		}
 	}
+	st := idx.Stats()
 	fmt.Printf("stored %d entries over a %d-key space in %s\n",
 		stored, capacity, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("inner node: %d slots, %d leaves allocated (%.2f MB resident)\n",
-		m.Slots(), m.LeafAllocs, float64(m.LeafAllocs)*4096/1e6)
+	fmt.Printf("inner node: %d slots, %d leaves live (%.2f MB resident)\n",
+		st.DirectorySlots, st.Buckets, float64(st.Buckets)*4096/1e6)
 
 	// Point lookups through the page table.
 	start = time.Now()
 	hits := 0
 	for probe := uint64(0); probe < capacity; probe += 999 {
-		if _, ok := m.Get(probe); ok {
+		if _, ok := idx.Lookup(probe); ok {
 			hits++
 		}
 	}
 	fmt.Printf("probed %d row-ids in %s (%d hits)\n",
 		capacity/999+1, time.Since(start).Round(time.Millisecond), hits)
 
-	// Ordered iteration over the sparse contents.
+	// Ordered iteration over the sparse contents needs the concrete map
+	// behind the facade.
+	m, ok := vmshortcut.AsRadixMap(idx)
+	if !ok {
+		log.Fatal("not a radix store")
+	}
 	var first, last uint64
 	n := 0
 	m.Range(func(k, v uint64) bool {
@@ -75,9 +75,10 @@ func main() {
 	fmt.Printf("Range visited %d entries, keys %d .. %d\n", n, first, last)
 
 	// Dense deletion frees leaves back to the pool.
-	before := m.LeafFrees
+	before := idx.Stats().Buckets
 	for i := uint64(0); i < 200_000; i += 100 {
-		m.Delete(i)
+		idx.Delete(i)
 	}
-	fmt.Printf("deleted first run: %d leaves returned to the pool\n", m.LeafFrees-before)
+	fmt.Printf("deleted first run: %d leaves returned to the pool\n",
+		before-idx.Stats().Buckets)
 }

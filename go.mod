@@ -1,0 +1,3 @@
+module vmshortcut
+
+go 1.22

@@ -8,6 +8,8 @@
 package ch
 
 import (
+	"fmt"
+
 	"vmshortcut/internal/hashfn"
 )
 
@@ -133,6 +135,30 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// InsertBatch upserts every (keys[i], values[i]) pair; semantically a loop
+// of Insert calls with the per-call overhead amortized.
+func (t *Table) InsertBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("ch: InsertBatch: %d keys, %d values", len(keys), len(values))
+	}
+	for i, k := range keys {
+		if err := t.Insert(k, values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupBatch looks up every key, writing values into out (which must
+// have length at least len(keys)) and returning per-key presence.
+func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		out[i], ok[i] = t.Lookup(k)
+	}
+	return ok
 }
 
 // Delete removes key and reports whether it was present. Chain cells are

@@ -205,6 +205,34 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 	return bucket.ViewAddr(t.dir[idx]).Lookup(key)
 }
 
+// InsertBatch upserts every (keys[i], values[i]) pair; semantically a loop
+// of Insert calls with the per-call overhead amortized.
+func (t *Table) InsertBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("eh: InsertBatch: %d keys, %d values", len(keys), len(values))
+	}
+	for i, k := range keys {
+		if err := t.Insert(k, values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupBatch looks up every key, writing values into out (which must
+// have length at least len(keys)) and returning per-key presence. The
+// directory depth is loaded once for the whole batch — inserts may not run
+// concurrently, so it cannot change mid-batch.
+func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
+	ok := make([]bool, len(keys))
+	gd := t.gd
+	for i, k := range keys {
+		idx := hashfn.DirIndex(hashfn.Hash(k), gd)
+		out[i], ok[i] = bucket.ViewAddr(t.dir[idx]).Lookup(k)
+	}
+	return ok
+}
+
 // Delete removes key and reports whether it was present. Buckets are not
 // merged (the classical scheme leaves coalescing optional).
 func (t *Table) Delete(key uint64) bool {

@@ -4,20 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"vmshortcut"
 	"vmshortcut/internal/core"
-	"vmshortcut/internal/eh"
 	"vmshortcut/internal/harness"
-	"vmshortcut/internal/pool"
-	"vmshortcut/internal/sceh"
 	"vmshortcut/internal/vmsim"
 	"vmshortcut/internal/workload"
 )
-
-// poolT aliases pool.Pool for the maintenance-ablation plumbing.
-type poolT = pool.Pool
-
-// ehNew builds a raw extendible hash table with default config.
-func ehNew(p *poolT) (*eh.Table, error) { return eh.New(p, eh.Config{}) }
 
 // AblationCoalesce quantifies the paper's §2.1 remark that neighbouring
 // virtual pages mapping to neighbouring physical pages can be rewired in a
@@ -114,20 +106,16 @@ func AblationPollInterval(entries int, intervals []time.Duration) (*harness.Tabl
 	}
 	t := harness.NewTable("Ablation: mapper poll interval")
 	for _, iv := range intervals {
-		p, err := poolFor(entries)
+		tbl, err := vmshortcut.Open(vmshortcut.KindShortcutEH,
+			vmshortcut.WithPollInterval(iv),
+			vmshortcut.WithPoolConfig(poolConfigFor(entries)))
 		if err != nil {
-			return nil, err
-		}
-		tbl, err := sceh.New(p, sceh.Config{PollInterval: iv})
-		if err != nil {
-			p.Close()
 			return nil, err
 		}
 		start := time.Now()
 		for i := 0; i < entries; i++ {
 			if err := tbl.Insert(workload.Key(7, uint64(i)), uint64(i)); err != nil {
 				tbl.Close()
-				p.Close()
 				return nil, err
 			}
 		}
@@ -146,7 +134,6 @@ func AblationPollInterval(entries int, intervals []time.Duration) (*harness.Tabl
 			"creates", fmt.Sprintf("%d", st.CreatesApplied),
 		)
 		tbl.Close()
-		p.Close()
 	}
 	return t, nil
 }
@@ -214,29 +201,22 @@ func AblationSyncMaintenance(entries int) (*harness.Table, error) {
 		entries = 500_000
 	}
 	t := harness.NewTable("Ablation: shortcut maintenance strategy (insert cost, best of 3)")
-	run := func(insert func(p *poolT) (func(k, v uint64) error, func(), error)) (time.Duration, error) {
+	run := func(open func() (vmshortcut.Store, error)) (time.Duration, error) {
 		best := time.Duration(0)
 		for rep := 0; rep < 3; rep++ {
-			p, err := poolFor(entries)
+			tbl, err := open()
 			if err != nil {
-				return 0, err
-			}
-			ins, done, err := insert(p)
-			if err != nil {
-				p.Close()
 				return 0, err
 			}
 			start := time.Now()
 			for i := 0; i < entries; i++ {
-				if err := ins(workload.Key(9, uint64(i)), uint64(i)); err != nil {
-					done()
-					p.Close()
+				if err := tbl.Insert(workload.Key(9, uint64(i)), uint64(i)); err != nil {
+					tbl.Close()
 					return 0, err
 				}
 			}
 			d := time.Since(start)
-			done()
-			p.Close()
+			tbl.Close()
 			if best == 0 || d < best {
 				best = d
 			}
@@ -244,34 +224,24 @@ func AblationSyncMaintenance(entries int) (*harness.Table, error) {
 		return best, nil
 	}
 
+	poolOpt := vmshortcut.WithPoolConfig(poolConfigFor(entries))
 	variants := []struct {
-		name  string
-		build func(p *poolT) (func(k, v uint64) error, func(), error)
+		name string
+		open func() (vmshortcut.Store, error)
 	}{
-		{"async mapper (paper)", func(p *poolT) (func(k, v uint64) error, func(), error) {
-			tbl, err := sceh.New(p, sceh.Config{})
-			if err != nil {
-				return nil, nil, err
-			}
-			return tbl.Insert, func() { tbl.Close() }, nil
+		{"async mapper (paper)", func() (vmshortcut.Store, error) {
+			return vmshortcut.Open(vmshortcut.KindShortcutEH, poolOpt)
 		}},
-		{"synchronous maintenance", func(p *poolT) (func(k, v uint64) error, func(), error) {
-			tbl, err := sceh.New(p, sceh.Config{Synchronous: true})
-			if err != nil {
-				return nil, nil, err
-			}
-			return tbl.Insert, func() { tbl.Close() }, nil
+		{"synchronous maintenance", func() (vmshortcut.Store, error) {
+			return vmshortcut.Open(vmshortcut.KindShortcutEH, poolOpt,
+				vmshortcut.WithSynchronousMaintenance(true))
 		}},
-		{"raw EH (no shortcut, no mapper)", func(p *poolT) (func(k, v uint64) error, func(), error) {
-			tbl, err := ehNew(p)
-			if err != nil {
-				return nil, nil, err
-			}
-			return tbl.Insert, func() {}, nil
+		{"raw EH (no shortcut, no mapper)", func() (vmshortcut.Store, error) {
+			return vmshortcut.Open(vmshortcut.KindEH, poolOpt)
 		}},
 	}
 	for _, v := range variants {
-		dur, err := run(v.build)
+		dur, err := run(v.open)
 		if err != nil {
 			return nil, err
 		}

@@ -2,76 +2,50 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
-	"vmshortcut/internal/ch"
-	"vmshortcut/internal/eh"
+	"vmshortcut"
 	"vmshortcut/internal/harness"
-	"vmshortcut/internal/ht"
-	"vmshortcut/internal/hti"
-	"vmshortcut/internal/pool"
-	"vmshortcut/internal/sceh"
 	"vmshortcut/internal/vmsim"
 	"vmshortcut/internal/workload"
 )
 
-// Index is the common operation surface of the five evaluated indexes.
-type Index interface {
-	Insert(key, value uint64) error
-	Lookup(key uint64) (uint64, bool)
-	Len() int
-}
-
 // IndexNames lists the five competitors in the paper's legend order.
 var IndexNames = []string{"HT", "HTI", "CH", "EH", "Shortcut-EH"}
 
-// buildIndex constructs one competitor sized for n insertions, plus a
-// cleanup function.
-func buildIndex(name string, n int) (Index, func(), error) {
-	switch name {
-	case "HT":
-		return ht.New(ht.Config{}), func() {}, nil
-	case "HTI":
-		return hti.New(hti.Config{}), func() {}, nil
-	case "CH":
+// buildIndex constructs one competitor through the public Open facade,
+// sized for n insertions. Closing the returned store releases everything
+// Open created, including the page pool of the EH-backed kinds. The
+// structures themselves are deliberately NOT pre-sized (no WithCapacity):
+// the insertion experiments measure growth behavior from the paper's 4 KB
+// starting point.
+func buildIndex(name string, n int) (vmshortcut.Store, error) {
+	kind, err := vmshortcut.ParseKind(strings.ToLower(name))
+	if err != nil {
+		return nil, fmt.Errorf("unknown index %q: %w", name, err)
+	}
+	var opts []vmshortcut.Option
+	switch kind {
+	case vmshortcut.KindCH:
 		// The paper grants CH a fixed 1 GB table for 100M entries; keep
 		// the same bytes-per-entry ratio at any scale.
 		bytes := n * 10
 		if bytes < 4096 {
 			bytes = 4096
 		}
-		return ch.New(ch.Config{TableBytes: bytes}), func() {}, nil
-	case "EH":
-		p, err := poolFor(n)
-		if err != nil {
-			return nil, nil, err
-		}
-		t, err := eh.New(p, eh.Config{})
-		if err != nil {
-			p.Close()
-			return nil, nil, err
-		}
-		return t, func() { p.Close() }, nil
-	case "Shortcut-EH":
-		p, err := poolFor(n)
-		if err != nil {
-			return nil, nil, err
-		}
-		t, err := sceh.New(p, sceh.Config{})
-		if err != nil {
-			p.Close()
-			return nil, nil, err
-		}
-		return t, func() { t.Close(); p.Close() }, nil
+		opts = append(opts, vmshortcut.WithTableBytes(bytes))
+	case vmshortcut.KindEH, vmshortcut.KindShortcutEH:
+		opts = append(opts, vmshortcut.WithPoolConfig(poolConfigFor(n)))
 	}
-	return nil, nil, fmt.Errorf("unknown index %q", name)
+	return vmshortcut.Open(kind, opts...)
 }
 
-// poolFor sizes a page pool for n entries at the 0.35 load factor
+// poolConfigFor sizes a page pool for n entries at the 0.35 load factor
 // (≈ n/89 buckets) with generous headroom for splits in flight.
-func poolFor(n int) (*pool.Pool, error) {
+func poolConfigFor(n int) vmshortcut.PoolConfig {
 	pages := n/32 + (1 << 12)
-	return pool.New(pool.Config{GrowChunkPages: 1 << 10, MaxPages: pages * 4})
+	return vmshortcut.PoolConfig{GrowChunkPages: 1 << 10, MaxPages: pages * 4}
 }
 
 // Fig7Config parameterizes the insertion/lookup comparison.
@@ -129,10 +103,11 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 	}
 
 	for _, name := range cfg.Indexes {
-		idx, cleanup, err := buildIndex(name, cfg.Entries)
+		idx, err := buildIndex(name, cfg.Entries)
 		if err != nil {
 			return nil, fmt.Errorf("fig7 %s: %w", name, err)
 		}
+		cleanup := func() { idx.Close() }
 
 		// --- Figure 7a: insertion sequence with checkpoints.
 		series := harness.Series{Label: name}
@@ -161,14 +136,12 @@ func Fig7(cfg Fig7Config) (*Fig7Result, error) {
 		res.Insert = append(res.Insert, series)
 		res.InsertTotalS[name] = elapsed.Seconds()
 
-		// --- Figure 7b: hit-only lookups on the filled index.
-		if sct, ok := idx.(*sceh.Table); ok {
-			// The paper notes the shortcut is in sync before the lookup
-			// phase and is used for all lookups.
-			if !sct.WaitSync(30 * time.Second) {
-				cleanup()
-				return nil, fmt.Errorf("fig7 %s: shortcut never synced", name)
-			}
+		// --- Figure 7b: hit-only lookups on the filled index. The paper
+		// notes the shortcut is in sync before the lookup phase; kinds
+		// without asynchronous maintenance report in-sync immediately.
+		if !idx.WaitSync(30 * time.Second) {
+			cleanup()
+			return nil, fmt.Errorf("fig7 %s: shortcut never synced", name)
 		}
 		start := time.Now()
 		misses := 0

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"vmshortcut/internal/eh"
+	"vmshortcut"
 	"vmshortcut/internal/harness"
 	"vmshortcut/internal/hashfn"
 	"vmshortcut/internal/vmsim"
@@ -33,23 +33,21 @@ func Fig7bSim(cfg Fig7Config) (map[string]float64, *harness.Table, error) {
 	var gd uint
 	var buckets int
 	if cfg.Entries <= 4_000_000 {
-		// Build a real table to extract the exact shape.
-		p, err := poolFor(cfg.Entries)
+		// Build a real table through the facade to extract the exact shape.
+		st, err := vmshortcut.Open(vmshortcut.KindEH,
+			vmshortcut.WithPoolConfig(poolConfigFor(cfg.Entries)))
 		if err != nil {
 			return nil, nil, err
 		}
-		defer p.Close()
-		tbl, err := eh.New(p, eh.Config{})
-		if err != nil {
-			return nil, nil, err
-		}
+		defer st.Close()
 		for i := 0; i < cfg.Entries; i++ {
-			if err := tbl.Insert(workload.Key(cfg.Seed, uint64(i)), uint64(i)); err != nil {
+			if err := st.Insert(workload.Key(cfg.Seed, uint64(i)), uint64(i)); err != nil {
 				return nil, nil, err
 			}
 		}
-		gd = tbl.GlobalDepth()
-		buckets = tbl.Buckets()
+		shape := st.Stats()
+		gd = shape.GlobalDepth
+		buckets = shape.Buckets
 	} else {
 		// Synthesize the shape (calibrated on 1M/2M real builds).
 		buckets = cfg.Entries / 61

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"vmshortcut/internal/eh"
+	"vmshortcut"
 	"vmshortcut/internal/harness"
-	"vmshortcut/internal/sceh"
 	"vmshortcut/internal/workload"
 )
 
@@ -78,22 +77,15 @@ type Fig8Point struct {
 func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	cfg.fill()
 
-	pEH, err := poolFor(cfg.BulkLoad * 2)
+	poolOpt := vmshortcut.WithPoolConfig(poolConfigFor(cfg.BulkLoad * 2))
+	ehTbl, err := vmshortcut.Open(vmshortcut.KindEH, poolOpt)
 	if err != nil {
 		return nil, err
 	}
-	defer pEH.Close()
-	ehTbl, err := eh.New(pEH, eh.Config{})
-	if err != nil {
-		return nil, err
-	}
+	defer ehTbl.Close()
 
-	pSC, err := poolFor(cfg.BulkLoad * 2)
-	if err != nil {
-		return nil, err
-	}
-	defer pSC.Close()
-	scTbl, err := sceh.New(pSC, sceh.Config{PollInterval: cfg.PollInterval})
+	scTbl, err := vmshortcut.Open(vmshortcut.KindShortcutEH, poolOpt,
+		vmshortcut.WithPollInterval(cfg.PollInterval))
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +152,9 @@ func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 				Accesses:     i + 1,
 				EHBatchUS:    us(ehBatch),
 				SCBatchUS:    us(scBatch),
-				TradVer:      scTbl.TradVersion(),
-				ShortcutVer:  scTbl.ShortcutVersion(),
-				InSync:       scTbl.InSync(),
+				TradVer:      st.TradVersion,
+				ShortcutVer:  st.ShortcutVersion,
+				InSync:       st.InSync,
 				ShortcutFrac: frac,
 			})
 			ehBatch, scBatch = 0, 0

@@ -26,6 +26,26 @@ func (s Scale) N(paperCount int) int {
 	return n
 }
 
+// Chunks partitions [0, n) into consecutive [lo, hi) spans of at most
+// batch elements — the iteration shape of the facade's InsertBatch and
+// LookupBatch drivers. A batch of 0 or less yields the whole range at
+// once.
+func Chunks(n, batch int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if batch <= 0 {
+		batch = n
+	}
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
 // Timer measures named phases.
 type Timer struct {
 	phases []Phase

@@ -8,6 +8,8 @@
 package hti
 
 import (
+	"fmt"
+
 	"vmshortcut/internal/hashfn"
 )
 
@@ -282,6 +284,33 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 		return v, true
 	}
 	return second.lookup(key)
+}
+
+// InsertBatch upserts every (keys[i], values[i]) pair. Each element still
+// counts as one access for the incremental-migration contract: a resize in
+// progress moves one batch of entries per element, exactly as a loop of
+// Insert calls would.
+func (t *Table) InsertBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("hti: InsertBatch: %d keys, %d values", len(keys), len(values))
+	}
+	for i, k := range keys {
+		if err := t.Insert(k, values[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupBatch looks up every key, writing values into out (which must
+// have length at least len(keys)) and returning per-key presence. Each
+// element counts as one access for migration purposes.
+func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		out[i], ok[i] = t.Lookup(k)
+	}
+	return ok
 }
 
 // Delete removes key from whichever table holds it.

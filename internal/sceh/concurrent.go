@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"vmshortcut/internal/eh"
 	"vmshortcut/internal/pool"
 )
 
@@ -54,9 +55,32 @@ func (c *Concurrent) Len() int {
 	return c.t.Len()
 }
 
+// InsertBatch upserts every pair under one write-lock acquisition — the
+// lock overhead amortizes across the batch.
+func (c *Concurrent) InsertBatch(keys, values []uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.InsertBatch(keys, values)
+}
+
+// LookupBatch answers every key under one read-lock acquisition.
+func (c *Concurrent) LookupBatch(keys []uint64, out []uint64) []bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.LookupBatch(keys, out)
+}
+
 // WaitSync blocks until the shortcut directory catches up (no lock held
 // while waiting; the mapper needs the table quiescent only logically).
 func (c *Concurrent) WaitSync(timeout time.Duration) bool { return c.t.WaitSync(timeout) }
+
+// MemStats returns the underlying traditional directory's shape statistics
+// under a read lock (the scan must not race a writer).
+func (c *Concurrent) MemStats() eh.MemStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.EH().Stats()
+}
 
 // Stats returns the underlying table's counters.
 func (c *Concurrent) Stats() Stats { return c.t.Stats() }

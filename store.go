@@ -1,0 +1,823 @@
+package vmshortcut
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmshortcut/internal/ch"
+	"vmshortcut/internal/eh"
+	"vmshortcut/internal/ht"
+	"vmshortcut/internal/hti"
+	"vmshortcut/internal/pool"
+	"vmshortcut/internal/radix"
+	"vmshortcut/internal/sceh"
+)
+
+// Kind selects the index implementation behind Open.
+type Kind int
+
+const (
+	// KindHT is the open-addressing hash table with a full doubling rehash.
+	KindHT Kind = iota
+	// KindHTI is the Redis-style incrementally rehashing table.
+	KindHTI
+	// KindCH is chained hashing over a fixed-size directory.
+	KindCH
+	// KindEH is classical extendible hashing over pool pages.
+	KindEH
+	// KindShortcutEH is the paper's contribution: extendible hashing whose
+	// directory is additionally expressed as a page-table shortcut.
+	KindShortcutEH
+	// KindRadix is the sparse direct-mapped shortcut index over a bounded
+	// key space; it requires WithCapacity.
+	KindRadix
+
+	kindCount
+)
+
+var kindNames = [...]string{"ht", "hti", "ch", "eh", "shortcut-eh", "radix"}
+
+// String returns the kind's canonical flag-style name.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Kinds lists every openable kind in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, kindCount)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKind maps a flag-style name ("ht", "hti", "ch", "eh", "shortcut-eh",
+// "radix") onto its Kind.
+func ParseKind(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("vmshortcut: unknown index kind %q", name)
+}
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("vmshortcut: store closed")
+
+// Store is the uniform surface of every index kind: the Index operations,
+// batch variants that amortize per-call overhead, one observability struct,
+// and an idempotent lifecycle. Open is the only constructor.
+//
+// Unless the Store was opened with WithConcurrency, mutations must come
+// from a single goroutine, mirroring the paper's single-writer model.
+type Store interface {
+	Index
+
+	// InsertBatch upserts every (keys[i], values[i]) pair; len(keys) must
+	// equal len(values).
+	InsertBatch(keys, values []uint64) error
+	// LookupBatch looks up every key, writing values into out — which must
+	// have length at least len(keys) — and returns per-key presence.
+	LookupBatch(keys []uint64, out []uint64) []bool
+
+	// Stats snapshots the store's observability counters. Fields that do
+	// not apply to the kind are zero-valued.
+	Stats() Stats
+	// WaitSync blocks until asynchronously maintained state (the shortcut
+	// directory of KindShortcutEH) has caught up, or the timeout elapses.
+	// Kinds without asynchronous maintenance are always in sync.
+	WaitSync(timeout time.Duration) bool
+	// Kind reports which implementation backs the store.
+	Kind() Kind
+	// Close releases the index and any pool Open created for it. It is
+	// idempotent; operations after Close fail with ErrClosed (or report
+	// "not found" where the signature has no error).
+	Close() error
+}
+
+// Stats is the common observability struct of all kinds. Directory fields
+// are populated for the EH-backed kinds (and, reinterpreted, for
+// KindRadix); shortcut fields only for KindShortcutEH. Everything else is
+// zero-valued, per kind, by design.
+type Stats struct {
+	Kind    Kind
+	Entries int
+
+	// Directory shape (KindEH, KindShortcutEH; for KindRadix
+	// DirectorySlots is the inner node's fan-out and Buckets the live leaf
+	// count; for KindCH DirectorySlots is the slot array and Buckets the
+	// overflow-bucket count).
+	GlobalDepth    uint
+	DirectorySlots int
+	Buckets        int
+	LoadFactor     float64
+	AvgFanIn       float64
+	// StructuralMods counts structure-changing events: splits + doublings
+	// (+ merges + halvings) for the EH kinds, rehashes for KindHT, resizes
+	// for KindHTI, leaf allocations + frees for KindRadix.
+	StructuralMods uint64
+
+	// Shortcut maintenance and routing (KindShortcutEH only).
+	ShortcutLookups    uint64
+	TraditionalLookups uint64
+	UpdatesApplied     uint64
+	CreatesApplied     uint64
+	UpdatesSuperseded  uint64
+	Remaps             uint64
+	TradVersion        uint64
+	ShortcutVersion    uint64
+	InSync             bool
+	UsingShortcut      bool
+}
+
+// storeOptions collects the functional options; zero values defer to each
+// implementation's defaults.
+type storeOptions struct {
+	err error // first invalid option, reported by Open
+
+	pool            *Pool
+	poolCfg         PoolConfig
+	capacity        int
+	maxLoadFactor   float64
+	tableBytes      int
+	migrationBatch  int
+	initialGD       uint
+	initialGDSet    bool
+	mergeLoadFactor float64
+	pollInterval    time.Duration
+	fanInThreshold  float64
+	adaptiveRouting bool
+	synchronous     bool
+	disableShortcut bool
+	concurrent      bool
+}
+
+// Option configures Open. Options that do not apply to the chosen kind are
+// ignored, so one option set can drive a sweep over several kinds.
+type Option func(*storeOptions)
+
+func (o *storeOptions) fail(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf(format, args...)
+	}
+}
+
+// WithPool injects the physical page pool backing the index (KindEH,
+// KindShortcutEH, KindRadix). The caller keeps ownership: Close does not
+// close an injected pool. Without this option, Open creates and owns a
+// pool whenever the kind needs one.
+func WithPool(p *Pool) Option {
+	return func(o *storeOptions) {
+		if p == nil {
+			o.fail("vmshortcut: WithPool(nil)")
+			return
+		}
+		o.pool = p
+	}
+}
+
+// WithPoolConfig tunes the pool Open auto-creates. Ignored when WithPool
+// injects one.
+func WithPoolConfig(cfg PoolConfig) Option {
+	return func(o *storeOptions) { o.poolCfg = cfg }
+}
+
+// WithCapacity pre-sizes the index for n entries, like make(map, n):
+// initial table bytes for KindHT/KindHTI, directory bytes for KindCH,
+// initial global depth for the EH kinds, and the auto-created pool's page
+// budget. For KindRadix, n is the exclusive key-space bound and is
+// required.
+func WithCapacity(n int) Option {
+	return func(o *storeOptions) {
+		if n <= 0 {
+			o.fail("vmshortcut: WithCapacity(%d): must be positive", n)
+			return
+		}
+		o.capacity = n
+	}
+}
+
+// WithMaxLoadFactor sets the occupancy threshold that triggers growth
+// (KindHT, KindHTI) or bucket splits (KindEH, KindShortcutEH). Default
+// 0.35, the paper's parameter.
+func WithMaxLoadFactor(f float64) Option {
+	return func(o *storeOptions) {
+		if f <= 0 || f >= 1 {
+			o.fail("vmshortcut: WithMaxLoadFactor(%v): need 0 < f < 1", f)
+			return
+		}
+		o.maxLoadFactor = f
+	}
+}
+
+// WithTableBytes fixes KindCH's directory size (the paper grants CH 1 GB).
+func WithTableBytes(n int) Option {
+	return func(o *storeOptions) {
+		if n <= 0 {
+			o.fail("vmshortcut: WithTableBytes(%d): must be positive", n)
+			return
+		}
+		o.tableBytes = n
+	}
+}
+
+// WithMigrationBatch sets how many entries KindHTI migrates per access
+// while a resize is in progress. Default 64.
+func WithMigrationBatch(n int) Option {
+	return func(o *storeOptions) {
+		if n <= 0 {
+			o.fail("vmshortcut: WithMigrationBatch(%d): must be positive", n)
+			return
+		}
+		o.migrationBatch = n
+	}
+}
+
+// WithInitialGlobalDepth pre-sizes the EH directory (KindEH,
+// KindShortcutEH); it takes precedence over the depth WithCapacity derives.
+func WithInitialGlobalDepth(d uint) Option {
+	return func(o *storeOptions) {
+		o.initialGD = d
+		o.initialGDSet = true
+	}
+}
+
+// WithMergeLoadFactor enables bucket coalescing on delete for the EH kinds
+// (0, the default, matches the paper's no-merge prototype).
+func WithMergeLoadFactor(f float64) Option {
+	return func(o *storeOptions) {
+		if f < 0 || f >= 1 {
+			o.fail("vmshortcut: WithMergeLoadFactor(%v): need 0 <= f < 1", f)
+			return
+		}
+		o.mergeLoadFactor = f
+	}
+}
+
+// WithPollInterval sets the mapper thread's queue polling frequency
+// (KindShortcutEH). Default DefaultPollInterval (25ms, paper §4.1).
+func WithPollInterval(d time.Duration) Option {
+	return func(o *storeOptions) {
+		if d <= 0 {
+			o.fail("vmshortcut: WithPollInterval(%v): must be positive", d)
+			return
+		}
+		o.pollInterval = d
+	}
+}
+
+// WithFanInThreshold routes KindShortcutEH lookups through the shortcut
+// only while the average directory fan-in is at most f. Default 8.
+func WithFanInThreshold(f float64) Option {
+	return func(o *storeOptions) {
+		if f <= 0 {
+			o.fail("vmshortcut: WithFanInThreshold(%v): must be positive", f)
+			return
+		}
+		o.fanInThreshold = f
+	}
+}
+
+// WithAdaptiveRouting replaces KindShortcutEH's fixed fan-in threshold
+// with online measurement of both access paths.
+func WithAdaptiveRouting(on bool) Option {
+	return func(o *storeOptions) { o.adaptiveRouting = on }
+}
+
+// WithSynchronousMaintenance applies KindShortcutEH's shortcut maintenance
+// on the writer goroutine instead of the mapper thread (ablations only).
+func WithSynchronousMaintenance(on bool) Option {
+	return func(o *storeOptions) { o.synchronous = on }
+}
+
+// WithDisableShortcut routes every read through the traditional pointer
+// path (KindShortcutEH, KindRadix; ablations and baselines).
+func WithDisableShortcut(on bool) Option {
+	return func(o *storeOptions) { o.disableShortcut = on }
+}
+
+// WithConcurrency makes the store safe for concurrent use, including a
+// Close racing in-flight operations: a readers-writer lock admits parallel
+// lookups (exclusive mutation) for every kind whose reads are pure;
+// KindHTI's reads migrate entries and therefore serialize fully.
+func WithConcurrency(on bool) Option {
+	return func(o *storeOptions) { o.concurrent = on }
+}
+
+// batchIndex is the contract every internal index implementation satisfies
+// natively; the store wrapper adds lifecycle and observability on top.
+type batchIndex interface {
+	Index
+	InsertBatch(keys, values []uint64) error
+	LookupBatch(keys []uint64, out []uint64) []bool
+}
+
+// effectiveLoadFactor mirrors the 0.35 default every implementation fills
+// in, so capacity pre-sizing agrees with the table it sizes.
+func (o *storeOptions) effectiveLoadFactor() float64 {
+	if o.maxLoadFactor > 0 {
+		return o.maxLoadFactor
+	}
+	return 0.35
+}
+
+// openBytes sizes an open-addressing table (16-byte slots) so capacity
+// entries fit without a rehash.
+func (o *storeOptions) openBytes() int {
+	if o.capacity <= 0 {
+		return 0
+	}
+	slots := int(float64(o.capacity)/o.effectiveLoadFactor()) + 1
+	return slots * 16
+}
+
+// ehConfig assembles the extendible-hashing config shared by KindEH and
+// KindShortcutEH.
+func (o *storeOptions) ehConfig() eh.Config {
+	cfg := eh.Config{
+		MaxLoadFactor:   o.maxLoadFactor,
+		MergeLoadFactor: o.mergeLoadFactor,
+	}
+	switch {
+	case o.initialGDSet:
+		cfg.InitialGlobalDepth = o.initialGD
+	case o.capacity > 0:
+		// Buckets needed at the split threshold, rounded up to a power of
+		// two of directory slots (255 entry slots per 4 KB bucket).
+		maxFill := int(o.effectiveLoadFactor() * 255)
+		if maxFill < 1 {
+			maxFill = 1
+		}
+		buckets := (o.capacity + maxFill - 1) / maxFill
+		for cfg.InitialGlobalDepth = 0; 1<<cfg.InitialGlobalDepth < buckets; cfg.InitialGlobalDepth++ {
+		}
+	}
+	return cfg
+}
+
+// autoPool creates the pool Open owns when none was injected, sized from
+// the capacity hint when one was given.
+func (o *storeOptions) autoPool() (*Pool, error) {
+	cfg := o.poolCfg
+	if o.capacity > 0 && cfg.MaxPages == 0 {
+		// ≈ capacity/32 pages of buckets at the 0.35 load factor, with
+		// headroom for splits in flight and shortcut areas.
+		pages := o.capacity/32 + (1 << 12)
+		cfg.MaxPages = pages * 4
+		if cfg.GrowChunkPages == 0 {
+			cfg.GrowChunkPages = 1 << 10
+		}
+	}
+	return pool.New(cfg)
+}
+
+// Open constructs the index kind behind the uniform Store surface. A pool
+// is created and owned by the store when the kind needs one and WithPool
+// did not inject it, so Open(KindShortcutEH) works with no further setup.
+//
+// The old per-kind constructors (NewHashTable, NewExtendibleHashing,
+// NewShortcutEH, ...) remain as deprecated wrappers around the same
+// implementations.
+func Open(kind Kind, opts ...Option) (Store, error) {
+	var o storeOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	if o.err != nil {
+		return nil, o.err
+	}
+	if kind < 0 || kind >= kindCount {
+		return nil, fmt.Errorf("vmshortcut: unknown index kind %d", int(kind))
+	}
+
+	s := &store{kind: kind}
+
+	// Acquire the page pool for the kinds that allocate from one.
+	switch kind {
+	case KindEH, KindShortcutEH, KindRadix:
+		if o.pool != nil {
+			s.pool = o.pool
+		} else {
+			p, err := o.autoPool()
+			if err != nil {
+				return nil, fmt.Errorf("vmshortcut: opening %s: %w", kind, err)
+			}
+			s.pool = p
+			s.ownsPool = true
+		}
+	}
+	// On any construction failure below, give back what Open created.
+	fail := func(err error) (Store, error) {
+		if s.ownsPool {
+			s.pool.Close()
+		}
+		return nil, fmt.Errorf("vmshortcut: opening %s: %w", kind, err)
+	}
+
+	switch kind {
+	case KindHT:
+		t := ht.New(ht.Config{MaxLoadFactor: o.maxLoadFactor, InitialBytes: o.openBytes()})
+		s.idx = t
+		s.stats = func() Stats {
+			return Stats{
+				Kind:           KindHT,
+				Entries:        t.Len(),
+				DirectorySlots: t.Slots(),
+				LoadFactor:     float64(t.Len()) / float64(t.Slots()),
+				StructuralMods: uint64(t.Rehashes),
+			}
+		}
+
+	case KindHTI:
+		t := hti.New(hti.Config{
+			MaxLoadFactor:  o.maxLoadFactor,
+			InitialBytes:   o.openBytes(),
+			MigrationBatch: o.migrationBatch,
+		})
+		s.idx = t
+		s.stats = func() Stats {
+			return Stats{Kind: KindHTI, Entries: t.Len(), StructuralMods: uint64(t.Resizes)}
+		}
+
+	case KindCH:
+		bytes := o.tableBytes
+		if bytes == 0 && o.capacity > 0 {
+			// The paper's 1 GB : 100M ratio — 10 bytes of directory per
+			// expected entry.
+			bytes = o.capacity * 10
+		}
+		t := ch.New(ch.Config{TableBytes: bytes})
+		s.idx = t
+		s.stats = func() Stats {
+			return Stats{
+				Kind:           KindCH,
+				Entries:        t.Len(),
+				DirectorySlots: t.Slots(),
+				Buckets:        t.ChainedBuckets,
+				LoadFactor:     float64(t.Len()) / float64(t.Slots()),
+			}
+		}
+
+	case KindEH:
+		t, err := eh.New(s.pool, o.ehConfig())
+		if err != nil {
+			return fail(err)
+		}
+		if o.mergeLoadFactor > 0 {
+			s.idx = mergingEH{t}
+		} else {
+			s.idx = t
+		}
+		s.under = t
+		s.stats = func() Stats {
+			st := ehShapeStats(t.Stats())
+			st.Kind = KindEH
+			return st
+		}
+
+	case KindShortcutEH:
+		cfg := sceh.Config{
+			EH:              o.ehConfig(),
+			PollInterval:    o.pollInterval,
+			FanInThreshold:  o.fanInThreshold,
+			AdaptiveRouting: o.adaptiveRouting,
+			Synchronous:     o.synchronous,
+			DisableShortcut: o.disableShortcut,
+		}
+		t, err := sceh.New(s.pool, cfg)
+		if err != nil {
+			return fail(err)
+		}
+		s.idx = t
+		s.under = t
+		s.closeInner = t.Close
+		s.waitSync = t.WaitSync
+		s.stats = func() Stats {
+			st := ehShapeStats(t.EH().Stats())
+			scehStats(&st, t, t.Stats())
+			return st
+		}
+
+	case KindRadix:
+		if o.capacity <= 0 {
+			return fail(errors.New("radix requires WithCapacity (the exclusive key-space bound)"))
+		}
+		m, err := radix.New(s.pool, radix.Config{
+			Capacity:        uint64(o.capacity),
+			DisableShortcut: o.disableShortcut,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.idx = m
+		s.under = m
+		s.closeInner = m.Close
+		s.stats = func() Stats {
+			return Stats{
+				Kind:           KindRadix,
+				Entries:        m.Len(),
+				DirectorySlots: m.Slots(),
+				Buckets:        m.LeafAllocs - m.LeafFrees,
+				StructuralMods: uint64(m.LeafAllocs + m.LeafFrees),
+			}
+		}
+	}
+
+	// Concurrency: every kind shares one readers-writer wrapper that also
+	// owns the closed flag, so Close drains in-flight operations before
+	// releasing the underlying memory. Reads stay parallel for the kinds
+	// whose reads are pure (Shortcut-EH lookups only touch atomics; HTI
+	// reads migrate entries and serialize).
+	if o.concurrent {
+		lck := &lockedIndex{idx: s.idx, readMutates: kind == KindHTI}
+		s.idx = lck
+		s.lck = lck
+		inner := s.stats
+		s.stats = func() Stats {
+			lck.mu.Lock()
+			defer lck.mu.Unlock()
+			if lck.closed {
+				return Stats{Kind: kind}
+			}
+			return inner()
+		}
+	}
+	return s, nil
+}
+
+// ehShapeStats maps the extendible-hashing shape statistics onto the
+// common struct.
+func ehShapeStats(ms eh.MemStats) Stats {
+	return Stats{
+		Entries:        ms.Entries,
+		GlobalDepth:    ms.GlobalDepth,
+		DirectorySlots: ms.DirectorySlots,
+		Buckets:        ms.Buckets,
+		LoadFactor:     ms.LoadFactor,
+		AvgFanIn:       ms.AvgFanIn,
+		StructuralMods: ms.StructuralMods,
+	}
+}
+
+// scehStats fills the shortcut maintenance and routing fields from a
+// Shortcut-EH table's counters.
+func scehStats(st *Stats, t *sceh.Table, s sceh.Stats) {
+	st.Kind = KindShortcutEH
+	st.ShortcutLookups = s.ShortcutLookups
+	st.TraditionalLookups = s.TraditionalLookups
+	st.UpdatesApplied = s.UpdatesApplied
+	st.CreatesApplied = s.CreatesApplied
+	st.UpdatesSuperseded = s.UpdatesSuperseded
+	st.Remaps = s.Remaps
+	st.TradVersion = t.TradVersion()
+	st.ShortcutVersion = t.ShortcutVersion()
+	st.InSync = t.InSync()
+	st.UsingShortcut = t.UsingShortcut()
+}
+
+// mergingEH routes deletes through bucket coalescing when
+// WithMergeLoadFactor enabled it for KindEH.
+type mergingEH struct{ *eh.Table }
+
+func (m mergingEH) Delete(key uint64) bool { return m.Table.DeleteAndMerge(key) }
+
+// lockedIndex serializes a batchIndex for WithConcurrency. Reads take the
+// shared lock unless the implementation mutates on read (KindHTI's
+// incremental migration), and batch operations amortize the lock to one
+// acquisition. It also owns the authoritative closed check: the flag is
+// read under the lock, so close() cannot release the underlying memory
+// while an operation is mid-flight.
+type lockedIndex struct {
+	mu          sync.RWMutex
+	idx         batchIndex
+	readMutates bool
+	closed      bool
+}
+
+// close marks the index closed and runs release while holding the write
+// lock, after every in-flight operation has drained.
+func (l *lockedIndex) close(release func() error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return release()
+}
+
+func (l *lockedIndex) rlock() {
+	if l.readMutates {
+		l.mu.Lock()
+	} else {
+		l.mu.RLock()
+	}
+}
+
+func (l *lockedIndex) runlock() {
+	if l.readMutates {
+		l.mu.Unlock()
+	} else {
+		l.mu.RUnlock()
+	}
+}
+
+func (l *lockedIndex) Insert(key, value uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.idx.Insert(key, value)
+}
+
+func (l *lockedIndex) Lookup(key uint64) (uint64, bool) {
+	l.rlock()
+	defer l.runlock()
+	if l.closed {
+		return 0, false
+	}
+	return l.idx.Lookup(key)
+}
+
+func (l *lockedIndex) Delete(key uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	return l.idx.Delete(key)
+}
+
+func (l *lockedIndex) Len() int {
+	l.rlock()
+	defer l.runlock()
+	if l.closed {
+		return 0
+	}
+	return l.idx.Len()
+}
+
+func (l *lockedIndex) InsertBatch(keys, values []uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.idx.InsertBatch(keys, values)
+}
+
+func (l *lockedIndex) LookupBatch(keys []uint64, out []uint64) []bool {
+	l.rlock()
+	defer l.runlock()
+	if l.closed {
+		return make([]bool, len(keys))
+	}
+	return l.idx.LookupBatch(keys, out)
+}
+
+// store implements Store: one batchIndex plus kind-specific lifecycle and
+// observability hooks.
+type store struct {
+	kind       Kind
+	idx        batchIndex
+	pool       *Pool
+	ownsPool   bool
+	under      any                      // concrete table for the As* escape hatches
+	closeInner func() error             // kind's own Close; nil when it has none
+	waitSync   func(time.Duration) bool // nil: always in sync
+	stats      func() Stats
+	lck        *lockedIndex // set with WithConcurrency; owns close ordering
+
+	closeMu sync.Mutex
+	closed  atomic.Bool
+}
+
+func (s *store) Kind() Kind { return s.kind }
+
+func (s *store) Insert(key, value uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.idx.Insert(key, value)
+}
+
+func (s *store) Lookup(key uint64) (uint64, bool) {
+	if s.closed.Load() {
+		return 0, false
+	}
+	return s.idx.Lookup(key)
+}
+
+func (s *store) Delete(key uint64) bool {
+	if s.closed.Load() {
+		return false
+	}
+	return s.idx.Delete(key)
+}
+
+func (s *store) Len() int {
+	if s.closed.Load() {
+		return 0
+	}
+	return s.idx.Len()
+}
+
+func (s *store) InsertBatch(keys, values []uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	return s.idx.InsertBatch(keys, values)
+}
+
+func (s *store) LookupBatch(keys []uint64, out []uint64) []bool {
+	if s.closed.Load() {
+		return make([]bool, len(keys))
+	}
+	return s.idx.LookupBatch(keys, out)
+}
+
+func (s *store) Stats() Stats {
+	if s.closed.Load() {
+		return Stats{Kind: s.kind}
+	}
+	return s.stats()
+}
+
+func (s *store) WaitSync(timeout time.Duration) bool {
+	if s.closed.Load() {
+		return false
+	}
+	if s.waitSync == nil {
+		return true
+	}
+	return s.waitSync(timeout)
+}
+
+// Close releases the index and, when Open created it, the backing pool.
+// Calling it again is a no-op returning nil. On a WithConcurrency store
+// the release runs under the wrapper's write lock, after in-flight
+// operations have drained.
+func (s *store) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
+		return nil
+	}
+	s.closed.Store(true)
+	release := func() error {
+		var firstErr error
+		if s.closeInner != nil {
+			firstErr = s.closeInner()
+		}
+		if s.ownsPool {
+			if err := s.pool.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	if s.lck != nil {
+		return s.lck.close(release)
+	}
+	return release()
+}
+
+// AsShortcutEH returns the Shortcut-EH table behind an open
+// KindShortcutEH store, for read-only inspection past the uniform surface.
+// With WithConcurrency, the caller must not race mutations through it.
+func AsShortcutEH(s Store) (*ShortcutEH, bool) {
+	t, ok := underOf(s).(*sceh.Table)
+	return t, ok
+}
+
+// AsExtendibleHashing returns the EH table behind an open KindEH store,
+// e.g. for WriteSnapshot; same caveats as AsShortcutEH.
+func AsExtendibleHashing(s Store) (*ExtendibleHashing, bool) {
+	t, ok := underOf(s).(*eh.Table)
+	return t, ok
+}
+
+// AsRadixMap returns the radix map behind an open KindRadix store, e.g.
+// for Range iteration; same caveats as AsShortcutEH.
+func AsRadixMap(s Store) (*RadixMap, bool) {
+	m, ok := underOf(s).(*radix.Map)
+	return m, ok
+}
+
+func underOf(s Store) any {
+	st, ok := s.(*store)
+	if !ok || st.closed.Load() {
+		return nil
+	}
+	return st.under
+}

@@ -1,0 +1,369 @@
+package vmshortcut
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openKinds enumerates every kind with the options that make it openable
+// in a test (radix needs a capacity; shortcut-EH syncs fast with a short
+// poll interval).
+func openKinds(tb testing.TB, n int, extra ...Option) map[string]Store {
+	tb.Helper()
+	out := map[string]Store{}
+	for _, k := range Kinds() {
+		opts := []Option{WithCapacity(n)}
+		if k == KindShortcutEH {
+			opts = append(opts, WithPollInterval(time.Millisecond))
+		}
+		opts = append(opts, extra...)
+		s, err := Open(k, opts...)
+		if err != nil {
+			tb.Fatalf("Open(%s): %v", k, err)
+		}
+		tb.Cleanup(func() { s.Close() })
+		out[k.String()] = s
+	}
+	return out
+}
+
+// TestOpenConformance drives the same insert/lookup/delete/batch workload
+// through the Store surface of every kind. Keys stay below n so they fit
+// the radix kind's bounded key space.
+func TestOpenConformance(t *testing.T) {
+	const n = 20000
+	for name, s := range openKinds(t, n) {
+		t.Run(name, func(t *testing.T) {
+			// Single-op phase over the first half of the key space.
+			for k := uint64(0); k < n/2; k++ {
+				if err := s.Insert(k, k*2+1); err != nil {
+					t.Fatalf("Insert(%d): %v", k, err)
+				}
+			}
+			// Batch phase over the second half.
+			keys := make([]uint64, 0, n/2)
+			vals := make([]uint64, 0, n/2)
+			for k := uint64(n / 2); k < n; k++ {
+				keys = append(keys, k)
+				vals = append(vals, k*2+1)
+			}
+			if err := s.InsertBatch(keys, vals); err != nil {
+				t.Fatalf("InsertBatch: %v", err)
+			}
+			if s.Len() != n {
+				t.Fatalf("Len = %d, want %d", s.Len(), n)
+			}
+			if !s.WaitSync(10 * time.Second) {
+				t.Fatal("WaitSync timed out")
+			}
+
+			// Single lookups agree with batch lookups.
+			all := make([]uint64, n)
+			for i := range all {
+				all[i] = uint64(i)
+			}
+			out := make([]uint64, n)
+			ok := s.LookupBatch(all, out)
+			for i, k := range all {
+				v1, ok1 := s.Lookup(k)
+				if !ok1 || v1 != k*2+1 {
+					t.Fatalf("Lookup(%d) = %d,%v", k, v1, ok1)
+				}
+				if !ok[i] || out[i] != v1 {
+					t.Fatalf("LookupBatch[%d] = %d,%v, want %d", i, out[i], ok[i], v1)
+				}
+			}
+			if _, miss := s.Lookup(n + 1); miss && s.Kind() != KindRadix {
+				t.Fatal("lookup of absent key reported present")
+			}
+
+			// Delete semantics: once true, then false.
+			if !s.Delete(5) || s.Delete(5) {
+				t.Fatal("delete semantics broken")
+			}
+			if s.Len() != n-1 {
+				t.Fatalf("Len after delete = %d", s.Len())
+			}
+
+			// Stats carries the kind and the live entry count everywhere.
+			st := s.Stats()
+			if st.Kind.String() != name || st.Entries != n-1 {
+				t.Fatalf("Stats = {Kind:%s Entries:%d}, want {%s %d}", st.Kind, st.Entries, name, n-1)
+			}
+		})
+	}
+}
+
+// TestOpenErrors exercises Open's failure paths.
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(Kind(99)); err == nil {
+		t.Fatal("Open(unknown kind) succeeded")
+	}
+	if _, err := Open(KindRadix); err == nil {
+		t.Fatal("Open(KindRadix) without capacity succeeded")
+	}
+	if _, err := Open(KindShortcutEH, WithPool(nil)); err == nil {
+		t.Fatal("WithPool(nil) accepted")
+	}
+	if _, err := Open(KindHT, WithCapacity(-1)); err == nil {
+		t.Fatal("WithCapacity(-1) accepted")
+	}
+	if _, err := Open(KindHT, WithMaxLoadFactor(1.5)); err == nil {
+		t.Fatal("WithMaxLoadFactor(1.5) accepted")
+	}
+	if _, err := ParseKind("btree"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+	for _, k := range Kinds() {
+		back, err := ParseKind(k.String())
+		if err != nil || back != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), back, err)
+		}
+	}
+}
+
+// TestStoreClose verifies the uniform lifecycle: Close is idempotent for
+// every kind and operations on a closed store fail with ErrClosed.
+func TestStoreClose(t *testing.T) {
+	const n = 1000
+	for name, s := range openKinds(t, n) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Insert(1, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if err := s.Insert(3, 4); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+			}
+			if err := s.InsertBatch([]uint64{3}, []uint64{4}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("InsertBatch after Close = %v, want ErrClosed", err)
+			}
+			if _, ok := s.Lookup(1); ok {
+				t.Fatal("Lookup after Close reported present")
+			}
+			if ok := s.LookupBatch([]uint64{1}, make([]uint64, 1)); ok[0] {
+				t.Fatal("LookupBatch after Close reported present")
+			}
+			if s.Delete(1) || s.Len() != 0 {
+				t.Fatal("Delete/Len after Close not inert")
+			}
+			if st := s.Stats(); st.Entries != 0 || st.Kind.String() != name {
+				t.Fatalf("Stats after Close = %+v", st)
+			}
+		})
+	}
+}
+
+// TestBatchLengthMismatch checks the error is reported, not panicked.
+func TestBatchLengthMismatch(t *testing.T) {
+	for name, s := range openKinds(t, 100) {
+		if err := s.InsertBatch([]uint64{1, 2}, []uint64{1}); err == nil {
+			t.Fatalf("%s: InsertBatch length mismatch accepted", name)
+		}
+	}
+}
+
+// TestOpenWithInjectedPool verifies pool ownership: Close must leave an
+// injected pool usable.
+func TestOpenWithInjectedPool(t *testing.T) {
+	p, err := NewPool(PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := Open(KindShortcutEH, WithPool(p), WithPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("injected pool unusable after store Close: %v", err)
+	}
+}
+
+// TestOpenConcurrency smoke-tests WithConcurrency across kinds: concurrent
+// writers and readers, then a consistent final state.
+func TestOpenConcurrency(t *testing.T) {
+	const n = 4000
+	const writers = 4
+	for name, s := range openKinds(t, n, WithConcurrency(true)) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for k := uint64(w); k < n; k += writers {
+						if err := s.Insert(k, k+1); err != nil {
+							t.Errorf("Insert(%d): %v", k, err)
+							return
+						}
+					}
+				}(w)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out := make([]uint64, 64)
+					keys := make([]uint64, 64)
+					for i := range keys {
+						keys[i] = uint64(i * 7 % n)
+					}
+					for r := 0; r < 50; r++ {
+						s.LookupBatch(keys, out)
+					}
+				}()
+			}
+			wg.Wait()
+			if s.Len() != n {
+				t.Fatalf("Len = %d, want %d", s.Len(), n)
+			}
+			for k := uint64(0); k < n; k += 97 {
+				if v, ok := s.Lookup(k); !ok || v != k+1 {
+					t.Fatalf("Lookup(%d) = %d,%v", k, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentCloseUnderFire closes a WithConcurrency store while
+// readers are mid-flight: the wrapper must drain them before the backing
+// pool is unmapped, and late operations must observe the closed state
+// instead of dereferencing released memory.
+func TestConcurrentCloseUnderFire(t *testing.T) {
+	for _, kind := range []Kind{KindEH, KindShortcutEH} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s, err := Open(kind, WithConcurrency(true), WithPollInterval(time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50000
+			for k := uint64(0); k < n; k++ {
+				if err := s.Insert(k, k+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.WaitSync(10 * time.Second)
+
+			var wg sync.WaitGroup
+			for r := 0; r < 8; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					keys := make([]uint64, 256)
+					out := make([]uint64, 256)
+					for i := range keys {
+						keys[i] = uint64((i * 31) % n)
+					}
+					for i := 0; ; i++ {
+						if i%2 == 0 {
+							s.LookupBatch(keys, out)
+						} else if _, ok := s.Lookup(uint64(r)); !ok {
+							return // closed observed
+						}
+					}
+				}(r)
+			}
+			time.Sleep(2 * time.Millisecond)
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close under fire: %v", err)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestAsEscapeHatches verifies the typed accessors reach the concrete
+// tables behind the facade.
+func TestAsEscapeHatches(t *testing.T) {
+	sc, err := Open(KindShortcutEH, WithPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	if _, ok := AsShortcutEH(sc); !ok {
+		t.Fatal("AsShortcutEH failed on a KindShortcutEH store")
+	}
+	if _, ok := AsExtendibleHashing(sc); ok {
+		t.Fatal("AsExtendibleHashing succeeded on a KindShortcutEH store")
+	}
+
+	ehs, err := Open(KindEH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ehs.Close()
+	if _, ok := AsExtendibleHashing(ehs); !ok {
+		t.Fatal("AsExtendibleHashing failed on a KindEH store")
+	}
+
+	r, err := Open(KindRadix, WithCapacity(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	m, ok := AsRadixMap(r)
+	if !ok {
+		t.Fatal("AsRadixMap failed on a KindRadix store")
+	}
+	if err := r.Insert(42, 7); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	m.Range(func(k, v uint64) bool { seen++; return true })
+	if seen != 1 {
+		t.Fatalf("Range over the unwrapped map saw %d entries", seen)
+	}
+	r.Close()
+	if _, ok := AsRadixMap(r); ok {
+		t.Fatal("AsRadixMap succeeded on a closed store")
+	}
+}
+
+// TestOpenShortcutRouting checks the paper-facing behavior survives the
+// facade: after sync, lookups route through the shortcut directory.
+func TestOpenShortcutRouting(t *testing.T) {
+	s, err := Open(KindShortcutEH, WithPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for k := uint64(1); k <= 50000; k++ {
+		if err := s.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.WaitSync(10 * time.Second) {
+		t.Fatal("never synced")
+	}
+	st := s.Stats()
+	if !st.InSync || !st.UsingShortcut {
+		t.Fatalf("Stats after sync: InSync=%v UsingShortcut=%v", st.InSync, st.UsingShortcut)
+	}
+	before := st.ShortcutLookups
+	keys := make([]uint64, 1024)
+	out := make([]uint64, 1024)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	for i, ok := range s.LookupBatch(keys, out) {
+		if !ok || out[i] != keys[i] {
+			t.Fatalf("LookupBatch[%d] = %d,%v", i, out[i], ok)
+		}
+	}
+	if got := s.Stats().ShortcutLookups; got != before+1024 {
+		t.Fatalf("shortcut lookups = %d, want %d", got, before+1024)
+	}
+}

@@ -14,18 +14,35 @@
 //     virtual page straight onto the physical page of its leaf, so a
 //     lookup resolves a single, hardware-accelerated indirection.
 //
-//   - The index layer: five uint64→uint64 hash indexes behind the Index
-//     interface — NewHashTable (HT), NewIncrementalHashTable (HTI, the
-//     Redis-style incremental rehasher), NewChainedHashTable (CH),
-//     NewExtendibleHashing (EH), and NewShortcutEH, the paper's
-//     contribution: extendible hashing whose directory is additionally
-//     expressed as a page-table shortcut maintained asynchronously by a
-//     mapper thread.
+//   - The index layer: six uint64→uint64 indexes behind one constructor,
+//     Open(kind, opts...) — the paper's four hash-table baselines (KindHT,
+//     KindHTI, KindCH, KindEH), the paper's contribution KindShortcutEH
+//     (extendible hashing whose directory is additionally expressed as a
+//     page-table shortcut maintained asynchronously by a mapper thread),
+//     and KindRadix, a sparse direct-mapped shortcut index. Every kind is
+//     served through the uniform Store surface: the Index operations,
+//     InsertBatch/LookupBatch for amortized hot loops, Stats, WaitSync,
+//     and an idempotent Close.
 //
 //   - The simulation layer (vmsim): a deterministic software MMU — 4-level
 //     page table, two-level TLB, three-level cache model — used by the
 //     benchmark harness to regenerate the paper's hardware-bound figures
 //     deterministically.
+//
+// Opening the paper's index takes one call — Open creates and owns the
+// backing page pool unless WithPool injects one:
+//
+//	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH)
+//	if err != nil { ... }
+//	defer idx.Close()
+//	idx.Insert(1, 42)
+//
+// Functional options (WithCapacity, WithPollInterval, WithFanInThreshold,
+// WithAdaptiveRouting, WithConcurrency, ...) tune the chosen kind;
+// options that do not apply to a kind are ignored so one option set can
+// drive a sweep over all of them. The per-kind constructors below
+// (NewHashTable, NewExtendibleHashing, NewShortcutEH, ...) predate Open
+// and remain as deprecated wrappers.
 //
 // All rewired memory lives outside the Go heap; the garbage collector
 // never observes it. Linux is required for the rewiring layer (memfd +
@@ -86,6 +103,8 @@ type HashTableConfig = ht.Config
 
 // NewHashTable creates the HT baseline: one open-addressing table that
 // doubles (with a full rehash) when its load factor exceeds the threshold.
+//
+// Deprecated: use Open(KindHT, opts...) for the uniform Store surface.
 func NewHashTable(cfg HashTableConfig) Index { return ht.New(cfg) }
 
 // IncrementalConfig configures NewIncrementalHashTable.
@@ -93,6 +112,8 @@ type IncrementalConfig = hti.Config
 
 // NewIncrementalHashTable creates the HTI baseline: Redis-style
 // incremental rehashing — each access migrates a batch of entries.
+//
+// Deprecated: use Open(KindHTI, opts...) for the uniform Store surface.
 func NewIncrementalHashTable(cfg IncrementalConfig) Index { return hti.New(cfg) }
 
 // ChainedConfig configures NewChainedHashTable.
@@ -100,6 +121,8 @@ type ChainedConfig = ch.Config
 
 // NewChainedHashTable creates the CH baseline: a fixed-size table with
 // 128-byte overflow bucket chains and no rehashing.
+//
+// Deprecated: use Open(KindCH, opts...) for the uniform Store surface.
 func NewChainedHashTable(cfg ChainedConfig) Index { return ch.New(cfg) }
 
 // ExtendibleConfig configures NewExtendibleHashing.
@@ -112,6 +135,9 @@ type ExtendibleHashing = eh.Table
 // NewExtendibleHashing creates classical extendible hashing over pool
 // pages: a pointer directory indexed by the hash's most significant bits
 // over 4 KB buckets.
+//
+// Deprecated: use Open(KindEH, opts...) for the uniform Store surface;
+// AsExtendibleHashing recovers the concrete table, e.g. for snapshots.
 func NewExtendibleHashing(p *Pool, cfg ExtendibleConfig) (*ExtendibleHashing, error) {
 	return eh.New(p, cfg)
 }
@@ -127,6 +153,9 @@ type ShortcutEH = sceh.Table
 
 // NewShortcutEH creates a Shortcut-EH index and starts its mapper thread.
 // Close it to stop the mapper and release the shortcut's virtual areas.
+//
+// Deprecated: use Open(KindShortcutEH, opts...) for the uniform Store
+// surface; AsShortcutEH recovers the concrete table.
 func NewShortcutEH(p *Pool, cfg ShortcutEHConfig) (*ShortcutEH, error) {
 	return sceh.New(p, cfg)
 }
@@ -136,6 +165,8 @@ func NewShortcutEH(p *Pool, cfg ShortcutEHConfig) (*ShortcutEH, error) {
 type ConcurrentShortcutEH = sceh.Concurrent
 
 // NewConcurrentShortcutEH creates a concurrency-safe Shortcut-EH table.
+//
+// Deprecated: use Open(KindShortcutEH, WithConcurrency(true), opts...).
 func NewConcurrentShortcutEH(p *Pool, cfg ShortcutEHConfig) (*ConcurrentShortcutEH, error) {
 	return sceh.NewConcurrent(p, cfg)
 }
@@ -150,6 +181,9 @@ type RadixMap = radix.Map
 
 // NewRadixMap creates a sparse direct-mapped index covering keys
 // [0, cfg.Capacity).
+//
+// Deprecated: use Open(KindRadix, WithCapacity(n), opts...); AsRadixMap
+// recovers the concrete map, e.g. for Range iteration.
 func NewRadixMap(p *Pool, cfg RadixMapConfig) (*RadixMap, error) { return radix.New(p, cfg) }
 
 // RestoreExtendibleHashing reads a snapshot written by
