@@ -8,7 +8,9 @@ package vmshortcut
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -528,6 +530,137 @@ func BenchmarkBatchVsSingle(b *testing.B) {
 					}
 				}
 			}
+		})
+	}
+}
+
+// --- Sharded store: multi-goroutine batch throughput vs the single lock. ---
+
+// shardCounts sweeps 1, 2, 4, ... up to GOMAXPROCS. shards=1 (plus
+// WithConcurrency) is the old single-global-lock wrapper every other
+// count is compared against.
+func shardCounts() []int {
+	counts := []int{1}
+	for n := 2; n <= runtime.GOMAXPROCS(0); n *= 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func openShardedBench(b *testing.B, shards int) Store {
+	b.Helper()
+	s, err := Open(KindShortcutEH,
+		WithShards(shards),
+		WithConcurrency(true), // shards=1 → the global-lock baseline
+		WithPollInterval(time.Millisecond),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkShardedInsertBatch measures concurrent batched insertion: every
+// parallel goroutine claims a disjoint key range and pushes 1024-entry
+// batches. One op is one batch. With shards=1 all writers serialize on the
+// single write lock; higher shard counts stripe the lock and fan each
+// batch out across shard goroutines.
+func BenchmarkShardedInsertBatch(b *testing.B) {
+	const batch = 1024
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := openShardedBench(b, shards)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				keys := make([]uint64, batch)
+				vals := make([]uint64, batch)
+				for pb.Next() {
+					base := next.Add(batch) - batch
+					for i := range keys {
+						keys[i] = workload.Key(6, base+uint64(i))
+						vals[i] = base + uint64(i)
+					}
+					if err := s.InsertBatch(keys, vals); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+// BenchmarkShardedInsert measures contended single-op insertion: parallel
+// goroutines each claim keys from a shared counter and insert one at a
+// time. This isolates pure lock striping — with shards=1 every insert
+// fights for the one write lock; sharding divides the contention without
+// any batch fan-out machinery in the path.
+func BenchmarkShardedInsert(b *testing.B) {
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := openShardedBench(b, shards)
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1) - 1
+					if err := s.Insert(workload.Key(6, i), i); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedLookupBatch measures concurrent batched lookups against
+// a preloaded store. Reads already scale under the single RW lock, so this
+// isolates what sharding adds on the read path (independent per-shard
+// routing decisions and cache-local directories).
+func BenchmarkShardedLookupBatch(b *testing.B) {
+	const batch = 1024
+	const n = 1 << 20
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := openShardedBench(b, shards)
+			keys := make([]uint64, batch)
+			vals := make([]uint64, batch)
+			harness.Chunks(n, batch, func(lo, hi int) {
+				k, v := keys[:hi-lo], vals[:hi-lo]
+				for i := range k {
+					k[i] = workload.Key(6, uint64(lo+i))
+					v[i] = uint64(lo + i)
+				}
+				if err := s.InsertBatch(k, v); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if !s.WaitSync(time.Minute) {
+				b.Fatal("shards never synced")
+			}
+			var cursor atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				probe := make([]uint64, batch)
+				out := make([]uint64, batch)
+				for pb.Next() {
+					base := cursor.Add(batch)
+					for i := range probe {
+						probe[i] = workload.Key(6, (base+uint64(i)*2654435761)%n)
+					}
+					for _, ok := range s.LookupBatch(probe, out) {
+						if !ok {
+							b.Fatal("miss")
+						}
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "lookups/s")
 		})
 	}
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	ehstore [-index shortcut-eh|eh|ht|hti|ch] [-n 1000000] [-reads 1000000]
-//	        [-deletes 0.1] [-poll 25ms] [-batch 0]
+//	        [-deletes 0.1] [-poll 25ms] [-batch 0] [-shards 1] [-workers 1]
 package main
 
 import (
@@ -31,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "keyspace seed")
 	hist := flag.Bool("hist", false, "print a read-latency histogram")
 	batch := flag.Int("batch", 0, "run load and read phases through InsertBatch/LookupBatch in chunks of this size (0 = single ops)")
+	shards := flag.Int("shards", 1, "hash-partition the keyspace across this many independent shards")
+	workers := flag.Int("workers", 1, "goroutines driving the load and read phases (>1 requires -shards > 1 or implies a shared-lock store)")
 	trace := flag.String("trace", "", "replay an operation trace file instead of the generated workload (I/L/D lines)")
 	flag.Parse()
 
@@ -41,7 +43,18 @@ func main() {
 	if *hist && *batch > 0 {
 		log.Fatal("-hist records per-op latencies and requires -batch=0")
 	}
-	opts := []vmshortcut.Option{vmshortcut.WithPollInterval(*poll)}
+	if *hist && *workers > 1 {
+		log.Fatal("-hist records per-op latencies and requires -workers=1")
+	}
+	opts := []vmshortcut.Option{
+		vmshortcut.WithPollInterval(*poll),
+		vmshortcut.WithShards(*shards),
+	}
+	if *workers > 1 && *shards <= 1 {
+		// Multi-goroutine driving of an unsharded store needs the global
+		// readers-writer lock; say so rather than racing.
+		opts = append(opts, vmshortcut.WithConcurrency(true))
+	}
 	if kind == vmshortcut.KindCH {
 		// The paper's 10-bytes-per-entry directory budget for CH.
 		opts = append(opts, vmshortcut.WithTableBytes(*n*10))
@@ -59,29 +72,33 @@ func main() {
 		return
 	}
 
-	fmt.Printf("index=%s n=%d reads=%d batch=%d\n", kind, *n, *reads, *batch)
+	fmt.Printf("index=%s n=%d reads=%d batch=%d shards=%d workers=%d\n",
+		kind, *n, *reads, *batch, *shards, *workers)
 
 	start := time.Now()
-	if *batch > 0 {
-		keys := make([]uint64, *batch)
-		vals := make([]uint64, *batch)
-		harness.Chunks(*n, *batch, func(lo, hi int) {
-			k, v := keys[:hi-lo], vals[:hi-lo]
-			for i := range k {
-				k[i] = workload.Key(*seed, uint64(lo+i))
-				v[i] = uint64(lo + i)
-			}
-			if err := idx.InsertBatch(k, v); err != nil {
-				log.Fatalf("insert batch [%d,%d): %v", lo, hi, err)
-			}
-		})
-	} else {
-		for i := 0; i < *n; i++ {
+	harness.ParallelChunks(*n, *workers, func(w, wlo, whi int) {
+		if *batch > 0 {
+			keys := make([]uint64, *batch)
+			vals := make([]uint64, *batch)
+			harness.Chunks(whi-wlo, *batch, func(clo, chi int) {
+				lo := wlo + clo
+				k, v := keys[:chi-clo], vals[:chi-clo]
+				for i := range k {
+					k[i] = workload.Key(*seed, uint64(lo+i))
+					v[i] = uint64(lo + i)
+				}
+				if err := idx.InsertBatch(k, v); err != nil {
+					log.Fatalf("insert batch [%d,%d): %v", lo, lo+len(k), err)
+				}
+			})
+			return
+		}
+		for i := wlo; i < whi; i++ {
 			if err := idx.Insert(workload.Key(*seed, uint64(i)), uint64(i)); err != nil {
 				log.Fatalf("insert %d: %v", i, err)
 			}
 		}
-	}
+	})
 	loadDur := time.Since(start)
 	fmt.Printf("load:    %10s  (%.0f inserts/s)\n", loadDur.Round(time.Millisecond),
 		float64(*n)/loadDur.Seconds())
@@ -94,43 +111,53 @@ func main() {
 
 	var latencies harness.Histogram
 	start = time.Now()
-	misses := 0
-	if *batch > 0 {
-		keys := make([]uint64, 0, *batch)
-		out := make([]uint64, *batch)
-		flush := func() {
-			for _, ok := range idx.LookupBatch(keys, out) {
-				if !ok {
-					misses++
+	workerMisses := make([]int, *workers)
+	harness.ParallelChunks(*reads, *workers, func(w, wlo, whi int) {
+		// Each worker draws its own lookup stream (seed offset by worker)
+		// so streams are independent and need no shared RNG state.
+		wseed := *seed + uint64(w)*0x9E3779B97F4A7C15
+		count := whi - wlo
+		if *batch > 0 {
+			keys := make([]uint64, 0, *batch)
+			out := make([]uint64, *batch)
+			flush := func() {
+				for _, ok := range idx.LookupBatch(keys, out) {
+					if !ok {
+						workerMisses[w]++
+					}
 				}
+				keys = keys[:0]
 			}
-			keys = keys[:0]
-		}
-		workload.LookupStream(*seed, *n, *reads, func(i int) {
-			keys = append(keys, workload.Key(*seed, uint64(i)))
-			if len(keys) == *batch {
+			workload.LookupStream(wseed, *n, count, func(i int) {
+				keys = append(keys, workload.Key(*seed, uint64(i)))
+				if len(keys) == *batch {
+					flush()
+				}
+			})
+			if len(keys) > 0 {
 				flush()
 			}
-		})
-		if len(keys) > 0 {
-			flush()
+			return
 		}
-	} else {
-		workload.LookupStream(*seed, *n, *reads, func(i int) {
-			if *hist {
+		workload.LookupStream(wseed, *n, count, func(i int) {
+			if *hist { // -hist forces workers=1, so latencies is unshared
 				t0 := time.Now()
 				if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
-					misses++
+					workerMisses[w]++
 				}
 				latencies.Record(uint64(time.Since(t0).Nanoseconds()))
 				return
 			}
 			if _, ok := idx.Lookup(workload.Key(*seed, uint64(i))); !ok {
-				misses++
+				workerMisses[w]++
 			}
 		})
-	}
+	})
 	readDur := time.Since(start)
+	misses := 0
+	for _, m := range workerMisses {
+		misses += m
+	}
 	fmt.Printf("read:    %10s  (%.0f lookups/s, %d misses)\n", readDur.Round(time.Millisecond),
 		float64(*reads)/readDur.Seconds(), misses)
 

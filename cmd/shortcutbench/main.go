@@ -17,6 +17,7 @@
 //	fig7b    hit-only lookups after fig7a (runs both)
 //	fig8     mixed workload: shortcut desync and catch-up trace
 //	ablate   coalescing, routing threshold, poll interval, sync maintenance
+//	shards   sharded-store scaling: parallel batched ops vs the single lock
 //	all      everything above
 //
 // Flags scale the workloads; the defaults run in seconds on a laptop. Use
@@ -102,8 +103,10 @@ func (r runner) run(exp string) error {
 		return r.fig8()
 	case "ablate":
 		return r.ablate()
+	case "shards":
+		return r.shards()
 	case "all":
-		for _, e := range []string{"fig2", "table1", "fig4", "fig5", "fig7", "fig8", "ablate"} {
+		for _, e := range []string{"fig2", "table1", "fig4", "fig5", "fig7", "fig8", "ablate", "shards"} {
 			if err := r.run(e); err != nil {
 				return fmt.Errorf("%s: %w", e, err)
 			}
@@ -256,6 +259,20 @@ func (r runner) fig8() error {
 		return err
 	}
 	r.renderTable(experiments.Fig8Render(points))
+	return nil
+}
+
+// shards sweeps shard counts on the concurrent sharded store — not a
+// paper figure (the prototype is single-writer); it measures how far the
+// WithShards fan-out scales batched mutation past the single-lock wrapper.
+func (r runner) shards() error {
+	rows, err := experiments.ShardScale(experiments.ShardScaleConfig{
+		Entries: r.entries / 2, Seed: r.seed,
+	})
+	if err != nil {
+		return err
+	}
+	r.renderTable(experiments.ShardScaleRender(rows))
 	return nil
 }
 

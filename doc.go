@@ -1,0 +1,87 @@
+// Package vmshortcut is a Go implementation of virtual-memory shortcuts —
+// database index indirections expressed directly in the page table of the
+// OS instead of materialized pointers — as introduced in
+//
+//	Felix Schuhknecht: "Taking the Shortcut: Actively Incorporating the
+//	Virtual Memory Index of the OS to Hardware-Accelerate Database
+//	Indexing", CIDR 2024.
+//
+// # Layers
+//
+// The package exposes three layers:
+//
+//   - The rewiring layer: a Pool of physical pages (one main-memory file
+//     created with memfd_create) plus TraditionalNode and ShortcutNode —
+//     radix-style inner nodes where the shortcut variant maps each slot's
+//     virtual page straight onto the physical page of its leaf, so a
+//     lookup resolves a single, hardware-accelerated indirection: the MMU
+//     walks the page table instead of the index chasing a pointer.
+//
+//   - The index layer: six uint64→uint64 indexes behind one constructor,
+//     Open(kind, opts...). Every kind is served through the uniform Store
+//     surface: the Index operations, InsertBatch/LookupBatch for
+//     amortized hot loops, Stats, WaitSync, and an idempotent Close.
+//
+//   - The simulation layer (vmsim): a deterministic software MMU — 4-level
+//     page table, two-level TLB, three-level cache model — used by the
+//     benchmark harness to regenerate the paper's hardware-bound figures
+//     deterministically.
+//
+// # Index kinds
+//
+// The paper's four baselines and two shortcut-backed indexes:
+//
+//   - KindHT: one open-addressing hash table that doubles with a full
+//     stop-the-world rehash when the load factor threshold is exceeded.
+//   - KindHTI: Redis-style incremental rehashing — each access migrates a
+//     batch of entries to the new table, so growth never stalls a single
+//     operation for long (reads mutate, which matters for concurrency).
+//   - KindCH: chained hashing over a fixed-size directory with 128-byte
+//     overflow buckets and no rehashing (the paper grants it 1 GB).
+//   - KindEH: classical extendible hashing — a pointer directory indexed
+//     by the hash's most significant bits over 4 KB buckets; a bucket
+//     split doubles the directory when local depth reaches global depth.
+//   - KindShortcutEH: the paper's contribution. The EH directory is
+//     additionally expressed as a page-table shortcut: one virtual page
+//     per directory slot, remapped onto the physical page of its bucket.
+//     A mapper thread maintains the shortcut asynchronously; lookups
+//     route through it whenever it is in sync and the directory fan-in is
+//     low enough for the TLB.
+//   - KindRadix: a sparse direct-mapped shortcut index over a bounded key
+//     space — a second application of the same rewiring primitive, with
+//     synchronous maintenance.
+//
+// # Quickstart
+//
+// Opening the paper's index takes one call — Open creates and owns the
+// backing page pool unless WithPool injects one:
+//
+//	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH)
+//	if err != nil { ... }
+//	defer idx.Close()
+//	idx.Insert(1, 42)
+//
+// Functional options (WithCapacity, WithPollInterval, WithFanInThreshold,
+// WithAdaptiveRouting, WithConcurrency, WithShards, ...) tune the chosen
+// kind; options that do not apply to a kind are ignored so one option set
+// can drive a sweep over all of them. The per-kind constructors
+// (NewHashTable, NewExtendibleHashing, NewShortcutEH, ...) predate Open
+// and remain as deprecated wrappers.
+//
+// # Concurrency
+//
+// The paper's prototype is single-writer; so is a plain Open store. Two
+// options lift that:
+//
+//   - WithConcurrency(true) wraps the store in one readers-writer lock —
+//     parallel lookups, exclusive mutation.
+//   - WithShards(n) hash-partitions the keyspace across n independent
+//     sub-stores, each with its own lock stripe and page pool. Single
+//     operations route by key hash; batches split by shard and fan out
+//     across goroutines; Stats aggregates; WaitSync and Close fan out and
+//     drain. Writers to different shards proceed in parallel.
+//
+// All rewired memory lives outside the Go heap; the garbage collector
+// never observes it. Linux is required for the rewiring layer (memfd +
+// MAP_FIXED); every other layer is portable.
+package vmshortcut

@@ -2,6 +2,7 @@ package vmshortcut_test
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"vmshortcut"
@@ -57,6 +58,46 @@ func ExampleOpen_batch() {
 	ok := idx.LookupBatch(keys, out)
 	fmt.Println(idx.Len(), out[41], ok[41])
 	// Output: 10000 420 true
+}
+
+// ExampleOpen_sharded hash-partitions the keyspace across four shards —
+// each an independent Shortcut-EH index with its own lock stripe and page
+// pool — and loads it from four concurrent writers. Single operations
+// route by key hash; batches split by shard and fan out in parallel, so
+// writers to different shards never contend. Stats and Len aggregate
+// across shards; WaitSync and Close fan out and drain.
+func ExampleOpen_sharded() {
+	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH,
+		vmshortcut.WithShards(4),
+		vmshortcut.WithPollInterval(time.Millisecond))
+	if err != nil {
+		panic(err)
+	}
+	defer idx.Close()
+
+	const perWriter = 25_000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := make([]uint64, perWriter)
+			vals := make([]uint64, perWriter)
+			for i := range keys {
+				keys[i] = uint64(w*perWriter + i)
+				vals[i] = keys[i] * 2
+			}
+			if err := idx.InsertBatch(keys, vals); err != nil {
+				panic(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	idx.WaitSync(5 * time.Second)
+
+	v, ok := idx.Lookup(99_999)
+	fmt.Println(idx.Len(), v, ok, idx.Stats().InSync)
+	// Output: 100000 199998 true true
 }
 
 // ExampleOpen_sweep runs the same workload over every hash-index kind

@@ -1,0 +1,26 @@
+// Package eh implements classical extendible hashing (Fagin et al. 1979)
+// with a pointer-based directory, exactly as the paper's EH baseline
+// (§4.2): the directory is indexed with the most significant bits of the
+// hash, buckets are 4 KB pages using open addressing / linear probing, and
+// a bucket split doubles the directory when local depth reaches global
+// depth.
+//
+// The directory is the structure the paper's shortcut replaces: resolving
+// a lookup through it costs one pointer dereference into the directory
+// slice plus one jump to the bucket page. Because several directory slots
+// may reference the same bucket (fan-in), the directory is a radix-style
+// inner node of exactly the shape the rewiring layer (internal/core) can
+// express in the page table.
+//
+// All buckets are allocated from a pool of physical pages so that a
+// shortcut directory can be created alongside (package sceh). Every
+// directory modification increments a version number and is reported to an
+// optional event subscriber — the hook sceh uses to replay modifications
+// into the shortcut directory asynchronously: a SplitEvent carries the two
+// slot ranges to remap, a DoubleEvent a full snapshot of slot refs.
+//
+// A Table is single-writer, as in the paper. Concurrency is layered above
+// it by the facade (vmshortcut.WithConcurrency's readers-writer lock and
+// vmshortcut.WithShards' hash-partitioned lock striping), never inside
+// this package.
+package eh

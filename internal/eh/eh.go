@@ -1,15 +1,3 @@
-// Package eh implements classical extendible hashing (Fagin et al. 1979)
-// with a pointer-based directory, exactly as the paper's EH baseline
-// (§4.2): the directory is indexed with the most significant bits of the
-// hash, buckets are 4 KB pages using open addressing / linear probing, and
-// a bucket split doubles the directory when local depth reaches global
-// depth.
-//
-// All buckets are allocated from a pool of physical pages so that a
-// shortcut directory can be created alongside (package sceh). Every
-// directory modification increments a version number and is reported to an
-// optional event subscriber — the hook sceh uses to replay modifications
-// into the shortcut directory asynchronously.
 package eh
 
 import (

@@ -413,3 +413,25 @@ func TestRenderSeriesIntegration(t *testing.T) {
 		t.Fatal("series render broken")
 	}
 }
+
+func TestShardScaleTinyRuns(t *testing.T) {
+	rows, err := ShardScale(ShardScaleConfig{Entries: 40000, Shards: []int{1, 2}, Workers: 2, Batch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Shards != 1 || rows[1].Shards != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.InsertMPS <= 0 || r.LookupMPS <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	ShardScaleRender(rows).Render(&sb)
+	for _, want := range []string{"shards", "insert M/s", "lookup speedup", "1.00x"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -44,6 +45,52 @@ func Chunks(n, batch int, fn func(lo, hi int)) {
 		}
 		fn(lo, hi)
 	}
+}
+
+// Parallel runs fn(worker) for worker in [0, workers) on concurrent
+// goroutines and blocks until all return. workers <= 1 runs fn(0) on the
+// calling goroutine — the degenerate case keeps single-threaded drivers
+// free of goroutine overhead.
+func Parallel(workers int, fn func(worker int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ParallelChunks splits [0, n) into one contiguous [lo, hi) span per
+// worker and runs them concurrently — the fan-out shape of the sharded
+// store's multi-writer drivers. The first workers get the one-element
+// remainder, so spans differ in size by at most one.
+func ParallelChunks(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	span, rem := n/workers, n%workers
+	Parallel(workers, func(w int) {
+		lo := w*span + min(w, rem)
+		hi := lo + span
+		if w < rem {
+			hi++
+		}
+		fn(w, lo, hi)
+	})
 }
 
 // Timer measures named phases.

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -94,5 +95,46 @@ func TestSortedKeys(t *testing.T) {
 	got := SortedKeys(m)
 	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
 		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+func TestParallel(t *testing.T) {
+	var hits [8]atomic.Int32
+	Parallel(8, func(w int) { hits[w].Add(1) })
+	for w := range hits {
+		if hits[w].Load() != 1 {
+			t.Fatalf("worker %d ran %d times", w, hits[w].Load())
+		}
+	}
+	ran := 0
+	Parallel(0, func(w int) {
+		if w != 0 {
+			t.Fatalf("degenerate Parallel passed worker %d", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("degenerate Parallel ran %d times", ran)
+	}
+}
+
+func TestParallelChunks(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {10, 1}, {3, 8}, {100, 7}, {1, 1}, {0, 4},
+	} {
+		covered := make([]atomic.Int32, tc.n)
+		ParallelChunks(tc.n, tc.workers, func(w, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d workers=%d: empty span [%d,%d)", tc.n, tc.workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("n=%d workers=%d: index %d covered %d times", tc.n, tc.workers, i, covered[i].Load())
+			}
+		}
 	}
 }

@@ -6,6 +6,8 @@
 // independent second hash.
 package hashfn
 
+import "math/bits"
+
 // Multiplicative hashing constants: two independent 64-bit odd multipliers.
 // fib64 is 2^64 / phi, the classic Fibonacci-hashing constant.
 const (
@@ -60,4 +62,27 @@ func PrefixRange(h uint64, ld, gd uint) (lo, hi uint64) {
 	span := uint64(1) << (gd - ld)
 	lo = idx &^ (span - 1)
 	return lo, lo + span
+}
+
+// shardMix is a third multiplicative mixer, independent of Hash and Hash2,
+// so shard routing does not correlate with directory placement or in-bucket
+// probe order within a shard.
+const shardMix = 0x2545F4914F6CDD1D
+
+// ShardOf maps key onto one of n shards in [0, n). It is a pure function
+// of (key, n): the same key always lands on the same shard, across single
+// and batch operation paths. The reduction is Lemire's multiply-shift, so
+// n need not be a power of two and no slow modulo is taken on the hot
+// path.
+func ShardOf(key uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := key ^ shardMix
+	x *= fib64
+	x ^= x >> 27
+	x *= shardMix
+	x ^= x >> 31
+	hi, _ := bits.Mul64(x, uint64(n))
+	return int(hi)
 }

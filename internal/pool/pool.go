@@ -1,14 +1,3 @@
-// Package pool implements the self-managed pool of physical pages that
-// memory rewiring requires (paper §2.1). The pool is represented by a
-// single main-memory file created with memfd_create. It resizes on demand
-// at page granularity via ftruncate, keeps a FIFO queue of free page
-// offsets for reuse, and maintains a stable virtual window (v_pool) that
-// maps linearly onto the entire file so every physical page is always
-// addressable.
-//
-// All physical memory of nodes that a shortcut may ever point to must be
-// allocated from this pool: the shortcut construction recovers a leaf's
-// file offset from its window address via offset = addr - window.
 package pool
 
 import (

@@ -13,6 +13,10 @@ import (
 // concurrent Lookups, exclusive Insert/Delete. The mapper thread needs no
 // part in this locking — its interaction with readers is already race-free
 // through the version protocol — so reads scale until a writer arrives.
+//
+// One lock still serializes all writers; for write-heavy multi-core
+// traffic prefer the facade's sharded store (vmshortcut.WithShards),
+// which stripes this lock per hash-partitioned shard.
 type Concurrent struct {
 	mu sync.RWMutex
 	t  *Table

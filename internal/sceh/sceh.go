@@ -1,24 +1,3 @@
-// Package sceh implements Shortcut-EH (paper §4.1): extendible hashing
-// whose directory is additionally expressed as a shortcut in the page
-// table of the OS.
-//
-// The traditional pointer directory stays authoritative: every
-// directory-modifying operation is applied to it synchronously. A separate
-// mapper thread replays those modifications into a shortcut directory
-// asynchronously, driven by a concurrent lock-free FIFO queue of
-// maintenance requests:
-//
-//   - a bucket split enqueues an update request (remap the two affected
-//     slot ranges onto the two new bucket pages);
-//   - a directory doubling enqueues a create request (destroy the shortcut
-//     and build a new one from a snapshot of all slot refs) — pending
-//     update requests are superseded by it.
-//
-// Both directories carry version numbers. The shortcut's version advances
-// only after the page-table population of the replayed request completes,
-// so an in-sync shortcut never takes a page fault. Lookups route through
-// the shortcut only when (a) the versions match and (b) the average fan-in
-// is at most FanInThreshold (paper §3.2: high fan-in thrashes the TLB).
 package sceh
 
 import (

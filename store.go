@@ -157,6 +157,7 @@ type storeOptions struct {
 	synchronous     bool
 	disableShortcut bool
 	concurrent      bool
+	shards          int
 }
 
 // Option configures Open. Options that do not apply to the chosen kind are
@@ -307,8 +308,38 @@ func WithDisableShortcut(on bool) Option {
 // Close racing in-flight operations: a readers-writer lock admits parallel
 // lookups (exclusive mutation) for every kind whose reads are pure;
 // KindHTI's reads migrate entries and therefore serialize fully.
+//
+// One lock still serializes all writers. To scale mutation across cores,
+// combine with WithShards: the keyspace is then hash-partitioned across
+// independent sub-stores and the single lock becomes one stripe per shard.
 func WithConcurrency(on bool) Option {
 	return func(o *storeOptions) { o.concurrent = on }
+}
+
+// WithShards hash-partitions the keyspace across n independent sub-stores,
+// each with its own lock stripe and (unless WithPool injects a shared one)
+// its own page pool, so writers to different shards proceed in parallel
+// instead of serializing on WithConcurrency's single lock. Single
+// operations route by key hash; InsertBatch/LookupBatch split the batch by
+// shard and fan the per-shard sub-batches out across goroutines, so
+// Shortcut-EH's once-per-batch routing decision is preserved per shard.
+// Stats aggregates across shards, WaitSync and Close fan out and drain.
+//
+// n > 1 implies WithConcurrency: the sharded store is always safe for
+// concurrent use. n = 1 (the default) keeps today's single-store
+// semantics. Explicit size budgets — WithCapacity, WithTableBytes,
+// WithPoolConfig's page counts, WithInitialGlobalDepth's pre-sized
+// directory — are divided across the shards so the total stays what was
+// asked for; the exception is KindRadix, where WithCapacity bounds the
+// keyspace and every shard keeps the full bound.
+func WithShards(n int) Option {
+	return func(o *storeOptions) {
+		if n <= 0 {
+			o.fail("vmshortcut: WithShards(%d): must be positive", n)
+			return
+		}
+		o.shards = n
+	}
 }
 
 // batchIndex is the contract every internal index implementation satisfies
@@ -381,6 +412,8 @@ func (o *storeOptions) autoPool() (*Pool, error) {
 // Open constructs the index kind behind the uniform Store surface. A pool
 // is created and owned by the store when the kind needs one and WithPool
 // did not inject it, so Open(KindShortcutEH) works with no further setup.
+// WithShards(n) with n > 1 returns a sharded store: n independent
+// sub-stores with the keyspace hash-partitioned across them.
 //
 // The old per-kind constructors (NewHashTable, NewExtendibleHashing,
 // NewShortcutEH, ...) remain as deprecated wrappers around the same
@@ -398,7 +431,15 @@ func Open(kind Kind, opts ...Option) (Store, error) {
 	if kind < 0 || kind >= kindCount {
 		return nil, fmt.Errorf("vmshortcut: unknown index kind %d", int(kind))
 	}
+	if o.shards > 1 {
+		return openSharded(kind, &o)
+	}
+	return openStore(kind, &o)
+}
 
+// openStore builds one (unsharded) store from validated options — the
+// construction path of every shard and of an Open without WithShards.
+func openStore(kind Kind, o *storeOptions) (*store, error) {
 	s := &store{kind: kind}
 
 	// Acquire the page pool for the kinds that allocate from one.
@@ -416,7 +457,7 @@ func Open(kind Kind, opts ...Option) (Store, error) {
 		}
 	}
 	// On any construction failure below, give back what Open created.
-	fail := func(err error) (Store, error) {
+	fail := func(err error) (*store, error) {
 		if s.ownsPool {
 			s.pool.Close()
 		}
@@ -795,6 +836,8 @@ func (s *store) Close() error {
 // AsShortcutEH returns the Shortcut-EH table behind an open
 // KindShortcutEH store, for read-only inspection past the uniform surface.
 // With WithConcurrency, the caller must not race mutations through it.
+// A sharded store (WithShards > 1) has no single concrete table, so every
+// As* escape hatch reports false for it.
 func AsShortcutEH(s Store) (*ShortcutEH, bool) {
 	t, ok := underOf(s).(*sceh.Table)
 	return t, ok

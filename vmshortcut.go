@@ -1,52 +1,3 @@
-// Package vmshortcut is a Go implementation of virtual-memory shortcuts —
-// database index indirections expressed directly in the page table of the
-// OS instead of materialized pointers — as introduced in
-//
-//	Felix Schuhknecht: "Taking the Shortcut: Actively Incorporating the
-//	Virtual Memory Index of the OS to Hardware-Accelerate Database
-//	Indexing", CIDR 2024.
-//
-// The package exposes three layers:
-//
-//   - The rewiring layer: a Pool of physical pages (one main-memory file
-//     created with memfd_create) plus TraditionalNode and ShortcutNode —
-//     radix-style inner nodes where the shortcut variant maps each slot's
-//     virtual page straight onto the physical page of its leaf, so a
-//     lookup resolves a single, hardware-accelerated indirection.
-//
-//   - The index layer: six uint64→uint64 indexes behind one constructor,
-//     Open(kind, opts...) — the paper's four hash-table baselines (KindHT,
-//     KindHTI, KindCH, KindEH), the paper's contribution KindShortcutEH
-//     (extendible hashing whose directory is additionally expressed as a
-//     page-table shortcut maintained asynchronously by a mapper thread),
-//     and KindRadix, a sparse direct-mapped shortcut index. Every kind is
-//     served through the uniform Store surface: the Index operations,
-//     InsertBatch/LookupBatch for amortized hot loops, Stats, WaitSync,
-//     and an idempotent Close.
-//
-//   - The simulation layer (vmsim): a deterministic software MMU — 4-level
-//     page table, two-level TLB, three-level cache model — used by the
-//     benchmark harness to regenerate the paper's hardware-bound figures
-//     deterministically.
-//
-// Opening the paper's index takes one call — Open creates and owns the
-// backing page pool unless WithPool injects one:
-//
-//	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH)
-//	if err != nil { ... }
-//	defer idx.Close()
-//	idx.Insert(1, 42)
-//
-// Functional options (WithCapacity, WithPollInterval, WithFanInThreshold,
-// WithAdaptiveRouting, WithConcurrency, ...) tune the chosen kind;
-// options that do not apply to a kind are ignored so one option set can
-// drive a sweep over all of them. The per-kind constructors below
-// (NewHashTable, NewExtendibleHashing, NewShortcutEH, ...) predate Open
-// and remain as deprecated wrappers.
-//
-// All rewired memory lives outside the Go heap; the garbage collector
-// never observes it. Linux is required for the rewiring layer (memfd +
-// MAP_FIXED); every other layer is portable.
 package vmshortcut
 
 import (
