@@ -1,0 +1,303 @@
+// Package client is the Go client of the network KV service (package
+// server): a connection pool over the length-prefixed binary protocol of
+// internal/wire, with single-op round trips, native batch calls, and an
+// explicit Pipeline for overlapping many requests on one connection.
+//
+// Client is the concurrency-safe entry point: each call checks a
+// connection out of the pool and returns it afterwards, so independent
+// goroutines fan out over independent connections. Conn and Pipeline are
+// single-goroutine objects — the load generator (cmd/ehload) drives one
+// Conn per worker.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"vmshortcut/internal/wire"
+)
+
+// Stats is the reply of the STATS request: serving-layer counters plus
+// the backing store's uniform Stats snapshot.
+type Stats = wire.StatsReply
+
+// Conn is one client connection. It is not safe for concurrent use; use
+// Client for pooled concurrency, or one Conn per goroutine.
+type Conn struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	readBuf []byte
+	reqBuf  []byte
+	err     error // first transport/protocol error; the Conn is then dead
+}
+
+// DialConn opens one connection to a server.
+func DialConn(addr string) (*Conn, error) {
+	return DialConnTimeout(addr, 0)
+}
+
+// DialConnTimeout opens one connection, failing after timeout (0 = no
+// timeout).
+func DialConnTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Frames are small; latency matters more than segment fill.
+		tc.SetNoDelay(true)
+	}
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// Err returns the sticky error that killed the connection, if any.
+func (c *Conn) Err() error { return c.err }
+
+func (c *Conn) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// writeAll sends the request buffer and flushes.
+func (c *Conn) writeAll(frames []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if _, err := c.bw.Write(frames); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// readResp reads one response frame. The payload is valid until the next
+// read on this Conn.
+func (c *Conn) readResp() (byte, []byte, error) {
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	tag, payload, buf, err := wire.ReadFrame(c.br, c.readBuf)
+	c.readBuf = buf
+	if err != nil {
+		return 0, nil, c.fail(err)
+	}
+	return tag, payload, nil
+}
+
+// remoteErr converts a StatusErr payload into an error. Store-level
+// errors arrive this way with the stream still aligned, so they do not
+// kill the Conn.
+func remoteErr(payload []byte) error {
+	return fmt.Errorf("client: server error: %s", payload)
+}
+
+// Get looks up key.
+func (c *Conn) Get(key uint64) (value uint64, found bool, err error) {
+	c.reqBuf = wire.AppendKey(c.reqBuf[:0], wire.OpGet, key)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return 0, false, err
+	}
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return 0, false, err
+	}
+	switch tag {
+	case wire.StatusOK:
+		if len(payload) < 8 {
+			return 0, false, c.fail(fmt.Errorf("client: GET response payload %d bytes, want 8", len(payload)))
+		}
+		return wire.Uint64(payload, 0), true, nil
+	case wire.StatusNotFound:
+		return 0, false, nil
+	case wire.StatusErr:
+		return 0, false, remoteErr(payload)
+	}
+	return 0, false, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// Put upserts (key, value).
+func (c *Conn) Put(key, value uint64) error {
+	c.reqBuf = wire.AppendPut(c.reqBuf[:0], key, value)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return err
+	}
+	return c.readAck()
+}
+
+// Del removes key, reporting whether it was present.
+func (c *Conn) Del(key uint64) (found bool, err error) {
+	c.reqBuf = wire.AppendKey(c.reqBuf[:0], wire.OpDel, key)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return false, err
+	}
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return false, err
+	}
+	switch tag {
+	case wire.StatusOK:
+		return true, nil
+	case wire.StatusNotFound:
+		return false, nil
+	case wire.StatusErr:
+		return false, remoteErr(payload)
+	}
+	return false, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// readAck consumes an empty OK / error response.
+func (c *Conn) readAck() error {
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusErr:
+		return remoteErr(payload)
+	}
+	return c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// errBatchTooLarge reports a batch the server's frame bound would
+// reject; failing client-side keeps the connection alive and the error
+// actionable.
+func errBatchTooLarge(n int) error {
+	return fmt.Errorf("client: batch of %d elements exceeds wire.MaxBatch (%d); split it", n, wire.MaxBatch)
+}
+
+// GetBatch looks up every key in one round trip (one OpGetBatch frame,
+// one LookupBatch on the server). Values land in out, which must have
+// length at least len(keys); the returned slice is per-key presence.
+// Batches beyond wire.MaxBatch fail without touching the connection.
+func (c *Conn) GetBatch(keys []uint64, out []uint64) ([]bool, error) {
+	if len(keys) > wire.MaxBatch {
+		return nil, errBatchTooLarge(len(keys))
+	}
+	c.reqBuf = wire.AppendKeyBatch(c.reqBuf[:0], wire.OpGetBatch, keys)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return nil, err
+	}
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case wire.StatusOK:
+		return decodeFoundValues(c, payload, len(keys), out)
+	case wire.StatusErr:
+		return nil, remoteErr(payload)
+	}
+	return nil, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// PutBatch upserts every pair in one round trip; len(keys) must equal
+// len(values).
+func (c *Conn) PutBatch(keys, values []uint64) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("client: PutBatch: %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) > wire.MaxBatch {
+		return errBatchTooLarge(len(keys))
+	}
+	c.reqBuf = wire.AppendPutBatch(c.reqBuf[:0], keys, values)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return err
+	}
+	return c.readAck()
+}
+
+// DelBatch removes every key in one round trip, returning per-key
+// presence. Batches beyond wire.MaxBatch fail without touching the
+// connection.
+func (c *Conn) DelBatch(keys []uint64) ([]bool, error) {
+	if len(keys) > wire.MaxBatch {
+		return nil, errBatchTooLarge(len(keys))
+	}
+	c.reqBuf = wire.AppendKeyBatch(c.reqBuf[:0], wire.OpDelBatch, keys)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return nil, err
+	}
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case wire.StatusOK:
+		return decodeFound(c, payload, len(keys))
+	case wire.StatusErr:
+		return nil, remoteErr(payload)
+	}
+	return nil, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// Stats fetches the server's counters and the store's Stats snapshot.
+func (c *Conn) Stats() (Stats, error) {
+	c.reqBuf = wire.AppendEmpty(c.reqBuf[:0], wire.OpStats)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return Stats{}, err
+	}
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return Stats{}, err
+	}
+	switch tag {
+	case wire.StatusErr:
+		return Stats{}, remoteErr(payload)
+	case wire.StatusOK:
+		var st Stats
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return Stats{}, c.fail(fmt.Errorf("client: decoding stats: %w", err))
+		}
+		return st, nil
+	}
+	return Stats{}, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+func decodeFoundValues(c *Conn, payload []byte, want int, out []uint64) ([]bool, error) {
+	if len(payload) < 4 {
+		return nil, c.fail(errors.New("client: short batch response"))
+	}
+	n := int(wire.Uint32(payload, 0))
+	if n != want || len(payload) != 4+n+8*n {
+		return nil, c.fail(fmt.Errorf("client: batch response carries %d elements, want %d", n, want))
+	}
+	oks := make([]bool, n)
+	for i := 0; i < n; i++ {
+		oks[i] = payload[4+i] == 1
+		out[i] = wire.Uint64(payload, 4+n+8*i)
+	}
+	return oks, nil
+}
+
+func decodeFound(c *Conn, payload []byte, want int) ([]bool, error) {
+	if len(payload) < 4 {
+		return nil, c.fail(errors.New("client: short batch response"))
+	}
+	n := int(wire.Uint32(payload, 0))
+	if n != want || len(payload) != 4+n {
+		return nil, c.fail(fmt.Errorf("client: batch response carries %d elements, want %d", n, want))
+	}
+	oks := make([]bool, n)
+	for i := 0; i < n; i++ {
+		oks[i] = payload[4+i] == 1
+	}
+	return oks, nil
+}

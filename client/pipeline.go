@@ -1,0 +1,251 @@
+package client
+
+import (
+	"fmt"
+
+	"vmshortcut/internal/wire"
+)
+
+// Pipeline queues requests on one Conn and sends them in a single write,
+// reading all responses back after one round trip. This is how the
+// protocol's pipelining is meant to be driven: the server's per-connection
+// coalescer turns a flushed run of same-kind requests into one store
+// batch call, so a deep pipeline pays one syscall, one flush, and one
+// routing decision for the whole run.
+//
+// Results come back in submission order; batch calls contribute one
+// Result per element. A Pipeline is reusable after Flush and is not safe
+// for concurrent use.
+type Pipeline struct {
+	c       *Conn
+	buf     []byte
+	pending []pendingOp
+	ops     int
+	err     error // deferred queueing error (oversized batch), reported by Flush
+}
+
+// pendingOp records what response decoding one queued request needs —
+// the opcode and, for batch frames, the element count — plus where its
+// frame ends in the request buffer, so Flush can write in bounded
+// segments.
+type pendingOp struct {
+	op  byte
+	n   int
+	end int
+}
+
+// Pipeline returns a pipeline over this connection. Do not interleave
+// direct Conn calls with an unflushed pipeline.
+func (c *Conn) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Result is the outcome of one queued operation.
+type Result struct {
+	// Found reports presence for GET and DEL; it is true for an
+	// acknowledged PUT.
+	Found bool
+	// Value is the value of a GET hit.
+	Value uint64
+	// Err is the per-operation server error, if any. Transport errors
+	// abort the whole Flush instead.
+	Err error
+}
+
+// Len returns the number of queued operations (batch elements counted
+// individually).
+func (p *Pipeline) Len() int { return p.ops }
+
+// Get queues a lookup.
+func (p *Pipeline) Get(key uint64) {
+	p.buf = wire.AppendKey(p.buf, wire.OpGet, key)
+	p.push(wire.OpGet, 1)
+}
+
+// Put queues an upsert.
+func (p *Pipeline) Put(key, value uint64) {
+	p.buf = wire.AppendPut(p.buf, key, value)
+	p.push(wire.OpPut, 1)
+}
+
+// Del queues a delete.
+func (p *Pipeline) Del(key uint64) {
+	p.buf = wire.AppendKey(p.buf, wire.OpDel, key)
+	p.push(wire.OpDel, 1)
+}
+
+// GetBatch queues one native batch lookup frame; it contributes
+// len(keys) Results. Batches beyond wire.MaxBatch fail at Flush.
+func (p *Pipeline) GetBatch(keys []uint64) {
+	if !p.checkBatch(len(keys)) {
+		return
+	}
+	p.buf = wire.AppendKeyBatch(p.buf, wire.OpGetBatch, keys)
+	p.push(wire.OpGetBatch, len(keys))
+}
+
+// PutBatch queues one native batch upsert frame; it contributes
+// len(keys) Results. len(keys) must equal len(values); batches beyond
+// wire.MaxBatch fail at Flush.
+func (p *Pipeline) PutBatch(keys, values []uint64) {
+	if !p.checkBatch(len(keys)) {
+		return
+	}
+	if len(keys) != len(values) {
+		p.err = fmt.Errorf("client: PutBatch: %d keys but %d values", len(keys), len(values))
+		return
+	}
+	p.buf = wire.AppendPutBatch(p.buf, keys, values)
+	p.push(wire.OpPutBatch, len(keys))
+}
+
+// DelBatch queues one native batch delete frame; it contributes
+// len(keys) Results. Batches beyond wire.MaxBatch fail at Flush.
+func (p *Pipeline) DelBatch(keys []uint64) {
+	if !p.checkBatch(len(keys)) {
+		return
+	}
+	p.buf = wire.AppendKeyBatch(p.buf, wire.OpDelBatch, keys)
+	p.push(wire.OpDelBatch, len(keys))
+}
+
+// checkBatch rejects batch frames the server would refuse (their
+// encoding would exceed the frame bound); nothing is queued and the
+// error surfaces at Flush, before any bytes hit the wire. A poisoned
+// pipeline queues nothing further.
+func (p *Pipeline) checkBatch(n int) bool {
+	if p.err == nil && n > wire.MaxBatch {
+		p.err = errBatchTooLarge(n)
+	}
+	return p.err == nil
+}
+
+func (p *Pipeline) push(op byte, n int) {
+	p.pending = append(p.pending, pendingOp{op: op, n: n, end: len(p.buf)})
+	p.ops += n
+}
+
+// flushSegmentBytes bounds how many request bytes Flush sends before
+// draining the corresponding responses. Without the bound, a deep enough
+// pipeline deadlocks: the server stops reading once its response buffers
+// fill against a client that is still writing. One segment stays well
+// under the combined socket buffers, so the server can always finish
+// answering a segment while the client reads.
+const flushSegmentBytes = 64 << 10
+
+// Flush sends every queued request and reads all responses, appending
+// one Result per operation to results (which may be nil) in submission
+// order. Requests go out in segments of at most flushSegmentBytes (one
+// oversized frame is a segment of its own), each segment's responses
+// drained before the next is written, so arbitrarily deep pipelines
+// cannot deadlock against the server. The pipeline is empty afterwards
+// and can be reused. A transport or framing error aborts the flush and
+// kills the Conn.
+func (p *Pipeline) Flush(results []Result) ([]Result, error) {
+	if p.err != nil {
+		return results, p.err
+	}
+	written := 0
+	for i := 0; i < len(p.pending); {
+		// Extend the segment while the next frame keeps it under the
+		// byte bound; always take at least one frame.
+		j := i + 1
+		for j < len(p.pending) && p.pending[j].end-written <= flushSegmentBytes {
+			j++
+		}
+		segEnd := p.pending[j-1].end
+		if err := p.c.writeAll(p.buf[written:segEnd]); err != nil {
+			return results, err
+		}
+		written = segEnd
+		for ; i < j; i++ {
+			var err error
+			results, err = p.readOne(p.pending[i], results)
+			if err != nil {
+				return results, err
+			}
+		}
+	}
+	p.buf = p.buf[:0]
+	p.pending = p.pending[:0]
+	p.ops = 0
+	return results, nil
+}
+
+func (p *Pipeline) readOne(pd pendingOp, results []Result) ([]Result, error) {
+	c := p.c
+	tag, payload, err := c.readResp()
+	if err != nil {
+		return results, err
+	}
+	if tag == wire.StatusErr {
+		// One errored response per request frame; batch frames fail as a
+		// unit, so fan the error out to every element.
+		err := remoteErr(payload)
+		for i := 0; i < pd.n; i++ {
+			results = append(results, Result{Err: err})
+		}
+		return results, nil
+	}
+	switch pd.op {
+	case wire.OpGet:
+		switch tag {
+		case wire.StatusOK:
+			if len(payload) < 8 {
+				return results, c.fail(fmt.Errorf("client: GET response payload %d bytes, want 8", len(payload)))
+			}
+			results = append(results, Result{Found: true, Value: wire.Uint64(payload, 0)})
+		case wire.StatusNotFound:
+			results = append(results, Result{})
+		default:
+			return results, c.fail(unexpectedStatus(tag))
+		}
+	case wire.OpPut:
+		if tag != wire.StatusOK {
+			return results, c.fail(unexpectedStatus(tag))
+		}
+		results = append(results, Result{Found: true})
+	case wire.OpDel:
+		switch tag {
+		case wire.StatusOK:
+			results = append(results, Result{Found: true})
+		case wire.StatusNotFound:
+			results = append(results, Result{})
+		default:
+			return results, c.fail(unexpectedStatus(tag))
+		}
+	case wire.OpGetBatch:
+		if tag != wire.StatusOK {
+			return results, c.fail(unexpectedStatus(tag))
+		}
+		vals := make([]uint64, pd.n)
+		oks, err := decodeFoundValues(c, payload, pd.n, vals)
+		if err != nil {
+			return results, err
+		}
+		for i := range oks {
+			results = append(results, Result{Found: oks[i], Value: vals[i]})
+		}
+	case wire.OpPutBatch:
+		if tag != wire.StatusOK {
+			return results, c.fail(unexpectedStatus(tag))
+		}
+		for i := 0; i < pd.n; i++ {
+			results = append(results, Result{Found: true})
+		}
+	case wire.OpDelBatch:
+		if tag != wire.StatusOK {
+			return results, c.fail(unexpectedStatus(tag))
+		}
+		oks, err := decodeFound(c, payload, pd.n)
+		if err != nil {
+			return results, err
+		}
+		for _, ok := range oks {
+			results = append(results, Result{Found: ok})
+		}
+	}
+	return results, nil
+}
+
+func unexpectedStatus(tag byte) error {
+	return fmt.Errorf("client: unexpected status 0x%02x", tag)
+}

@@ -1,0 +1,412 @@
+// Command ehload is the YCSB-style load generator for ehserver: it
+// preloads a keyspace, then drives one of the standard operation mixes
+// (A/B/C/D/F, zipfian or uniform) over N client connections with deep
+// pipelining, verifying every response, and reports throughput plus an
+// HDR latency histogram (p50/p95/p99) both on stdout and as
+// BENCH_server.json.
+//
+// Latency is recorded per pipelined round trip: one Flush of -pipeline
+// operations is one sample, which is the unit of work the protocol (and
+// the server's coalescer) is built around. Set -pipeline 1 for per-op
+// round-trip latency.
+//
+// Every response is verified (values must equal the key's index; reads
+// must hit); any mismatch, protocol error, or transport error counts in
+// "errors" and makes ehload exit non-zero — the CI smoke test relies on
+// this.
+//
+// Usage:
+//
+//	ehload -addr :6380 -mix A -conns 4 -pipeline 32 -load 100000 -duration 10s
+//	ehload -mix C -dist uniform -batch 64 -out BENCH_server.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/client"
+	"vmshortcut/internal/harness"
+	"vmshortcut/internal/wire"
+	"vmshortcut/internal/workload"
+)
+
+type config struct {
+	addr     string
+	mix      workload.Mix
+	dist     string
+	conns    int
+	pipeline int
+	batch    int
+	load     int
+	duration time.Duration
+	ops      int
+	seed     uint64
+	out      string
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:6380", "server address")
+	mixName := flag.String("mix", "A", "YCSB mix: A (50/50 r/u) | B (95/5) | C (read-only) | D (95/5 r/insert) | F (50/50 r/rmw)")
+	dist := flag.String("dist", "", "request distribution override: zipfian | uniform (default: the mix's own)")
+	conns := flag.Int("conns", 4, "client connections, one worker goroutine each")
+	pipeline := flag.Int("pipeline", 32, "operations in flight per connection round trip")
+	batch := flag.Int("batch", 0, "use native batch frames of up to this many ops instead of pipelined single-op frames (0 = singles)")
+	load := flag.Int("load", 100_000, "keyspace entries preloaded before the measured run")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	ops := flag.Int("ops", 0, "fixed op budget per connection instead of -duration (0 = use -duration)")
+	seed := flag.Uint64("seed", 42, "keyspace and workload seed")
+	out := flag.String("out", "BENCH_server.json", "benchmark JSON output path (empty = none)")
+	flag.Parse()
+
+	mix, ok := workload.MixByName(*mixName)
+	if !ok {
+		log.Fatalf("unknown mix %q (want A, B, C, D, or F)", *mixName)
+	}
+	switch strings.ToLower(*dist) {
+	case "":
+	case "zipfian", "zipf":
+		mix.Zipf = true
+	case "uniform":
+		mix.Zipf = false
+	default:
+		log.Fatalf("unknown distribution %q (want zipfian or uniform)", *dist)
+	}
+	if *load <= 0 {
+		log.Fatal("-load must be positive: reads need a non-empty keyspace")
+	}
+	if *conns <= 0 || *pipeline <= 0 {
+		log.Fatal("-conns and -pipeline must be positive")
+	}
+	cfg := config{
+		addr: *addr, mix: mix, dist: distName(mix), conns: *conns,
+		pipeline: *pipeline, batch: *batch, load: *load,
+		duration: *duration, ops: *ops, seed: *seed, out: *out,
+	}
+
+	report, err := run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSummary(report)
+	if cfg.out != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cfg.out, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if report.Errors > 0 {
+		log.Fatalf("%d errors during the run", report.Errors)
+	}
+}
+
+func distName(mix workload.Mix) string {
+	if mix.Zipf {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// report is the BENCH_server.json schema.
+type report struct {
+	Bench      string  `json:"bench"`
+	Addr       string  `json:"addr"`
+	Mix        string  `json:"mix"`
+	Dist       string  `json:"dist"`
+	Conns      int     `json:"conns"`
+	Pipeline   int     `json:"pipeline"`
+	Batch      int     `json:"batch"`
+	Loaded     int     `json:"loaded"`
+	Seed       uint64  `json:"seed"`
+	DurationS  float64 `json:"duration_seconds"`
+	Ops        uint64  `json:"ops"`
+	Errors     uint64  `json:"errors"`
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	LoadS      float64 `json:"load_seconds"`
+	LoadRate   float64 `json:"load_ops_per_sec"`
+
+	// Latency of one pipelined round trip (Pipeline ops per sample),
+	// nanoseconds.
+	Latency latencyNS `json:"latency_ns"`
+
+	// Operations by YCSB kind (an RMW counts once here but is two wire
+	// ops).
+	OpCounts map[string]uint64 `json:"op_counts"`
+
+	Server wire.ServerCounters `json:"server"`
+	Store  vmshortcut.Stats    `json:"store"`
+}
+
+type latencyNS struct {
+	Samples uint64  `json:"samples"`
+	Mean    float64 `json:"mean"`
+	Min     uint64  `json:"min"`
+	P50     uint64  `json:"p50"`
+	P95     uint64  `json:"p95"`
+	P99     uint64  `json:"p99"`
+	Max     uint64  `json:"max"`
+}
+
+// workerResult is one connection's tally.
+type workerResult struct {
+	ops      uint64
+	errors   uint64
+	opCounts [4]uint64 // by workload.OpKind
+	hist     harness.HDR
+}
+
+func run(cfg config) (*report, error) {
+	// Preload [0, load) across the connections, through native batch
+	// frames — PutBatch is the bulk-load path.
+	loadStart := time.Now()
+	if err := preload(cfg); err != nil {
+		return nil, fmt.Errorf("preload: %w", err)
+	}
+	loadDur := time.Since(loadStart)
+
+	results := make([]*workerResult, cfg.conns)
+	errs := make([]error, cfg.conns)
+	var stop atomic.Bool
+	if cfg.ops == 0 {
+		time.AfterFunc(cfg.duration, func() { stop.Store(true) })
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = worker(cfg, w, &stop)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &report{
+		Bench: "server", Addr: cfg.addr, Mix: cfg.mix.Name, Dist: cfg.dist,
+		Conns: cfg.conns, Pipeline: cfg.pipeline, Batch: cfg.batch,
+		Loaded: cfg.load, Seed: cfg.seed,
+		DurationS: elapsed.Seconds(),
+		LoadS:     loadDur.Seconds(),
+		OpCounts:  map[string]uint64{},
+	}
+	if s := loadDur.Seconds(); s > 0 {
+		rep.LoadRate = float64(cfg.load) / s
+	}
+	var hist harness.HDR
+	for _, r := range results {
+		rep.Ops += r.ops
+		rep.Errors += r.errors
+		hist.Merge(&r.hist)
+		for kind, n := range r.opCounts {
+			rep.OpCounts[opName(workload.OpKind(kind))] += n
+		}
+	}
+	rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
+	rep.Latency = latencyNS{
+		Samples: hist.Count(),
+		Mean:    hist.Mean(),
+		Min:     hist.Min(),
+		P50:     hist.Percentile(50),
+		P95:     hist.Percentile(95),
+		P99:     hist.Percentile(99),
+		Max:     hist.Max(),
+	}
+
+	// Final server/store snapshot for the report.
+	c, err := client.DialConn(cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return nil, err
+	}
+	rep.Server = st.Server
+	rep.Store = st.Store
+	return rep, nil
+}
+
+func opName(k workload.OpKind) string {
+	switch k {
+	case workload.OpRead:
+		return "read"
+	case workload.OpUpdate:
+		return "update"
+	case workload.OpInsert:
+		return "insert"
+	default:
+		return "rmw"
+	}
+}
+
+// preload bulk-loads keys [0, load) over cfg.conns parallel connections.
+func preload(cfg config) error {
+	const chunk = 4096
+	errs := make([]error, cfg.conns)
+	harness.ParallelChunks(cfg.load, cfg.conns, func(w, lo, hi int) {
+		c, err := client.DialConn(cfg.addr)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		defer c.Close()
+		keys := make([]uint64, 0, chunk)
+		vals := make([]uint64, 0, chunk)
+		harness.Chunks(hi-lo, chunk, func(clo, chi int) {
+			if errs[w] != nil {
+				return
+			}
+			keys, vals = keys[:0], vals[:0]
+			for i := lo + clo; i < lo+chi; i++ {
+				keys = append(keys, workload.Key(cfg.seed, uint64(i)))
+				vals = append(vals, uint64(i))
+			}
+			errs[w] = c.PutBatch(keys, vals)
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expected tracks what one queued wire op must return for the run to be
+// error-free.
+type expected struct {
+	read bool   // a GET whose value must equal idx
+	idx  uint64 // global key index
+}
+
+// worker drives one connection until the stop flag (or its op budget) is
+// reached. Each worker owns a disjoint insert range: its generator's
+// fresh local indexes are strided across workers, so no worker ever reads
+// a key another worker is concurrently inserting.
+func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
+	c, err := client.DialConn(cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	res := &workerResult{}
+	gen := workload.NewYCSB(cfg.seed+uint64(w)*0x9E3779B9, cfg.mix, cfg.load)
+	global := func(local uint64) uint64 {
+		if local < uint64(cfg.load) {
+			return local
+		}
+		return uint64(cfg.load) + (local-uint64(cfg.load))*uint64(cfg.conns) + uint64(w)
+	}
+
+	p := c.Pipeline()
+	var exp []expected
+	var batchKeys, batchVals []uint64
+	var batchRead bool
+	flushBatch := func() {
+		if len(batchKeys) == 0 {
+			return
+		}
+		if batchRead {
+			p.GetBatch(batchKeys)
+		} else {
+			p.PutBatch(batchKeys, batchVals)
+		}
+		batchKeys = batchKeys[:0]
+		batchVals = batchVals[:0]
+	}
+	queue := func(read bool, idx uint64) {
+		key := workload.Key(cfg.seed, idx)
+		if cfg.batch > 0 {
+			if len(batchKeys) > 0 && (batchRead != read || len(batchKeys) >= cfg.batch) {
+				flushBatch()
+			}
+			batchRead = read
+			batchKeys = append(batchKeys, key)
+			if !read {
+				batchVals = append(batchVals, idx)
+			}
+		} else if read {
+			p.Get(key)
+		} else {
+			p.Put(key, idx)
+		}
+		exp = append(exp, expected{read: read, idx: idx})
+	}
+
+	budget := cfg.ops
+	var results []client.Result
+	for !stop.Load() && (cfg.ops == 0 || budget > 0) {
+		exp = exp[:0]
+		for i := 0; i < cfg.pipeline; i++ {
+			op := gen.Next()
+			res.opCounts[op.Kind]++
+			idx := global(op.KeyIndex)
+			switch op.Kind {
+			case workload.OpRead:
+				queue(true, idx)
+			case workload.OpUpdate, workload.OpInsert:
+				queue(false, idx)
+			case workload.OpReadModifyWrite:
+				queue(true, idx)
+				queue(false, idx)
+			}
+		}
+		flushBatch()
+
+		start := time.Now()
+		results, err = p.Flush(results[:0])
+		if err != nil {
+			return nil, fmt.Errorf("conn %d: %w", w, err)
+		}
+		res.hist.Record(uint64(time.Since(start).Nanoseconds()))
+		res.ops += uint64(len(results))
+		budget -= len(results)
+		for i, r := range results {
+			e := exp[i]
+			switch {
+			case r.Err != nil:
+				res.errors++
+			case e.read && (!r.Found || r.Value != e.idx):
+				res.errors++
+			case !e.read && !r.Found:
+				res.errors++
+			}
+		}
+	}
+	return res, nil
+}
+
+func printSummary(r *report) {
+	fmt.Printf("mix %s (%s)  conns=%d pipeline=%d batch=%d  loaded=%d\n",
+		r.Mix, r.Dist, r.Conns, r.Pipeline, r.Batch, r.Loaded)
+	fmt.Printf("load: %d entries in %.2fs (%.0f ops/s)\n", r.Loaded, r.LoadS, r.LoadRate)
+	fmt.Printf("run:  %d ops in %.2fs = %.0f ops/s, %d errors\n",
+		r.Ops, r.DurationS, r.Throughput, r.Errors)
+	fmt.Printf("latency per round trip (%d ops deep): p50 %s  p95 %s  p99 %s  max %s\n",
+		r.Pipeline,
+		time.Duration(r.Latency.P50), time.Duration(r.Latency.P95),
+		time.Duration(r.Latency.P99), time.Duration(r.Latency.Max))
+	fmt.Printf("server: %d coalesced batches carrying %d ops; store batches I/L/D %d/%d/%d\n",
+		r.Server.CoalescedBatches, r.Server.CoalescedOps,
+		r.Store.InsertBatches, r.Store.LookupBatches, r.Store.DeleteBatches)
+}

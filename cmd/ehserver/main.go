@@ -1,0 +1,164 @@
+// Command ehserver serves a vmshortcut.Store over TCP with the binary
+// wire protocol of package server: GET/PUT/DEL/STATS plus native batch
+// frames, with pipelined requests coalesced into store batch calls.
+//
+// Every Open option is a flag, so the served index can be shaped exactly
+// like the in-process experiments: kind, shard count, capacity
+// pre-sizing, load factors, the Shortcut-EH mapper knobs, and so on.
+//
+// SIGINT/SIGTERM shut down gracefully: accepting stops, in-flight and
+// pipelined requests drain, the shortcut directory is given -waitsync to
+// catch up, and the store closes.
+//
+// Usage:
+//
+//	ehserver -addr :6380 -kind shortcut-eh -shards 4 -batch-window 0
+//	ehserver -kind ht -capacity 10000000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/server"
+)
+
+func main() {
+	// Serving flags.
+	addr := flag.String("addr", ":6380", "listen address")
+	batchWindow := flag.Duration("batch-window", 0, "how long the per-connection coalescer waits for more pipelined requests before executing a batch (0 = only coalesce what is already buffered)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max ops per coalesced store batch call")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before connections are closed forcibly")
+	waitSync := flag.Duration("waitsync", 10*time.Second, "how long shutdown waits for asynchronous maintenance (the Shortcut-EH mapper) to catch up")
+
+	// Store shape: every Open option. Zero/negative defaults mean "not
+	// set" and defer to the implementation's defaults.
+	kindName := flag.String("kind", "shortcut-eh", "index kind: shortcut-eh | eh | ht | hti | ch | radix")
+	shards := flag.Int("shards", 1, "hash-partition the keyspace across this many independent shards")
+	capacity := flag.Int("capacity", 0, "pre-size for this many entries (required for -kind radix: the exclusive key bound)")
+	maxLoad := flag.Float64("max-load-factor", 0, "occupancy threshold triggering growth/splits (default 0.35)")
+	tableBytes := flag.Int("table-bytes", 0, "fixed directory size for -kind ch")
+	migrationBatch := flag.Int("migration-batch", 0, "entries migrated per access for -kind hti (default 64)")
+	globalDepth := flag.Int("global-depth", -1, "initial EH directory depth (overrides -capacity's derivation)")
+	mergeLoad := flag.Float64("merge-load-factor", 0, "enable bucket coalescing on delete below this load factor (EH kinds)")
+	poll := flag.Duration("poll", 0, "Shortcut-EH mapper poll interval (default 25ms)")
+	fanIn := flag.Float64("fanin", 0, "Shortcut-EH fan-in threshold for shortcut routing (default 8)")
+	adaptive := flag.Bool("adaptive", false, "Shortcut-EH: measure both access paths online instead of the fixed fan-in threshold")
+	syncMaint := flag.Bool("sync-maintenance", false, "Shortcut-EH: apply shortcut maintenance on the writer instead of the mapper thread")
+	noShortcut := flag.Bool("no-shortcut", false, "route every read through the traditional pointer path")
+	flag.Parse()
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []vmshortcut.Option{
+		vmshortcut.WithShards(*shards),
+		// The server runs one goroutine per connection; shards=1 still
+		// needs the readers-writer wrapper.
+		vmshortcut.WithConcurrency(true),
+		vmshortcut.WithAdaptiveRouting(*adaptive),
+		vmshortcut.WithSynchronousMaintenance(*syncMaint),
+		vmshortcut.WithDisableShortcut(*noShortcut),
+	}
+	if *capacity > 0 {
+		opts = append(opts, vmshortcut.WithCapacity(*capacity))
+	}
+	if *maxLoad > 0 {
+		opts = append(opts, vmshortcut.WithMaxLoadFactor(*maxLoad))
+	}
+	if *tableBytes > 0 {
+		opts = append(opts, vmshortcut.WithTableBytes(*tableBytes))
+	}
+	if *migrationBatch > 0 {
+		opts = append(opts, vmshortcut.WithMigrationBatch(*migrationBatch))
+	}
+	if *globalDepth >= 0 {
+		opts = append(opts, vmshortcut.WithInitialGlobalDepth(uint(*globalDepth)))
+	}
+	if *mergeLoad > 0 {
+		opts = append(opts, vmshortcut.WithMergeLoadFactor(*mergeLoad))
+	}
+	if *poll > 0 {
+		opts = append(opts, vmshortcut.WithPollInterval(*poll))
+	}
+	if *fanIn > 0 {
+		opts = append(opts, vmshortcut.WithFanInThreshold(*fanIn))
+	}
+
+	store, err := vmshortcut.Open(kind, opts...)
+	if err != nil {
+		log.Fatalf("open %s: %v", kind, err)
+	}
+
+	srv, err := server.New(server.Config{
+		Store:       store,
+		BatchWindow: *batchWindow,
+		MaxBatch:    *maxBatch,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("ehserver: %s (shards=%d) listening on %s", kind, *shards, *addr)
+		serveErr <- srv.ListenAndServe(*addr)
+	}()
+
+	select {
+	case err := <-serveErr:
+		store.Close()
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigs:
+		log.Printf("ehserver: %v — draining", sig)
+	}
+
+	// Graceful shutdown: drain connections, let asynchronous maintenance
+	// catch up, then release the store.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("ehserver: drain incomplete: %v", err)
+	}
+	<-serveErr // Serve has returned once the listener died
+	if !store.WaitSync(*waitSync) {
+		log.Printf("ehserver: WaitSync(%v) timed out", *waitSync)
+	}
+	c := srv.Counters()
+	st := store.Stats()
+	log.Printf("ehserver: served %d ops over %d conns (%d coalesced batches carrying %d ops, %d errors); store: %d entries, batches I/L/D %d/%d/%d",
+		c.Ops, c.TotalConns, c.CoalescedBatches, c.CoalescedOps, c.Errors,
+		st.Entries, st.InsertBatches, st.LookupBatches, st.DeleteBatches)
+	if err := store.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+}
+
+// parseKind resolves an index kind, tolerating dashless spellings
+// ("shortcuteh" for "shortcut-eh") so scripted invocations do not need to
+// remember the canonical hyphenation.
+func parseKind(name string) (vmshortcut.Kind, error) {
+	if k, err := vmshortcut.ParseKind(name); err == nil {
+		return k, nil
+	}
+	stripped := strings.ReplaceAll(strings.ToLower(name), "-", "")
+	for _, k := range vmshortcut.Kinds() {
+		if strings.ReplaceAll(k.String(), "-", "") == stripped {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown index kind %q (want one of %v)", name, vmshortcut.Kinds())
+}

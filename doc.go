@@ -84,4 +84,15 @@
 // All rewired memory lives outside the Go heap; the garbage collector
 // never observes it. Linux is required for the rewiring layer (memfd +
 // MAP_FIXED); every other layer is portable.
+//
+// # Serving
+//
+// The server and client packages put a Store on the network: a TCP
+// server speaking a length-prefixed binary protocol with full
+// pipelining, whose per-connection coalescer gathers pipelined requests
+// into InsertBatch/LookupBatch/DeleteBatch calls — the once-per-batch
+// routing decision and the sharded fan-out, exploited per round trip.
+// cmd/ehserver is the standalone daemon (every Open option as a flag),
+// cmd/ehload the YCSB load generator that records throughput and HDR
+// latency percentiles to BENCH_server.json.
 package vmshortcut

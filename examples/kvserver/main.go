@@ -1,141 +1,128 @@
-// kvserver: a minimal Redis-flavoured TCP key-value server backed by
-// Shortcut-EH — the kind of workload the paper's HTI baseline (the Redis
-// dictionary) serves, here answered through the page table.
+// kvserver: a self-contained demo of the network KV service — it starts
+// the binary-protocol server (package server) over a Shortcut-EH store,
+// drives it through the Go client (package client), and prints what
+// happened on the wire, including how the per-connection coalescer turned
+// the pipelined requests into store batch calls.
 //
-// The index is opened with WithConcurrency, so connections operate on it
-// directly: lookups run in parallel under a read lock, mutations get the
-// write lock, matching the paper's single-writer model without an
-// app-level mutex.
+// This is the smallest end-to-end serving example; the production-shaped
+// pieces are cmd/ehserver (the standalone daemon, every Open option as a
+// flag) and cmd/ehload (the YCSB load generator that writes
+// BENCH_server.json).
 //
-// Protocol (one command per line, values are unsigned 64-bit integers):
-//
-//	SET <key> <value>   -> OK
-//	GET <key>           -> <value> | NOT_FOUND
-//	DEL <key>           -> OK | NOT_FOUND
-//	LEN                 -> <count>
-//	STATS               -> routing and maintenance counters
-//	QUIT                -> closes the connection
-//
-// Run with:  go run ./examples/kvserver [-addr :6380]
-// Try it:    printf 'SET 1 42\nGET 1\nSTATS\nQUIT\n' | nc localhost 6380
+// Run with:  go run ./examples/kvserver [-addr 127.0.0.1:0]
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
-	"strconv"
-	"strings"
+	"time"
 
 	"vmshortcut"
+	"vmshortcut/client"
+	"vmshortcut/server"
 )
 
-// server answers the line protocol from a concurrency-safe Store.
-type server struct {
-	idx vmshortcut.Store
-}
-
-func (s *server) handle(line string) string {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return ""
-	}
-	switch strings.ToUpper(fields[0]) {
-	case "SET":
-		if len(fields) != 3 {
-			return "ERR usage: SET <key> <value>"
-		}
-		k, err1 := strconv.ParseUint(fields[1], 10, 64)
-		v, err2 := strconv.ParseUint(fields[2], 10, 64)
-		if err1 != nil || err2 != nil {
-			return "ERR keys and values are uint64"
-		}
-		if err := s.idx.Insert(k, v); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "GET":
-		if len(fields) != 2 {
-			return "ERR usage: GET <key>"
-		}
-		k, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return "ERR keys are uint64"
-		}
-		if v, ok := s.idx.Lookup(k); ok {
-			return strconv.FormatUint(v, 10)
-		}
-		return "NOT_FOUND"
-	case "DEL":
-		if len(fields) != 2 {
-			return "ERR usage: DEL <key>"
-		}
-		k, err := strconv.ParseUint(fields[1], 10, 64)
-		if err != nil {
-			return "ERR keys are uint64"
-		}
-		if s.idx.Delete(k) {
-			return "OK"
-		}
-		return "NOT_FOUND"
-	case "LEN":
-		return strconv.Itoa(s.idx.Len())
-	case "STATS":
-		st := s.idx.Stats()
-		return fmt.Sprintf(
-			"entries=%d global_depth=%d buckets=%d fan_in=%.2f in_sync=%v "+
-				"shortcut_lookups=%d traditional_lookups=%d replayed_updates=%d rebuilds=%d",
-			st.Entries, st.GlobalDepth, st.Buckets, st.AvgFanIn, st.InSync,
-			st.ShortcutLookups, st.TraditionalLookups, st.UpdatesApplied, st.CreatesApplied)
-	case "QUIT":
-		return "BYE"
-	}
-	return "ERR unknown command"
-}
-
 func main() {
-	addr := flag.String("addr", ":6380", "listen address")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (defaults to an ephemeral loopback port)")
 	flag.Parse()
 
-	idx, err := vmshortcut.Open(vmshortcut.KindShortcutEH, vmshortcut.WithConcurrency(true))
+	// The store: the paper's Shortcut-EH behind the uniform facade, with
+	// the concurrent wrapper so connection goroutines can share it.
+	store, err := vmshortcut.Open(vmshortcut.KindShortcutEH, vmshortcut.WithConcurrency(true))
 	if err != nil {
-		log.Fatalf("index: %v", err)
+		log.Fatalf("open store: %v", err)
 	}
-	defer idx.Close()
+	defer store.Close()
 
+	// The server: one Config field is mandatory — the store. The batch
+	// window is left at 0: only requests already buffered on a connection
+	// coalesce, adding no latency.
+	srv, err := server.New(server.Config{Store: store, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		log.Fatal(err)
 	}
-	defer ln.Close()
-	log.Printf("kvserver (Shortcut-EH) listening on %s", *addr)
+	go srv.Serve(ln)
+	fmt.Printf("kvserver listening on %s\n", ln.Addr())
 
-	st := &server{idx: idx}
-	for {
-		conn, err := ln.Accept()
+	// The client: a pooled Dial plus a pinned-connection pipeline.
+	cl, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Single round trips.
+	if err := cl.Put(1, 100); err != nil {
+		log.Fatal(err)
+	}
+	v, found, err := cl.Get(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET 1 -> %d (found=%v)\n", v, found)
+
+	// One native batch frame = one InsertBatch against the store.
+	keys := make([]uint64, 1000)
+	vals := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+		vals[i] = uint64(i)
+	}
+	if err := cl.PutBatch(keys, vals); err != nil {
+		log.Fatal(err)
+	}
+
+	// A pipelined burst: the server's coalescer gathers the GET run into
+	// a single LookupBatch, so Shortcut-EH's routing decision is made
+	// once for the whole run.
+	err = cl.Do(func(c *client.Conn) error {
+		p := c.Pipeline()
+		for i := 0; i < 500; i++ {
+			p.Get(uint64(i) * 7)
+		}
+		res, err := p.Flush(nil)
 		if err != nil {
-			log.Printf("accept: %v", err)
-			return
+			return err
 		}
-		go serve(conn, st)
+		misses := 0
+		for _, r := range res {
+			if !r.Found {
+				misses++
+			}
+		}
+		fmt.Printf("pipelined 500 GETs in one round trip (%d misses)\n", misses)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-}
 
-func serve(conn net.Conn, st *server) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	for sc.Scan() {
-		resp := st.handle(sc.Text())
-		if resp == "" {
-			continue
-		}
-		fmt.Fprintln(w, resp)
-		w.Flush()
-		if resp == "BYE" {
-			return
-		}
+	// STATS shows both layers: serving counters and the store's uniform
+	// Stats — the batch counters prove the coalescing happened.
+	st, err := cl.Stats()
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("server: %d ops, %d coalesced batches carrying %d ops\n",
+		st.Server.Ops, st.Server.CoalescedBatches, st.Server.CoalescedOps)
+	fmt.Printf("store:  %d entries, batch calls insert/lookup/delete = %d/%d/%d, in_sync=%v\n",
+		st.Store.Entries, st.Store.InsertBatches, st.Store.LookupBatches,
+		st.Store.DeleteBatches, st.Store.InSync)
+
+	// Graceful shutdown: drain in-flight requests, then let the mapper
+	// catch up before the store closes.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	store.WaitSync(5 * time.Second)
+	fmt.Println("drained and closed")
 }

@@ -161,6 +161,16 @@ func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
 	return ok
 }
 
+// DeleteBatch removes every key, returning per-key presence; semantically
+// a loop of Delete calls with the per-call overhead amortized.
+func (t *Table) DeleteBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = t.Delete(k)
+	}
+	return ok
+}
+
 // Delete removes key and reports whether it was present. Chain cells are
 // back-filled from the bucket tail so chains stay dense.
 func (t *Table) Delete(key uint64) bool {

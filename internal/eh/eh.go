@@ -232,6 +232,32 @@ func (t *Table) Delete(key uint64) bool {
 	return false
 }
 
+// DeleteBatch removes every key, returning per-key presence. Like
+// LookupBatch, the directory depth is loaded once for the whole batch —
+// deletes without merging never change the directory shape.
+func (t *Table) DeleteBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	gd := t.gd
+	for i, k := range keys {
+		idx := hashfn.DirIndex(hashfn.Hash(k), gd)
+		if bucket.ViewAddr(t.dir[idx]).Delete(k) {
+			t.count--
+			ok[i] = true
+		}
+	}
+	return ok
+}
+
+// DeleteAndMergeBatch removes every key through DeleteAndMerge, so
+// underfull buckets coalesce when Config.MergeLoadFactor enables it.
+func (t *Table) DeleteAndMergeBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = t.DeleteAndMerge(k)
+	}
+	return ok
+}
+
 // split splits the bucket referenced by directory slot idx, doubling the
 // directory first if its local depth has reached the global depth.
 func (t *Table) split(idx uint64) error {

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHDRIndexRoundTrip checks the bucket mapping is monotone and that
+// every value lands in a bucket whose range contains it.
+func TestHDRIndexRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1023, 1024,
+		1 << 20, 1<<20 + 12345, 1 << 40, math.MaxUint64} {
+		idx := hdrIndex(v)
+		if idx < 0 || idx >= hdrSize {
+			t.Fatalf("hdrIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prev {
+			t.Fatalf("hdrIndex not monotone at %d", v)
+		}
+		prev = idx
+		if u := hdrUpper(idx); v > u {
+			t.Fatalf("value %d above its bucket's upper bound %d", v, u)
+		}
+		if idx > 0 {
+			if l := hdrUpper(idx - 1); v <= l {
+				t.Fatalf("value %d at or below the previous bucket's upper bound %d", v, l)
+			}
+		}
+	}
+}
+
+// TestHDRPercentileAccuracy records a known uniform population and checks
+// percentiles land within the promised ~3% relative error.
+func TestHDRPercentileAccuracy(t *testing.T) {
+	var h HDR
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		h.Record(i)
+	}
+	if h.Count() != n || h.Min() != 1 || h.Max() != n {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	for _, p := range []float64{50, 95, 99, 99.9} {
+		got := float64(h.Percentile(p))
+		want := p / 100 * n
+		if relErr := math.Abs(got-want) / want; relErr > 0.04 {
+			t.Fatalf("p%v = %v, want ≈%v (rel err %.3f)", p, got, want, relErr)
+		}
+	}
+	if h.Percentile(100) != n {
+		t.Fatalf("p100 = %d, want clamped max %d", h.Percentile(100), uint64(n))
+	}
+	if mean := h.Mean(); math.Abs(mean-(n+1)/2) > 1 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+// TestHDRMerge checks merged histograms agree with one histogram fed the
+// union of samples.
+func TestHDRMerge(t *testing.T) {
+	var a, b, all HDR
+	for i := uint64(0); i < 10000; i++ {
+		v := i * i % 99991
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		all.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge shape mismatch: %d/%d/%d vs %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), all.Count(), all.Min(), all.Max())
+	}
+	for _, p := range []float64{50, 95, 99} {
+		if a.Percentile(p) != all.Percentile(p) {
+			t.Fatalf("p%v: merged %d, combined %d", p, a.Percentile(p), all.Percentile(p))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	var empty HDR
+	before := a.Count()
+	a.Merge(&empty)
+	if a.Count() != before {
+		t.Fatal("merging empty changed the count")
+	}
+}
+
+// TestHDRZeroAndExtremes covers the exact small-value buckets and the top
+// of the range.
+func TestHDRZeroAndExtremes(t *testing.T) {
+	var h HDR
+	h.Record(0)
+	h.Record(math.MaxUint64)
+	if h.Min() != 0 || h.Max() != math.MaxUint64 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Percentile(0) != 0 {
+		t.Fatalf("p0 = %d", h.Percentile(0))
+	}
+	if h.Percentile(100) != math.MaxUint64 {
+		t.Fatalf("p100 = %d", h.Percentile(100))
+	}
+	var zero HDR
+	if zero.Percentile(50) != 0 || zero.Mean() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}

@@ -162,6 +162,16 @@ func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
 	return ok
 }
 
+// DeleteBatch removes every key, returning per-key presence; semantically
+// a loop of Delete calls with the per-call overhead amortized.
+func (t *Table) DeleteBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = t.Delete(k)
+	}
+	return ok
+}
+
 // Lookup returns the value stored for key.
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	if key == 0 {

@@ -324,3 +324,14 @@ func (t *Table) Delete(key uint64) bool {
 	}
 	return false
 }
+
+// DeleteBatch removes every key, returning per-key presence. Each element
+// counts as one access for the incremental-migration contract, exactly as
+// a loop of Delete calls would.
+func (t *Table) DeleteBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = t.Delete(k)
+	}
+	return ok
+}

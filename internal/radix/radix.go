@@ -175,6 +175,16 @@ func (m *Map) LookupBatch(keys []uint64, out []uint64) []bool {
 	return ok
 }
 
+// DeleteBatch removes every key, returning per-key presence; semantically
+// a loop of Delete calls with the per-call overhead amortized.
+func (m *Map) DeleteBatch(keys []uint64) []bool {
+	ok := make([]bool, len(keys))
+	for i, k := range keys {
+		ok[i] = m.Delete(k)
+	}
+	return ok
+}
+
 // Get returns the value stored for key, routed through the shortcut when
 // available — a single implicit indirection.
 func (m *Map) Get(key uint64) (uint64, bool) {

@@ -74,6 +74,13 @@ func (c *Concurrent) LookupBatch(keys []uint64, out []uint64) []bool {
 	return c.t.LookupBatch(keys, out)
 }
 
+// DeleteBatch removes every key under one write-lock acquisition.
+func (c *Concurrent) DeleteBatch(keys []uint64) []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.DeleteBatch(keys)
+}
+
 // WaitSync blocks until the shortcut directory catches up (no lock held
 // while waiting; the mapper needs the table quiescent only logically).
 func (c *Concurrent) WaitSync(timeout time.Duration) bool { return c.t.WaitSync(timeout) }

@@ -486,6 +486,16 @@ func (t *Table) Delete(key uint64) bool {
 	return t.eh.Delete(key)
 }
 
+// DeleteBatch removes every key, returning per-key presence — the delete
+// counterpart of InsertBatch, with the merge-vs-plain decision made once
+// for the whole batch instead of once per key.
+func (t *Table) DeleteBatch(keys []uint64) []bool {
+	if t.cfg.EH.MergeLoadFactor > 0 {
+		return t.eh.DeleteAndMergeBatch(keys)
+	}
+	return t.eh.DeleteBatch(keys)
+}
+
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return t.eh.Len() }
 

@@ -1,0 +1,240 @@
+// Package wire defines the compact length-prefixed binary protocol spoken
+// between the network KV server (package server) and its Go client
+// (package client). The format is built for pipelining: frames are fully
+// self-delimiting, responses come back in request order, and the batch
+// frames carry whole key sets so one round trip can become one
+// InsertBatch/LookupBatch/DeleteBatch call against the store.
+//
+// Frame layout (all integers little-endian):
+//
+//	u32 length   payload length including the tag byte (≤ MaxFrame)
+//	u8  tag      request opcode or response status
+//	...          payload, per tag
+//
+// Request payloads:
+//
+//	OpGet       u64 key
+//	OpPut       u64 key, u64 value
+//	OpDel       u64 key
+//	OpStats     (empty)
+//	OpGetBatch  u32 n, n × u64 key
+//	OpPutBatch  u32 n, n × (u64 key, u64 value)
+//	OpDelBatch  u32 n, n × u64 key
+//
+// Response payloads:
+//
+//	StatusOK        op-specific: u64 value (GET); empty (PUT, STATS via
+//	                JSON below); u32 n, n × u8 found, n × u64 value
+//	                (GETBATCH); u32 n, n × u8 found (DELBATCH)
+//	StatusNotFound  empty (GET, DEL miss)
+//	StatusErr       UTF-8 error message
+//
+// The STATS response payload is JSON (StatsReply): it is off the hot path
+// and keeps the reply extensible without protocol version bumps.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vmshortcut"
+)
+
+// HeaderSize is the fixed frame prefix: u32 length + u8 tag.
+const HeaderSize = 5
+
+// MaxFrame bounds a frame's length field. It admits batches of ~64k pairs
+// while keeping a malformed or hostile length prefix from ballooning a
+// connection buffer.
+const MaxFrame = 1 << 20
+
+// MaxBatch is the largest element count a batch frame may carry; chosen so
+// the largest batch frame (PUTBATCH) stays under MaxFrame.
+const MaxBatch = (MaxFrame - HeaderSize - 4) / 16
+
+// Request opcodes.
+const (
+	OpGet byte = 0x01 + iota
+	OpPut
+	OpDel
+	OpStats
+	OpGetBatch
+	OpPutBatch
+	OpDelBatch
+)
+
+// Response statuses.
+const (
+	StatusOK byte = 0x00 + iota
+	StatusNotFound
+	StatusErr
+)
+
+// StatsReply is the JSON payload of a successful OpStats response: the
+// server's own counters next to the backing store's uniform Stats.
+type StatsReply struct {
+	Server ServerCounters   `json:"server"`
+	Store  vmshortcut.Stats `json:"store"`
+}
+
+// ServerCounters are the serving-layer counters of one server.
+type ServerCounters struct {
+	// ActiveConns and TotalConns count currently open and lifetime
+	// accepted connections.
+	ActiveConns uint64 `json:"active_conns"`
+	TotalConns  uint64 `json:"total_conns"`
+	// Ops counts operations served (batch frames count each element).
+	Ops uint64 `json:"ops"`
+	// Frames counts request frames decoded.
+	Frames uint64 `json:"frames"`
+	// CoalescedBatches counts store batch calls produced by gathering
+	// pipelined single-op frames; CoalescedOps counts the ops they carried.
+	CoalescedBatches uint64 `json:"coalesced_batches"`
+	CoalescedOps     uint64 `json:"coalesced_ops"`
+	// Errors counts StatusErr responses sent.
+	Errors uint64 `json:"errors"`
+}
+
+// appendHeader appends a frame header for a payload of n bytes (tag
+// included in the length, as on the wire).
+func appendHeader(dst []byte, tag byte, n int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n+1))
+	return append(dst, tag)
+}
+
+// AppendFrame appends a complete frame with an opaque payload.
+func AppendFrame(dst []byte, tag byte, payload []byte) []byte {
+	dst = appendHeader(dst, tag, len(payload))
+	return append(dst, payload...)
+}
+
+// AppendEmpty appends a frame with no payload (OpStats, StatusOK acks,
+// StatusNotFound).
+func AppendEmpty(dst []byte, tag byte) []byte { return appendHeader(dst, tag, 0) }
+
+// AppendKey appends a one-key request frame (OpGet, OpDel).
+func AppendKey(dst []byte, op byte, key uint64) []byte {
+	dst = appendHeader(dst, op, 8)
+	return binary.LittleEndian.AppendUint64(dst, key)
+}
+
+// AppendPut appends an OpPut frame.
+func AppendPut(dst []byte, key, value uint64) []byte {
+	dst = appendHeader(dst, OpPut, 16)
+	dst = binary.LittleEndian.AppendUint64(dst, key)
+	return binary.LittleEndian.AppendUint64(dst, value)
+}
+
+// AppendKeyBatch appends a keys-only batch request frame (OpGetBatch,
+// OpDelBatch).
+func AppendKeyBatch(dst []byte, op byte, keys []uint64) []byte {
+	dst = appendHeader(dst, op, 4+8*len(keys))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+	}
+	return dst
+}
+
+// AppendPutBatch appends an OpPutBatch frame; len(keys) must equal
+// len(values).
+func AppendPutBatch(dst []byte, keys, values []uint64) []byte {
+	dst = appendHeader(dst, OpPutBatch, 4+16*len(keys))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for i, k := range keys {
+		dst = binary.LittleEndian.AppendUint64(dst, k)
+		dst = binary.LittleEndian.AppendUint64(dst, values[i])
+	}
+	return dst
+}
+
+// AppendValue appends a StatusOK response carrying one value (GET hit).
+func AppendValue(dst []byte, value uint64) []byte {
+	dst = appendHeader(dst, StatusOK, 8)
+	return binary.LittleEndian.AppendUint64(dst, value)
+}
+
+// AppendError appends a StatusErr response with a message.
+func AppendError(dst []byte, msg string) []byte {
+	dst = appendHeader(dst, StatusErr, len(msg))
+	return append(dst, msg...)
+}
+
+// AppendFoundValues appends the GETBATCH StatusOK response: per-key
+// presence flags followed by the (zero-filled where absent) values.
+func AppendFoundValues(dst []byte, found []bool, values []uint64) []byte {
+	dst = appendHeader(dst, StatusOK, 4+len(found)+8*len(found))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(found)))
+	for _, ok := range found {
+		dst = append(dst, boolByte(ok))
+	}
+	for _, v := range values {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// AppendFound appends the DELBATCH StatusOK response: per-key presence.
+func AppendFound(dst []byte, found []bool) []byte {
+	dst = appendHeader(dst, StatusOK, 4+len(found))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(found)))
+	for _, ok := range found {
+		dst = append(dst, boolByte(ok))
+	}
+	return dst
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadFrame reads one frame from r, reusing buf for the payload when it
+// fits. It returns the tag, the payload (valid until the next call that
+// reuses buf), the possibly grown buffer, and the first error. A length
+// below 1 or above MaxFrame is rejected before any payload is read.
+func ReadFrame(r io.Reader, buf []byte) (tag byte, payload, newBuf []byte, err error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, buf, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, MaxFrame)
+	}
+	tag = hdr[4]
+	body := int(n) - 1
+	if cap(buf) < body {
+		buf = make([]byte, body)
+	}
+	payload = buf[:body]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return tag, payload, buf, nil
+}
+
+// Uint64 decodes the u64 at offset off of a payload.
+func Uint64(p []byte, off int) uint64 { return binary.LittleEndian.Uint64(p[off:]) }
+
+// Uint32 decodes the u32 at offset off of a payload.
+func Uint32(p []byte, off int) uint32 { return binary.LittleEndian.Uint32(p[off:]) }
+
+// BatchLen validates and returns the element count of a batch payload
+// whose elements are elemSize bytes each.
+func BatchLen(p []byte, elemSize int) (int, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("wire: batch payload %d bytes, need at least 4", len(p))
+	}
+	n := int(Uint32(p, 0))
+	if n > MaxBatch {
+		return 0, fmt.Errorf("wire: batch of %d elements exceeds max %d", n, MaxBatch)
+	}
+	if len(p) != 4+n*elemSize {
+		return 0, fmt.Errorf("wire: batch payload %d bytes, want %d for %d elements", len(p), 4+n*elemSize, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// roundTrip feeds an encoded frame back through ReadFrame.
+func roundTrip(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	tag, payload, _, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return tag, payload
+}
+
+func TestRequestFrameRoundTrips(t *testing.T) {
+	tag, p := roundTrip(t, AppendKey(nil, OpGet, 0xDEADBEEF))
+	if tag != OpGet || len(p) != 8 || Uint64(p, 0) != 0xDEADBEEF {
+		t.Fatalf("GET frame = tag %d payload %x", tag, p)
+	}
+
+	tag, p = roundTrip(t, AppendPut(nil, 7, 42))
+	if tag != OpPut || Uint64(p, 0) != 7 || Uint64(p, 8) != 42 {
+		t.Fatalf("PUT frame = tag %d payload %x", tag, p)
+	}
+
+	tag, p = roundTrip(t, AppendEmpty(nil, OpStats))
+	if tag != OpStats || len(p) != 0 {
+		t.Fatalf("STATS frame = tag %d payload %x", tag, p)
+	}
+
+	keys := []uint64{1, 2, 3, ^uint64(0)}
+	vals := []uint64{10, 20, 30, 40}
+
+	tag, p = roundTrip(t, AppendKeyBatch(nil, OpGetBatch, keys))
+	if tag != OpGetBatch {
+		t.Fatalf("GETBATCH tag = %d", tag)
+	}
+	n, err := BatchLen(p, 8)
+	if err != nil || n != len(keys) {
+		t.Fatalf("GETBATCH BatchLen = %d, %v", n, err)
+	}
+	for i, k := range keys {
+		if got := Uint64(p, 4+8*i); got != k {
+			t.Fatalf("GETBATCH key[%d] = %d, want %d", i, got, k)
+		}
+	}
+
+	tag, p = roundTrip(t, AppendPutBatch(nil, keys, vals))
+	if tag != OpPutBatch {
+		t.Fatalf("PUTBATCH tag = %d", tag)
+	}
+	n, err = BatchLen(p, 16)
+	if err != nil || n != len(keys) {
+		t.Fatalf("PUTBATCH BatchLen = %d, %v", n, err)
+	}
+	for i := range keys {
+		if Uint64(p, 4+16*i) != keys[i] || Uint64(p, 4+16*i+8) != vals[i] {
+			t.Fatalf("PUTBATCH pair[%d] mismatch", i)
+		}
+	}
+}
+
+func TestResponseFrameRoundTrips(t *testing.T) {
+	tag, p := roundTrip(t, AppendValue(nil, 99))
+	if tag != StatusOK || Uint64(p, 0) != 99 {
+		t.Fatalf("value response = tag %d payload %x", tag, p)
+	}
+
+	tag, p = roundTrip(t, AppendEmpty(nil, StatusNotFound))
+	if tag != StatusNotFound || len(p) != 0 {
+		t.Fatalf("not-found response = tag %d payload %x", tag, p)
+	}
+
+	tag, p = roundTrip(t, AppendError(nil, "boom"))
+	if tag != StatusErr || string(p) != "boom" {
+		t.Fatalf("error response = tag %d payload %q", tag, p)
+	}
+
+	found := []bool{true, false, true}
+	vals := []uint64{5, 0, 7}
+	tag, p = roundTrip(t, AppendFoundValues(nil, found, vals))
+	if tag != StatusOK {
+		t.Fatalf("found-values tag = %d", tag)
+	}
+	if got := int(Uint32(p, 0)); got != 3 {
+		t.Fatalf("found-values n = %d", got)
+	}
+	for i, ok := range found {
+		if (p[4+i] == 1) != ok {
+			t.Fatalf("found[%d] flag mismatch", i)
+		}
+		if got := Uint64(p, 4+len(found)+8*i); got != vals[i] {
+			t.Fatalf("found-values value[%d] = %d", i, got)
+		}
+	}
+
+	tag, p = roundTrip(t, AppendFound(nil, found))
+	if tag != StatusOK || int(Uint32(p, 0)) != 3 || p[4] != 1 || p[5] != 0 || p[6] != 1 {
+		t.Fatalf("found response = tag %d payload %x", tag, p)
+	}
+}
+
+func TestReadFrameRejectsBadLengths(t *testing.T) {
+	zero := make([]byte, HeaderSize) // length 0
+	if _, _, _, err := ReadFrame(bytes.NewReader(zero), nil); err == nil {
+		t.Fatal("length 0 accepted")
+	}
+	huge := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(huge, MaxFrame+1)
+	if _, _, _, err := ReadFrame(bytes.NewReader(huge), nil); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	// Truncated body: header promises 9 payload bytes, stream has 2.
+	short := AppendKey(nil, OpGet, 1)[:HeaderSize+2]
+	if _, _, _, err := ReadFrame(bytes.NewReader(short), nil); err == nil {
+		t.Fatal("truncated body accepted")
+	} else if !strings.Contains(err.Error(), "short frame body") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBatchLenRejectsMalformedPayloads(t *testing.T) {
+	if _, err := BatchLen([]byte{1, 2}, 8); err == nil {
+		t.Fatal("short batch header accepted")
+	}
+	// Count says 2 elements, payload carries 1.
+	p := binary.LittleEndian.AppendUint32(nil, 2)
+	p = binary.LittleEndian.AppendUint64(p, 1)
+	if _, err := BatchLen(p, 8); err == nil {
+		t.Fatal("count/payload mismatch accepted")
+	}
+	// Count beyond MaxBatch.
+	p = binary.LittleEndian.AppendUint32(nil, MaxBatch+1)
+	if _, err := BatchLen(p, 8); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	frame := AppendPut(nil, 1, 2)
+	buf := make([]byte, 64)
+	_, payload, newBuf, err := ReadFrame(bytes.NewReader(frame), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &newBuf[0] != &buf[0] || &payload[0] != &buf[0] {
+		t.Fatal("ReadFrame allocated despite a large enough buffer")
+	}
+}

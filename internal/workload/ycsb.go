@@ -6,7 +6,10 @@ package workload
 // method of Gray et al. ("Quickly generating billion-record synthetic
 // databases", SIGMOD 1994), the same generator YCSB itself uses.
 
-import "math"
+import (
+	"math"
+	"strings"
+)
 
 // Zipfian draws keys in [0, n) with the classic YCSB skew
 // (theta = 0.99 by default: a few keys dominate).
@@ -91,6 +94,17 @@ var (
 // Mixes lists the implemented standard mixes.
 var Mixes = []Mix{MixA, MixB, MixC, MixD, MixF}
 
+// MixByName resolves a standard mix by its YCSB letter (case-insensitive:
+// "A", "a", ...).
+func MixByName(name string) (Mix, bool) {
+	for _, m := range Mixes {
+		if strings.EqualFold(m.Name, name) {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
 // YCSBOp is one generated operation. KeyIndex is an index into the loaded
 // keyspace for reads/updates (resolve via Key), or the next fresh index
 // for inserts.
@@ -99,39 +113,74 @@ type YCSBOp struct {
 	KeyIndex uint64
 }
 
+// YCSBGen is a stateful generator of one YCSB operation stream —
+// the streaming counterpart of YCSB for drivers that do not know the
+// operation count up front (the duration-bounded load generator
+// cmd/ehload runs one YCSBGen per connection). It is not safe for
+// concurrent use; give each goroutine its own generator.
+type YCSBGen struct {
+	mix    Mix
+	opRNG  *RNG
+	keyRNG *RNG
+	zipf   *Zipfian
+	next   uint64
+}
+
+// NewYCSB creates a generator for mix over a store pre-loaded with loaded
+// entries (loaded must be positive: reads need a non-empty keyspace).
+// Inserts extend the keyspace; reads/updates draw from the currently
+// loaded prefix (zipfian or uniform).
+func NewYCSB(seed uint64, mix Mix, loaded int) *YCSBGen {
+	g := &YCSBGen{
+		mix:    mix,
+		opRNG:  NewRNG(seed ^ 0xDADA),
+		keyRNG: NewRNG(seed ^ 0xFEED),
+		next:   uint64(loaded),
+	}
+	if mix.Zipf {
+		g.zipf = NewZipfian(seed^0x21F, loaded, 0.99)
+	}
+	return g
+}
+
+// Loaded returns the current keyspace extent: the initial loaded count
+// plus every insert generated so far.
+func (g *YCSBGen) Loaded() uint64 { return g.next }
+
+func (g *YCSBGen) draw() uint64 {
+	if g.zipf != nil {
+		k := g.zipf.Next()
+		if k >= g.next {
+			k = g.next - 1
+		}
+		return k
+	}
+	return g.keyRNG.Next() % g.next
+}
+
+// Next generates the next operation of the stream.
+func (g *YCSBGen) Next() YCSBOp {
+	r := g.opRNG.Float64()
+	switch {
+	case r < g.mix.Read:
+		return YCSBOp{Kind: OpRead, KeyIndex: g.draw()}
+	case r < g.mix.Read+g.mix.Update:
+		return YCSBOp{Kind: OpUpdate, KeyIndex: g.draw()}
+	case r < g.mix.Read+g.mix.Update+g.mix.Insert:
+		op := YCSBOp{Kind: OpInsert, KeyIndex: g.next}
+		g.next++
+		return op
+	default:
+		return YCSBOp{Kind: OpReadModifyWrite, KeyIndex: g.draw()}
+	}
+}
+
 // YCSB streams count operations of the mix over a store pre-loaded with
 // loaded entries. Inserts extend the keyspace; reads/updates draw from the
 // currently loaded prefix (zipfian or uniform).
 func YCSB(seed uint64, mix Mix, loaded int, count int, fn func(op YCSBOp)) {
-	opRNG := NewRNG(seed ^ 0xDADA)
-	keyRNG := NewRNG(seed ^ 0xFEED)
-	var zipf *Zipfian
-	if mix.Zipf {
-		zipf = NewZipfian(seed^0x21F, loaded, 0.99)
-	}
-	next := uint64(loaded)
-	draw := func() uint64 {
-		if zipf != nil {
-			k := zipf.Next()
-			if k >= next {
-				k = next - 1
-			}
-			return k
-		}
-		return keyRNG.Next() % next
-	}
+	g := NewYCSB(seed, mix, loaded)
 	for i := 0; i < count; i++ {
-		r := opRNG.Float64()
-		switch {
-		case r < mix.Read:
-			fn(YCSBOp{Kind: OpRead, KeyIndex: draw()})
-		case r < mix.Read+mix.Update:
-			fn(YCSBOp{Kind: OpUpdate, KeyIndex: draw()})
-		case r < mix.Read+mix.Update+mix.Insert:
-			fn(YCSBOp{Kind: OpInsert, KeyIndex: next})
-			next++
-		default:
-			fn(YCSBOp{Kind: OpReadModifyWrite, KeyIndex: draw()})
-		}
+		fn(g.Next())
 	}
 }

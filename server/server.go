@@ -1,0 +1,568 @@
+// Package server turns a vmshortcut.Store into a network KV service: a
+// TCP server speaking the compact length-prefixed binary protocol of
+// internal/wire (GET/PUT/DEL/STATS plus native batch frames) with full
+// pipelining.
+//
+// The serving layer is built around the same observation as the store's
+// batch API: per-operation overhead — here a syscall, a frame decode, and
+// a routing decision per request — dominates small key-value ops, and
+// batching amortizes it. Each connection runs a coalescer: when pipelined
+// single-op requests of the same kind are already buffered (or arrive
+// within Config.BatchWindow), they are gathered and executed as one
+// InsertBatch/LookupBatch/DeleteBatch call, so the once-per-batch routing
+// decision of Shortcut-EH and the sharded store's parallel fan-out are
+// exploited on the wire path. Responses are written in request order, so
+// clients cannot observe the coalescing.
+//
+// Shutdown drains: accepting stops, connections finish every request that
+// has already arrived, and pending responses are flushed before the
+// connections close.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/internal/wire"
+)
+
+// DefaultMaxBatch caps how many pipelined single-op requests one
+// coalesced store call may carry.
+const DefaultMaxBatch = 1024
+
+// Config configures a Server. Store is the only required field.
+type Config struct {
+	// Store answers every request. The server does not close it: the
+	// caller owns the store's lifecycle (cmd/ehserver closes it after
+	// Shutdown has drained). It must be safe for concurrent use
+	// (WithConcurrency or WithShards) when more than one connection is
+	// expected.
+	Store vmshortcut.Store
+
+	// BatchWindow is how long a connection's coalescer waits for further
+	// pipelined requests of the same kind before executing a gathered
+	// batch. 0 (the default) never waits: only requests already buffered
+	// on the connection coalesce, which adds no latency. A positive
+	// window trades up to that much added latency for larger batches —
+	// worthwhile for clients that dribble requests.
+	BatchWindow time.Duration
+
+	// MaxBatch caps the ops per coalesced store call (default
+	// DefaultMaxBatch, hard-capped at wire.MaxBatch).
+	MaxBatch int
+
+	// Logf receives accept/connection errors; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the wire protocol from a Store. Create with New, start
+// with Serve or ListenAndServe, stop with Shutdown (graceful) or Close.
+type Server struct {
+	cfg   Config
+	store vmshortcut.Store
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	activeConns      atomic.Int64
+	totalConns       atomic.Uint64
+	ops              atomic.Uint64
+	frames           atomic.Uint64
+	coalescedBatches atomic.Uint64
+	coalescedOps     atomic.Uint64
+	errors           atomic.Uint64
+}
+
+// New creates a Server for cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch > wire.MaxBatch {
+		cfg.MaxBatch = wire.MaxBatch
+	}
+	return &Server{cfg: cfg, store: cfg.Store, conns: map[net.Conn]struct{}{}}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown, Close, or a fatal
+// accept error. It blocks; the returned error is nil after a clean stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		// Register and wg.Add under the same lock Shutdown snapshots
+		// under, so its wg.Wait can never miss a just-accepted conn.
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.totalConns.Add(1)
+		s.activeConns.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Addr returns the listener's address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops accepting and drains gracefully: every connection
+// finishes the requests that have already arrived (including everything
+// pipelined in its read buffer), flushes its responses, and closes. A
+// request half-received when the deadline fires is dropped with its
+// connection. If ctx expires first, remaining connections are closed
+// forcibly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	// Unblock handlers parked in a read: the poked deadline makes the
+	// read fail with a timeout, which the handler treats as "drain what
+	// is buffered, then exit".
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: the listener and every connection
+// close without draining. Prefer Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.closed.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// Counters snapshots the serving-layer counters.
+func (s *Server) Counters() wire.ServerCounters {
+	return wire.ServerCounters{
+		ActiveConns:      uint64(s.activeConns.Load()),
+		TotalConns:       s.totalConns.Load(),
+		Ops:              s.ops.Load(),
+		Frames:           s.frames.Load(),
+		CoalescedBatches: s.coalescedBatches.Load(),
+		CoalescedOps:     s.coalescedOps.Load(),
+		Errors:           s.errors.Load(),
+	}
+}
+
+// connState is the per-connection working set: buffered reader/writer,
+// the reusable frame payload buffer, and the coalescer's gather slices —
+// all reused across requests so the steady-state request path does not
+// allocate.
+type connState struct {
+	srv     *Server
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	readBuf []byte
+	keys    []uint64
+	vals    []uint64
+	outs    []uint64
+	resp    []byte
+	// drainBroken is set when Shutdown's deadline poke interrupted the
+	// coalescer mid-frame: the gathered complete requests are still
+	// answered, but the stream is no longer frame-aligned, so the
+	// connection must close right after.
+	drainBroken bool
+}
+
+// serveConn runs one connection's request loop until EOF, a protocol
+// error, or drain.
+func (s *Server) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.activeConns.Add(-1)
+		s.wg.Done()
+	}()
+	st := &connState{
+		srv: s,
+		c:   c,
+		br:  bufio.NewReaderSize(c, 64<<10),
+		bw:  bufio.NewWriterSize(c, 64<<10),
+	}
+	for {
+		// Drain check before blocking: Shutdown's deadline poke could be
+		// swallowed by the coalescer clearing its batch-window deadline,
+		// so the flag is re-read here, where the connection is about to
+		// park with nothing buffered.
+		if s.draining.Load() && st.br.Buffered() == 0 {
+			st.bw.Flush()
+			return
+		}
+		tag, payload, buf, err := wire.ReadFrame(st.br, st.readBuf)
+		st.readBuf = buf
+		if err != nil {
+			// A drain poke surfaces as a timeout; everything the client
+			// had pipelined is already processed (the loop drains the
+			// buffer before blocking), so flush and exit.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && s.draining.Load() {
+				st.bw.Flush()
+				return
+			}
+			if !isClosedErr(err) {
+				s.logf("server: conn %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		s.frames.Add(1)
+		st.resp = st.resp[:0]
+		switch tag {
+		case wire.OpGet, wire.OpPut, wire.OpDel:
+			err = st.singles(tag, payload)
+		case wire.OpGetBatch:
+			err = st.getBatch(payload)
+		case wire.OpPutBatch:
+			err = st.putBatch(payload)
+		case wire.OpDelBatch:
+			err = st.delBatch(payload)
+		case wire.OpStats:
+			err = st.statsReply()
+		default:
+			err = fmt.Errorf("unknown opcode 0x%02x", tag)
+		}
+		if err != nil {
+			// Malformed frame: the stream can no longer be trusted to be
+			// frame-aligned. Answer with an error frame and close.
+			s.errors.Add(1)
+			st.bw.Write(wire.AppendError(st.resp[:0], err.Error()))
+			st.bw.Flush()
+			s.logf("server: conn %s: %v", c.RemoteAddr(), err)
+			return
+		}
+		if _, werr := st.bw.Write(st.resp); werr != nil {
+			return
+		}
+		if st.drainBroken {
+			st.bw.Flush()
+			return
+		}
+		// Flush when the pipeline is (momentarily) empty — batching the
+		// flush across pipelined requests is the write-side half of the
+		// amortization.
+		if st.br.Buffered() == 0 {
+			if werr := st.bw.Flush(); werr != nil {
+				return
+			}
+			if s.draining.Load() {
+				return
+			}
+		}
+	}
+}
+
+// singles handles a single-op request frame and coalesces: consecutive
+// pipelined frames of the same opcode — those already buffered, plus any
+// that arrive within BatchWindow — are gathered (up to MaxBatch) and
+// executed as one store batch call. Responses are appended in request
+// order, so the wire contract is indistinguishable from serial execution.
+func (st *connState) singles(op byte, payload []byte) error {
+	st.keys = st.keys[:0]
+	st.vals = st.vals[:0]
+	if err := st.appendSingle(op, payload); err != nil {
+		return err
+	}
+	for len(st.keys) < st.srv.cfg.MaxBatch && st.peekSame(op) {
+		tag, p, buf, err := wire.ReadFrame(st.br, st.readBuf)
+		st.readBuf = buf
+		if err != nil {
+			// Shutdown's deadline poke can land while a frame's body is
+			// still in flight: the header was consumed, so the stream is
+			// broken — but the requests gathered so far are complete and
+			// must still be answered before the connection closes.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && st.srv.draining.Load() {
+				st.drainBroken = true
+				break
+			}
+			return fmt.Errorf("reading pipelined frame: %w", err)
+		}
+		if tag != op { // unreachable: peekSame checked the header
+			return fmt.Errorf("pipelined opcode changed mid-run: 0x%02x", tag)
+		}
+		st.srv.frames.Add(1)
+		if err := st.appendSingle(op, p); err != nil {
+			return err
+		}
+	}
+
+	n := len(st.keys)
+	store := st.srv.store
+	st.srv.ops.Add(uint64(n))
+	if n > 1 {
+		st.srv.coalescedBatches.Add(1)
+		st.srv.coalescedOps.Add(uint64(n))
+	}
+	switch op {
+	case wire.OpGet:
+		if n == 1 {
+			v, ok := store.Lookup(st.keys[0])
+			st.appendLookupResp(v, ok)
+			return nil
+		}
+		if cap(st.outs) < n {
+			st.outs = make([]uint64, n)
+		}
+		st.outs = st.outs[:n]
+		oks := store.LookupBatch(st.keys, st.outs)
+		for i, ok := range oks {
+			st.appendLookupResp(st.outs[i], ok)
+		}
+	case wire.OpPut:
+		var err error
+		if n == 1 {
+			err = store.Insert(st.keys[0], st.vals[0])
+		} else {
+			err = store.InsertBatch(st.keys, st.vals)
+		}
+		for i := 0; i < n; i++ {
+			if err != nil {
+				st.srv.errors.Add(1)
+				st.resp = wire.AppendError(st.resp, err.Error())
+			} else {
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+			}
+		}
+	case wire.OpDel:
+		if n == 1 {
+			st.appendDelResp(store.Delete(st.keys[0]))
+			return nil
+		}
+		for _, ok := range store.DeleteBatch(st.keys) {
+			st.appendDelResp(ok)
+		}
+	}
+	return nil
+}
+
+func (st *connState) appendSingle(op byte, payload []byte) error {
+	want := 8
+	if op == wire.OpPut {
+		want = 16
+	}
+	if len(payload) != want {
+		return fmt.Errorf("opcode 0x%02x payload %d bytes, want %d", op, len(payload), want)
+	}
+	st.keys = append(st.keys, wire.Uint64(payload, 0))
+	if op == wire.OpPut {
+		st.vals = append(st.vals, wire.Uint64(payload, 8))
+	}
+	return nil
+}
+
+func (st *connState) appendLookupResp(v uint64, ok bool) {
+	if ok {
+		st.resp = wire.AppendValue(st.resp, v)
+	} else {
+		st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
+	}
+}
+
+func (st *connState) appendDelResp(ok bool) {
+	if ok {
+		st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+	} else {
+		st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
+	}
+}
+
+// peekSame reports whether the next buffered frame carries the same
+// opcode. With a positive BatchWindow it waits up to that long for a
+// header to arrive (flushing pending responses first, so a client waiting
+// on them is not starved); without one it only inspects what is already
+// buffered, adding zero latency. A window timeout consumes nothing — the
+// partial bytes stay buffered for the main loop.
+func (st *connState) peekSame(op byte) bool {
+	if st.br.Buffered() < wire.HeaderSize {
+		w := st.srv.cfg.BatchWindow
+		if w <= 0 || st.srv.draining.Load() {
+			return false
+		}
+		st.bw.Flush()
+		st.c.SetReadDeadline(time.Now().Add(w))
+		_, err := st.br.Peek(wire.HeaderSize)
+		st.c.SetReadDeadline(time.Time{})
+		if err != nil {
+			return false
+		}
+	}
+	hdr, err := st.br.Peek(wire.HeaderSize)
+	if err != nil {
+		return false
+	}
+	return hdr[4] == op
+}
+
+// getBatch answers an OpGetBatch frame with one LookupBatch call.
+func (st *connState) getBatch(payload []byte) error {
+	n, err := wire.BatchLen(payload, 8)
+	if err != nil {
+		return err
+	}
+	st.keys = st.keys[:0]
+	for i := 0; i < n; i++ {
+		st.keys = append(st.keys, wire.Uint64(payload, 4+8*i))
+	}
+	if cap(st.outs) < n {
+		st.outs = make([]uint64, n)
+	}
+	st.outs = st.outs[:n]
+	oks := st.srv.store.LookupBatch(st.keys, st.outs)
+	st.srv.ops.Add(uint64(n))
+	st.resp = wire.AppendFoundValues(st.resp, oks, st.outs)
+	return nil
+}
+
+// putBatch answers an OpPutBatch frame with one InsertBatch call.
+func (st *connState) putBatch(payload []byte) error {
+	n, err := wire.BatchLen(payload, 16)
+	if err != nil {
+		return err
+	}
+	st.keys = st.keys[:0]
+	st.vals = st.vals[:0]
+	for i := 0; i < n; i++ {
+		st.keys = append(st.keys, wire.Uint64(payload, 4+16*i))
+		st.vals = append(st.vals, wire.Uint64(payload, 4+16*i+8))
+	}
+	st.srv.ops.Add(uint64(n))
+	if err := st.srv.store.InsertBatch(st.keys, st.vals); err != nil {
+		st.srv.errors.Add(1)
+		st.resp = wire.AppendError(st.resp, err.Error())
+		return nil
+	}
+	st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+	return nil
+}
+
+// delBatch answers an OpDelBatch frame with one DeleteBatch call.
+func (st *connState) delBatch(payload []byte) error {
+	n, err := wire.BatchLen(payload, 8)
+	if err != nil {
+		return err
+	}
+	st.keys = st.keys[:0]
+	for i := 0; i < n; i++ {
+		st.keys = append(st.keys, wire.Uint64(payload, 4+8*i))
+	}
+	oks := st.srv.store.DeleteBatch(st.keys)
+	st.srv.ops.Add(uint64(n))
+	st.resp = wire.AppendFound(st.resp, oks)
+	return nil
+}
+
+// statsReply answers OpStats with the JSON StatsReply.
+func (st *connState) statsReply() error {
+	st.srv.ops.Add(1)
+	reply := wire.StatsReply{
+		Server: st.srv.Counters(),
+		Store:  st.srv.store.Stats(),
+	}
+	body, err := json.Marshal(reply)
+	if err != nil {
+		return fmt.Errorf("marshaling stats: %w", err)
+	}
+	st.resp = wire.AppendFrame(st.resp, wire.StatusOK, body)
+	return nil
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}

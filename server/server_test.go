@@ -1,0 +1,419 @@
+package server_test
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/client"
+	"vmshortcut/internal/wire"
+	"vmshortcut/server"
+)
+
+// coalesceWindow is the batch window of the tests that assert exact
+// coalescing: a pipelined burst that TCP happens to split across reads
+// still gathers into one run. Tests without batch assertions run with
+// window 0 so lone requests are not delayed.
+const coalesceWindow = 100 * time.Millisecond
+
+// startServer opens a store and serves it on a loopback port, cleaning
+// both up with the test.
+func startServer(t *testing.T, cfg server.Config, storeOpts ...vmshortcut.Option) (*server.Server, vmshortcut.Store, string) {
+	t.Helper()
+	opts := append([]vmshortcut.Option{
+		vmshortcut.WithPollInterval(time.Millisecond),
+		vmshortcut.WithConcurrency(true),
+	}, storeOpts...)
+	st, err := vmshortcut.Open(vmshortcut.KindShortcutEH, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	cfg.Store = st
+	cfg.Logf = t.Logf
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	})
+	return srv, st, ln.Addr().String()
+}
+
+func TestSingleOpsRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, found, err := c.Get(1); err != nil || found {
+		t.Fatalf("Get(absent) = %v, %v", found, err)
+	}
+	if err := c.Put(1, 42); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if v, found, err := c.Get(1); err != nil || !found || v != 42 {
+		t.Fatalf("Get(1) = %d, %v, %v", v, found, err)
+	}
+	if found, err := c.Del(1); err != nil || !found {
+		t.Fatalf("Del(1) = %v, %v", found, err)
+	}
+	if found, err := c.Del(1); err != nil || found {
+		t.Fatalf("second Del(1) = %v, %v", found, err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Store.Kind != vmshortcut.KindShortcutEH || st.Server.Ops == 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+// TestPipelinedRunsCoalesce is the acceptance check for the coalescer:
+// pipelined single-op frames of one kind must reach the store as
+// InsertBatch/LookupBatch/DeleteBatch calls, visible in the store's
+// batch-op counters, with every response still correct and in order.
+func TestPipelinedRunsCoalesce(t *testing.T) {
+	srv, st, addr := startServer(t, server.Config{BatchWindow: coalesceWindow})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 64
+	p := c.Pipeline()
+	for i := uint64(0); i < n; i++ {
+		p.Put(i, i*3)
+	}
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatalf("put pipeline: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.Found {
+			t.Fatalf("put result[%d] = %+v", i, r)
+		}
+	}
+
+	for i := uint64(0); i < n; i++ {
+		p.Get(i)
+	}
+	if res, err = p.Flush(res[:0]); err != nil {
+		t.Fatalf("get pipeline: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.Found || r.Value != uint64(i)*3 {
+			t.Fatalf("get result[%d] = %+v, want value %d", i, r, i*3)
+		}
+	}
+
+	for i := uint64(0); i < n; i++ {
+		p.Del(i)
+	}
+	if res, err = p.Flush(res[:0]); err != nil {
+		t.Fatalf("del pipeline: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.Found {
+			t.Fatalf("del result[%d] = %+v", i, r)
+		}
+	}
+
+	stats := st.Stats()
+	if stats.InsertBatches == 0 || stats.LookupBatches == 0 || stats.DeleteBatches == 0 {
+		t.Fatalf("pipelined runs did not reach the store as batches: %+v", stats)
+	}
+	counters := srv.Counters()
+	if counters.CoalescedBatches < 3 || counters.CoalescedOps < 3*n-6 {
+		t.Fatalf("coalescer counters = %+v", counters)
+	}
+}
+
+// TestPipelineOrderAcrossKinds interleaves op kinds so the coalescer must
+// break runs at every kind switch and answer strictly in request order.
+func TestPipelineOrderAcrossKinds(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	p.Put(7, 70) // 0: ack
+	p.Get(7)     // 1: 70
+	p.Put(7, 71) // 2: ack — same key overwritten after the read
+	p.Get(7)     // 3: 71
+	p.Del(7)     // 4: found
+	p.Get(7)     // 5: miss
+	p.Put(8, 80) // 6: ack
+	p.Get(8)     // 7: 80
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		found bool
+		value uint64
+	}{
+		{true, 0}, {true, 70}, {true, 0}, {true, 71},
+		{true, 0}, {false, 0}, {true, 0}, {true, 80},
+	}
+	for i, w := range want {
+		if res[i].Err != nil || res[i].Found != w.found || res[i].Value != w.value {
+			t.Fatalf("result[%d] = %+v, want %+v", i, res[i], w)
+		}
+	}
+}
+
+// TestBatchFrames drives the native batch opcodes end to end: one frame,
+// one store batch call, element-wise results.
+func TestBatchFrames(t *testing.T) {
+	_, st, addr := startServer(t, server.Config{})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := []uint64{10, 20, 30, 40}
+	vals := []uint64{1, 2, 3, 4}
+	if err := c.PutBatch(keys, vals); err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+
+	probe := []uint64{10, 11, 20, 21, 30, 40}
+	out := make([]uint64, len(probe))
+	oks, err := c.GetBatch(probe, out)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	wantOK := []bool{true, false, true, false, true, true}
+	wantV := []uint64{1, 0, 2, 0, 3, 4}
+	for i := range probe {
+		if oks[i] != wantOK[i] || out[i] != wantV[i] {
+			t.Fatalf("GetBatch[%d] = (%d, %v), want (%d, %v)", i, out[i], oks[i], wantV[i], wantOK[i])
+		}
+	}
+
+	dels, err := c.DelBatch([]uint64{10, 11, 20})
+	if err != nil {
+		t.Fatalf("DelBatch: %v", err)
+	}
+	if !dels[0] || dels[1] || !dels[2] {
+		t.Fatalf("DelBatch = %v", dels)
+	}
+
+	stats := st.Stats()
+	if stats.InsertBatches != 1 || stats.LookupBatches != 1 || stats.DeleteBatches != 1 {
+		t.Fatalf("batch counters = {I:%d L:%d D:%d}, want {1 1 1}",
+			stats.InsertBatches, stats.LookupBatches, stats.DeleteBatches)
+	}
+	if stats.Entries != 2 {
+		t.Fatalf("Entries = %d, want 2", stats.Entries)
+	}
+}
+
+// TestShardedStoreBehindServer runs the wire path against a sharded
+// store: the coalesced batches must fan out per shard and come back in
+// request order.
+func TestShardedStoreBehindServer(t *testing.T) {
+	_, st, addr := startServer(t, server.Config{BatchWindow: coalesceWindow}, vmshortcut.WithShards(4))
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 500
+	p := c.Pipeline()
+	for i := uint64(0); i < n; i++ {
+		p.Put(i*2654435761, i)
+	}
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		p.Get(i * 2654435761)
+	}
+	if res, err = p.Flush(res[:0]); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil || !r.Found || r.Value != uint64(i) {
+			t.Fatalf("sharded get[%d] = %+v", i, r)
+		}
+	}
+	if stats := st.Stats(); stats.InsertBatches == 0 || stats.LookupBatches == 0 {
+		t.Fatalf("sharded store saw no batches: %+v", stats)
+	}
+}
+
+// TestConcurrentClients hammers one server from several pooled clients;
+// run under -race this is the serving-path race check.
+func TestConcurrentClients(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{}, vmshortcut.WithShards(2))
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 32
+			for i := uint64(0); i < perWorker; i++ {
+				if err := cl.Put(base+i, i); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i := uint64(0); i < perWorker; i++ {
+				v, found, err := cl.Get(base + i)
+				if err != nil || !found || v != i {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("worker: %v", err)
+	}
+}
+
+// TestMalformedFrameClosesConn sends a frame with an insane length
+// prefix; the server must answer with an error frame (or just close) and
+// drop the connection rather than misinterpret the stream.
+func TestMalformedFrameClosesConn(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], 1<<30) // over MaxFrame
+	hdr[4] = 0x01
+	if _, err := raw.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Whatever arrives, the stream must end: read to EOF.
+	if _, err := io.ReadAll(raw); err != nil {
+		t.Fatalf("conn not closed after malformed frame: %v", err)
+	}
+}
+
+// TestUnknownOpcodeRejected sends a well-formed frame with a bogus
+// opcode; the connection must be answered with StatusErr and closed.
+func TestUnknownOpcodeRejected(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	var frame [5]byte
+	binary.LittleEndian.PutUint32(frame[:4], 1)
+	frame[4] = 0x7F
+	if _, err := raw.Write(frame[:]); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(raw)
+	if err != nil {
+		t.Fatalf("reading error reply: %v", err)
+	}
+	if len(reply) < 5 || reply[4] != 0x02 { // StatusErr
+		t.Fatalf("reply = %x, want a StatusErr frame", reply)
+	}
+}
+
+// TestGracefulShutdown writes a pipelined burst, waits until the server
+// has ingested every request, then shuts down — every received request
+// must still be answered and the responses flushed before the connection
+// closes. The WaitSync/Close draining contract of cmd/ehserver depends
+// on this.
+func TestGracefulShutdown(t *testing.T) {
+	srv, st, addr := startServer(t, server.Config{})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	const n = 2000
+	var burst []byte
+	for i := uint64(0); i < n; i++ {
+		burst = wire.AppendPut(burst, i, i+1)
+	}
+	if _, err := raw.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until every PUT has been applied, so nothing is in TCP flight
+	// when the drain starts.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Len() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server ingested %d/%d requests", st.Len(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// All n acks must arrive, then a clean EOF.
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	reply, err := io.ReadAll(raw)
+	if err != nil {
+		t.Fatalf("reading drained responses: %v", err)
+	}
+	if want := n * wire.HeaderSize; len(reply) != want {
+		t.Fatalf("drained %d response bytes, want %d (%d acks)", len(reply), want, n)
+	}
+	for i := 0; i < n; i++ {
+		if reply[i*wire.HeaderSize+4] != wire.StatusOK {
+			t.Fatalf("response %d not StatusOK: %x", i, reply[i*wire.HeaderSize:(i+1)*wire.HeaderSize])
+		}
+	}
+	// The store is still the caller's to close — the server must not have
+	// touched it.
+	if !st.WaitSync(5 * time.Second) {
+		t.Fatal("WaitSync after shutdown")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmshortcut/internal/hashfn"
@@ -25,6 +26,14 @@ const shardFanOutMin = 128
 type sharded struct {
 	kind   Kind
 	shards []Store
+
+	// Caller-facing batch counters: one increment per InsertBatch /
+	// LookupBatch / DeleteBatch call on this store. Stats reports these
+	// instead of the sum of the shards' counters, which would count every
+	// fan-out sub-batch.
+	insertBatches atomic.Uint64
+	lookupBatches atomic.Uint64
+	deleteBatches atomic.Uint64
 }
 
 // openSharded builds the n sub-stores behind WithShards(n). Each shard
@@ -183,6 +192,7 @@ func (s *sharded) InsertBatch(keys, values []uint64) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("vmshortcut: InsertBatch: %d keys but %d values", len(keys), len(values))
 	}
+	s.insertBatches.Add(1)
 	byShard, pos := s.split(keys)
 	flatV := make([]uint64, len(keys))
 	valsByShard := make([][]uint64, len(s.shards))
@@ -212,6 +222,7 @@ func (s *sharded) InsertBatch(keys, values []uint64) error {
 // goroutine writes only its own shard's disjoint positions of out and the
 // result slice, so no synchronization beyond the final join is needed.
 func (s *sharded) LookupBatch(keys []uint64, out []uint64) []bool {
+	s.lookupBatches.Add(1)
 	oks := make([]bool, len(keys))
 	byShard, pos := s.split(keys)
 	flatOut := make([]uint64, len(keys)) // sliced per shard; ranges disjoint
@@ -225,6 +236,23 @@ func (s *sharded) LookupBatch(keys []uint64, out []uint64) []bool {
 		subOks := s.shards[sh].LookupBatch(byShard[sh], subOuts[sh])
 		for j, i := range pos[sh] {
 			out[i] = subOuts[sh][j]
+			oks[i] = subOks[j]
+		}
+	})
+	return oks
+}
+
+// DeleteBatch splits the keys by shard, deletes the sub-batches in
+// parallel, and gathers per-key presence back into caller order — the
+// delete counterpart of LookupBatch, with the same disjoint-write
+// guarantee: each goroutine writes only its own shard's positions.
+func (s *sharded) DeleteBatch(keys []uint64) []bool {
+	s.deleteBatches.Add(1)
+	oks := make([]bool, len(keys))
+	byShard, pos := s.split(keys)
+	s.fanOut(byShard, len(keys), func(sh int) {
+		subOks := s.shards[sh].DeleteBatch(byShard[sh])
+		for j, i := range pos[sh] {
 			oks[i] = subOks[j]
 		}
 	})
@@ -276,6 +304,11 @@ func (s *sharded) Stats() Stats {
 	if agg.Buckets > 0 {
 		agg.AvgFanIn = float64(agg.DirectorySlots) / float64(agg.Buckets)
 	}
+	// Batch counters report caller-facing calls, not the per-shard
+	// sub-batches the summation above would have accumulated.
+	agg.InsertBatches = s.insertBatches.Load()
+	agg.LookupBatches = s.lookupBatches.Load()
+	agg.DeleteBatches = s.deleteBatches.Load()
 	return agg
 }
 

@@ -73,6 +73,59 @@ func TestShardRoutingStability(t *testing.T) {
 	}
 }
 
+// TestShardedDeleteBatch checks the delete fan-out: per-key presence comes
+// back in caller order across shard boundaries, duplicates within one
+// batch resolve in order (first occurrence deletes, second misses), and
+// the Stats batch counters count caller-facing calls exactly once — not
+// the per-shard sub-batches of the fan-out.
+func TestShardedDeleteBatch(t *testing.T) {
+	const n, shards = 10000, 4
+	s := openShardedSCEH(t, shards)
+
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*7919 + 3
+		vals[i] = uint64(i)
+	}
+	if err := s.InsertBatch(keys, vals); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+
+	// Delete the even positions plus a duplicate and a never-inserted key.
+	dels := make([]uint64, 0, n/2+2)
+	for i := 0; i < n; i += 2 {
+		dels = append(dels, keys[i])
+	}
+	dels = append(dels, keys[0], 1) // duplicate; absent key
+	oks := s.DeleteBatch(dels)
+	for i := 0; i < n/2; i++ {
+		if !oks[i] {
+			t.Fatalf("DeleteBatch[%d] (key %d) = false, want true", i, dels[i])
+		}
+	}
+	if oks[n/2] || oks[n/2+1] {
+		t.Fatalf("duplicate/absent keys reported deleted: %v %v", oks[n/2], oks[n/2+1])
+	}
+	if got := s.Len(); got != n/2 {
+		t.Fatalf("Len after DeleteBatch = %d, want %d", got, n/2)
+	}
+	// Odd positions survive, even positions are gone — on the single path,
+	// so batch deletion and single routing agree on shard placement.
+	for i, k := range keys {
+		_, ok := s.Lookup(k)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Lookup(%d) presence = %v, want %v", k, ok, want)
+		}
+	}
+
+	st := s.Stats()
+	if st.InsertBatches != 1 || st.LookupBatches != 0 || st.DeleteBatches != 1 {
+		t.Fatalf("batch counters = {I:%d L:%d D:%d}, want {1 0 1}",
+			st.InsertBatches, st.LookupBatches, st.DeleteBatches)
+	}
+}
+
 // TestShardOfCoversAllShards checks the routing hash is total and spreads:
 // every shard index is produced, results stay in range, and the function
 // is deterministic.
@@ -159,6 +212,7 @@ func (s *stubStore) Delete(key uint64) bool                    { return false }
 func (s *stubStore) Len() int                                  { return 0 }
 func (s *stubStore) InsertBatch(keys, values []uint64) error   { return nil }
 func (s *stubStore) LookupBatch(k []uint64, o []uint64) []bool { return make([]bool, len(k)) }
+func (s *stubStore) DeleteBatch(k []uint64) []bool             { return make([]bool, len(k)) }
 func (s *stubStore) Stats() Stats                              { return Stats{} }
 func (s *stubStore) WaitSync(timeout time.Duration) bool       { return true }
 func (s *stubStore) Kind() Kind                                { return KindShortcutEH }

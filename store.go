@@ -86,6 +86,10 @@ type Store interface {
 	// LookupBatch looks up every key, writing values into out — which must
 	// have length at least len(keys) — and returns per-key presence.
 	LookupBatch(keys []uint64, out []uint64) []bool
+	// DeleteBatch removes every key and returns per-key presence, so the
+	// delete path is symmetric with insert/lookup for batch-shaped callers
+	// (the network server's pipelined DEL path).
+	DeleteBatch(keys []uint64) []bool
 
 	// Stats snapshots the store's observability counters. Fields that do
 	// not apply to the kind are zero-valued.
@@ -135,6 +139,16 @@ type Stats struct {
 	ShortcutVersion    uint64
 	InSync             bool
 	UsingShortcut      bool
+
+	// Batch-operation counters at the Store surface (every kind): how many
+	// InsertBatch/LookupBatch/DeleteBatch calls this store has served. A
+	// sharded store counts each caller-facing batch once — the per-shard
+	// sub-batches of the fan-out are not double counted. The network
+	// server's coalescer is verified through these: pipelined requests must
+	// reach the store as batches, not single ops.
+	InsertBatches uint64
+	LookupBatches uint64
+	DeleteBatches uint64
 }
 
 // storeOptions collects the functional options; zero values defer to each
@@ -348,6 +362,7 @@ type batchIndex interface {
 	Index
 	InsertBatch(keys, values []uint64) error
 	LookupBatch(keys []uint64, out []uint64) []bool
+	DeleteBatch(keys []uint64) []bool
 }
 
 // effectiveLoadFactor mirrors the 0.35 default every implementation fills
@@ -631,6 +646,8 @@ type mergingEH struct{ *eh.Table }
 
 func (m mergingEH) Delete(key uint64) bool { return m.Table.DeleteAndMerge(key) }
 
+func (m mergingEH) DeleteBatch(keys []uint64) []bool { return m.Table.DeleteAndMergeBatch(keys) }
+
 // lockedIndex serializes a batchIndex for WithConcurrency. Reads take the
 // shared lock unless the implementation mutates on read (KindHTI's
 // incremental migration), and batch operations amortize the lock to one
@@ -726,6 +743,15 @@ func (l *lockedIndex) LookupBatch(keys []uint64, out []uint64) []bool {
 	return l.idx.LookupBatch(keys, out)
 }
 
+func (l *lockedIndex) DeleteBatch(keys []uint64) []bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return make([]bool, len(keys))
+	}
+	return l.idx.DeleteBatch(keys)
+}
+
 // store implements Store: one batchIndex plus kind-specific lifecycle and
 // observability hooks.
 type store struct {
@@ -738,6 +764,12 @@ type store struct {
 	waitSync   func(time.Duration) bool // nil: always in sync
 	stats      func() Stats
 	lck        *lockedIndex // set with WithConcurrency; owns close ordering
+
+	// Batch-call counters surfaced through Stats; atomics so concurrent
+	// stores count without widening any lock's critical section.
+	insertBatches atomic.Uint64
+	lookupBatches atomic.Uint64
+	deleteBatches atomic.Uint64
 
 	closeMu sync.Mutex
 	closed  atomic.Bool
@@ -777,6 +809,7 @@ func (s *store) InsertBatch(keys, values []uint64) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.insertBatches.Add(1)
 	return s.idx.InsertBatch(keys, values)
 }
 
@@ -784,14 +817,27 @@ func (s *store) LookupBatch(keys []uint64, out []uint64) []bool {
 	if s.closed.Load() {
 		return make([]bool, len(keys))
 	}
+	s.lookupBatches.Add(1)
 	return s.idx.LookupBatch(keys, out)
+}
+
+func (s *store) DeleteBatch(keys []uint64) []bool {
+	if s.closed.Load() {
+		return make([]bool, len(keys))
+	}
+	s.deleteBatches.Add(1)
+	return s.idx.DeleteBatch(keys)
 }
 
 func (s *store) Stats() Stats {
 	if s.closed.Load() {
 		return Stats{Kind: s.kind}
 	}
-	return s.stats()
+	st := s.stats()
+	st.InsertBatches = s.insertBatches.Load()
+	st.LookupBatches = s.lookupBatches.Load()
+	st.DeleteBatches = s.deleteBatches.Load()
+	return st
 }
 
 func (s *store) WaitSync(timeout time.Duration) bool {

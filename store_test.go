@@ -87,10 +87,33 @@ func TestOpenConformance(t *testing.T) {
 				t.Fatalf("Len after delete = %d", s.Len())
 			}
 
-			// Stats carries the kind and the live entry count everywhere.
+			// DeleteBatch agrees with single deletes: present keys report
+			// true (including a duplicate that is gone by its second
+			// occurrence), already-deleted keys false.
+			dels := []uint64{7, 8, 5, 7}
+			wantOK := []bool{true, true, false, false}
+			delOK := s.DeleteBatch(dels)
+			for i := range dels {
+				if delOK[i] != wantOK[i] {
+					t.Fatalf("DeleteBatch[%d] (key %d) = %v, want %v", i, dels[i], delOK[i], wantOK[i])
+				}
+			}
+			if s.Len() != n-3 {
+				t.Fatalf("Len after DeleteBatch = %d, want %d", s.Len(), n-3)
+			}
+			if _, ok := s.Lookup(7); ok {
+				t.Fatal("key 7 still present after DeleteBatch")
+			}
+
+			// Stats carries the kind, the live entry count, and the batch
+			// call counters everywhere.
 			st := s.Stats()
-			if st.Kind.String() != name || st.Entries != n-1 {
-				t.Fatalf("Stats = {Kind:%s Entries:%d}, want {%s %d}", st.Kind, st.Entries, name, n-1)
+			if st.Kind.String() != name || st.Entries != n-3 {
+				t.Fatalf("Stats = {Kind:%s Entries:%d}, want {%s %d}", st.Kind, st.Entries, name, n-3)
+			}
+			if st.InsertBatches != 1 || st.LookupBatches != 1 || st.DeleteBatches != 1 {
+				t.Fatalf("batch counters = {I:%d L:%d D:%d}, want {1 1 1}",
+					st.InsertBatches, st.LookupBatches, st.DeleteBatches)
 			}
 		})
 	}
