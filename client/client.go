@@ -59,6 +59,26 @@ func DialConnTimeout(addr string, timeout time.Duration) (*Conn, error) {
 	}, nil
 }
 
+// DialConnRetry dials until the server accepts or the timeout elapses,
+// backing off briefly between attempts. It is the "wait for the server to
+// come up" helper: a durable server recovers its keyspace before
+// listening, so the first successful dial implies recovery has finished —
+// cmd/ehload's restart check and scripts banking on that use this instead
+// of sleeping.
+func DialConnRetry(addr string, timeout time.Duration) (*Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := DialConnTimeout(addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: %s not up after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // Close closes the connection.
 func (c *Conn) Close() error { return c.c.Close() }
 

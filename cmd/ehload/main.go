@@ -15,10 +15,18 @@
 // "errors" and makes ehload exit non-zero — the CI smoke test relies on
 // this.
 //
+// With -restart-check, ehload is a crash-recovery verifier instead of a
+// benchmark: it starts the server itself (-server-cmd, which must point
+// at a WAL directory), writes acknowledged keys, kills the server with
+// SIGKILL mid-run, restarts it, and fails unless every acknowledged
+// write survived.
+//
 // Usage:
 //
 //	ehload -addr :6380 -mix A -conns 4 -pipeline 32 -load 100000 -duration 10s
 //	ehload -mix C -dist uniform -batch 64 -out BENCH_server.json
+//	ehload -restart-check -addr 127.0.0.1:16390 -load 200000 -duration 2s \
+//	       -server-cmd "ehserver -addr 127.0.0.1:16390 -kind eh -wal-dir /tmp/wal -fsync always"
 package main
 
 import (
@@ -65,11 +73,23 @@ func main() {
 	ops := flag.Int("ops", 0, "fixed op budget per connection instead of -duration (0 = use -duration)")
 	seed := flag.Uint64("seed", 42, "keyspace and workload seed")
 	out := flag.String("out", "BENCH_server.json", "benchmark JSON output path (empty = none)")
+	restartCheck := flag.Bool("restart-check", false, "crash-recovery verification instead of a benchmark: start the server (-server-cmd), write acknowledged keys, kill -9 mid-run, restart, verify nothing acknowledged was lost")
+	serverCmd := flag.String("server-cmd", "", "server command line managed by -restart-check; must include -wal-dir (split on whitespace, no shell quoting)")
 	flag.Parse()
+
+	if *restartCheck {
+		if err := runRestartCheck(restartConfig{
+			addr: *addr, serverCmd: *serverCmd,
+			maxKeys: *load, duration: *duration, seed: *seed,
+		}); err != nil {
+			log.Fatalf("restart-check: %v", err)
+		}
+		return
+	}
 
 	mix, ok := workload.MixByName(*mixName)
 	if !ok {
-		log.Fatalf("unknown mix %q (want A, B, C, D, or F)", *mixName)
+		usageError("unknown mix %q (want A, B, C, D, or F)", *mixName)
 	}
 	switch strings.ToLower(*dist) {
 	case "":
@@ -78,13 +98,19 @@ func main() {
 	case "uniform":
 		mix.Zipf = false
 	default:
-		log.Fatalf("unknown distribution %q (want zipfian or uniform)", *dist)
+		usageError("unknown distribution %q (want zipfian or uniform)", *dist)
 	}
 	if *load <= 0 {
-		log.Fatal("-load must be positive: reads need a non-empty keyspace")
+		usageError("-load must be positive: reads need a non-empty keyspace")
 	}
 	if *conns <= 0 || *pipeline <= 0 {
-		log.Fatal("-conns and -pipeline must be positive")
+		usageError("-conns and -pipeline must be positive")
+	}
+	if *ops < 0 {
+		usageError("-ops must be non-negative")
+	}
+	if *ops == 0 && *duration <= 0 {
+		usageError("-duration must be positive when -ops is 0 (the run would never stop)")
 	}
 	cfg := config{
 		addr: *addr, mix: mix, dist: distName(mix), conns: *conns,
@@ -110,6 +136,15 @@ func main() {
 	if report.Errors > 0 {
 		log.Fatalf("%d errors during the run", report.Errors)
 	}
+}
+
+// usageError reports a flag-validation failure the way the flag package
+// does: the message, then the usage text, then exit code 2 — so scripts
+// can tell "you invoked me wrong" from a failed run (exit 1).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ehload: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func distName(mix workload.Mix) string {

@@ -6,14 +6,22 @@
 // like the in-process experiments: kind, shard count, capacity
 // pre-sizing, load factors, the Shortcut-EH mapper knobs, and so on.
 //
+// With -wal-dir the store is durable: every mutation batch is logged
+// (and, with -fsync always, fsynced — group-committed — before the ack),
+// and startup recovers the keyspace from the newest snapshot plus the
+// WAL tail before the listener comes up. kill -9 loses nothing that was
+// acknowledged.
+//
 // SIGINT/SIGTERM shut down gracefully: accepting stops, in-flight and
 // pipelined requests drain, the shortcut directory is given -waitsync to
-// catch up, and the store closes.
+// catch up, a final snapshot is taken (-snapshot-on-exit), and the store
+// closes.
 //
 // Usage:
 //
 //	ehserver -addr :6380 -kind shortcut-eh -shards 4 -batch-window 0
 //	ehserver -kind ht -capacity 10000000
+//	ehserver -kind eh -wal-dir /var/lib/ehserver -fsync always -snapshot-every 1000000
 package main
 
 import (
@@ -38,6 +46,16 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max ops per coalesced store batch call")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before connections are closed forcibly")
 	waitSync := flag.Duration("waitsync", 10*time.Second, "how long shutdown waits for asynchronous maintenance (the Shortcut-EH mapper) to catch up")
+
+	// Durability: a WAL directory makes the store restart-safe — Open
+	// recovers the keyspace from the newest snapshot plus the log tail
+	// before the listener comes up, so a served GET never sees a
+	// half-recovered store.
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory; empty serves from memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always (ack ⇒ durable) | interval | off")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "background sync period for -fsync interval (default 100ms)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "take a snapshot (and compact the WAL) every N log records — one record is one coalesced batch (0 = only on shutdown)")
+	snapshotOnExit := flag.Bool("snapshot-on-exit", true, "take a final snapshot and compact the WAL during graceful shutdown")
 
 	// Store shape: every Open option. Zero/negative defaults mean "not
 	// set" and defer to the implementation's defaults.
@@ -94,10 +112,38 @@ func main() {
 	if *fanIn > 0 {
 		opts = append(opts, vmshortcut.WithFanInThreshold(*fanIn))
 	}
+	if *walDir != "" {
+		mode, err := vmshortcut.ParseFsyncMode(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, vmshortcut.WithWAL(*walDir), vmshortcut.WithFsync(mode))
+		if *fsyncInterval > 0 {
+			opts = append(opts, vmshortcut.WithFsyncInterval(*fsyncInterval))
+		}
+		if *snapshotEvery > 0 {
+			opts = append(opts, vmshortcut.WithSnapshotEvery(*snapshotEvery))
+		}
+	} else {
+		// An operator passing durability flags without -wal-dir believes
+		// the server is durable when it is memory-only; refuse rather
+		// than silently dropping the flags.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "fsync", "fsync-interval", "snapshot-every", "snapshot-on-exit":
+				log.Fatalf("-%s requires -wal-dir: without a WAL directory the server is memory-only", f.Name)
+			}
+		})
+	}
 
+	openStart := time.Now()
 	store, err := vmshortcut.Open(kind, opts...)
 	if err != nil {
 		log.Fatalf("open %s: %v", kind, err)
+	}
+	if *walDir != "" {
+		log.Printf("ehserver: recovered %d entries from %s in %s (fsync=%s)",
+			store.Len(), *walDir, time.Since(openStart).Round(time.Millisecond), *fsync)
 	}
 
 	srv, err := server.New(server.Config{
@@ -136,6 +182,17 @@ func main() {
 	<-serveErr // Serve has returned once the listener died
 	if !store.WaitSync(*waitSync) {
 		log.Printf("ehserver: WaitSync(%v) timed out", *waitSync)
+	}
+	// With the connections drained, a final snapshot bounds the next
+	// start's recovery time and lets the WAL be compacted away.
+	if d, ok := vmshortcut.AsDurable(store); ok && *snapshotOnExit {
+		if err := d.Snapshot(); err != nil {
+			log.Printf("ehserver: final snapshot: %v", err)
+		} else if removed, err := d.CompactWAL(); err != nil {
+			log.Printf("ehserver: compacting WAL: %v", err)
+		} else {
+			log.Printf("ehserver: final snapshot taken, %d WAL segments compacted", removed)
+		}
 	}
 	c := srv.Counters()
 	st := store.Stats()

@@ -4,10 +4,20 @@
 // Stats counters. Useful for quick what-if runs outside the full
 // benchmark harness.
 //
+// With -wal-dir the index is opened durable: the keyspace is recovered
+// from the newest snapshot plus the WAL tail before the run, and every
+// mutation is logged. -admin runs one administrative operation against
+// such a directory and exits: "snap" takes a point-in-time snapshot,
+// "compact" drops the WAL segments the newest snapshot covers. Snapshots
+// store plain (key, value) pairs, so they are portable across index
+// kinds — a keyspace written under -index eh restores into -index ht.
+//
 // Usage:
 //
 //	ehstore [-index shortcut-eh|eh|ht|hti|ch] [-n 1000000] [-reads 1000000]
 //	        [-deletes 0.1] [-poll 25ms] [-batch 0] [-shards 1] [-workers 1]
+//	ehstore -wal-dir /var/lib/ehstore -admin snap
+//	ehstore -wal-dir /var/lib/ehstore -admin compact
 package main
 
 import (
@@ -34,6 +44,9 @@ func main() {
 	shards := flag.Int("shards", 1, "hash-partition the keyspace across this many independent shards")
 	workers := flag.Int("workers", 1, "goroutines driving the load and read phases (>1 requires -shards > 1 or implies a shared-lock store)")
 	trace := flag.String("trace", "", "replay an operation trace file instead of the generated workload (I/L/D lines)")
+	walDir := flag.String("wal-dir", "", "open the index durable: recover from (and log mutations to) this WAL directory")
+	fsyncName := flag.String("fsync", "always", "WAL fsync policy with -wal-dir: always | interval | off")
+	admin := flag.String("admin", "", "administrative operation against -wal-dir, then exit: snap | compact")
 	flag.Parse()
 
 	kind, err := vmshortcut.ParseKind(*index)
@@ -59,11 +72,28 @@ func main() {
 		// The paper's 10-bytes-per-entry directory budget for CH.
 		opts = append(opts, vmshortcut.WithTableBytes(*n*10))
 	}
+	if *walDir != "" {
+		mode, err := vmshortcut.ParseFsyncMode(*fsyncName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, vmshortcut.WithWAL(*walDir), vmshortcut.WithFsync(mode))
+	}
+	if *admin != "" && *walDir == "" {
+		log.Fatal("-admin requires -wal-dir")
+	}
 	idx, err := vmshortcut.Open(kind, opts...)
 	if err != nil {
 		log.Fatalf("open %s: %v", kind, err)
 	}
 	defer idx.Close()
+
+	if *admin != "" {
+		if err := runAdmin(idx, *admin); err != nil {
+			log.Fatalf("admin %s: %v", *admin, err)
+		}
+		return
+	}
 
 	if *trace != "" {
 		if err := replayTrace(idx, *trace); err != nil {
@@ -190,6 +220,37 @@ func main() {
 	default:
 		fmt.Printf("stats:   entries=%d structural_mods=%d\n", st.Entries, st.StructuralMods)
 	}
+}
+
+// runAdmin executes one durability administration operation: SNAP takes
+// a point-in-time snapshot of the recovered keyspace, COMPACT drops the
+// WAL segments the newest snapshot has made redundant.
+func runAdmin(idx vmshortcut.Store, op string) error {
+	d, ok := vmshortcut.AsDurable(idx)
+	if !ok {
+		return fmt.Errorf("store is not durable")
+	}
+	switch op {
+	case "snap":
+		start := time.Now()
+		if err := d.Snapshot(); err != nil {
+			return err
+		}
+		st := idx.Stats()
+		fmt.Printf("snap: %d entries snapshotted at LSN %d in %s\n",
+			st.Entries, st.SnapshotLSN, time.Since(start).Round(time.Millisecond))
+	case "compact":
+		removed, err := d.CompactWAL()
+		if err != nil {
+			return err
+		}
+		ws := d.WALStats()
+		fmt.Printf("compact: %d segments removed; %d remain (%d bytes, last LSN %d)\n",
+			removed, ws.Segments, ws.Bytes, ws.LastLSN)
+	default:
+		return fmt.Errorf("unknown operation %q (want snap or compact)", op)
+	}
+	return nil
 }
 
 // replayTrace streams a trace file through the index and reports counts

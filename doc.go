@@ -85,6 +85,37 @@
 // never observes it. Linux is required for the rewiring layer (memfd +
 // MAP_FIXED); every other layer is portable.
 //
+// # Close ordering
+//
+// Close — on a plain, concurrent, sharded, or durable store alike —
+// returns only after (1) in-flight operations have drained (the
+// concurrent wrapper's write lock, taken per shard on a sharded store),
+// and (2) every background maintenance goroutine the store started has
+// stopped: each shard's Shortcut-EH mapper thread is joined, and a
+// durable store's WAL interval syncer is stopped after a final
+// flush+fsync. After Close returns, no goroutine started by Open remains
+// running and no further disk writes occur; operations started after
+// Close fail with ErrClosed (or report "not found" where the signature
+// has no error).
+//
+// # Durability
+//
+// A store is in-memory by default; WithWAL(dir) makes it restart-safe.
+// Every mutation batch is appended as one CRC-checked record to an
+// append-only, segment-rotated write-ahead log (package wal) — one
+// record per caller-facing batch, so the server's coalescer and the
+// sharded fan-out keep durability off the per-op path. WithFsync selects
+// the policy: FsyncAlways (the default) group-commits an fsync before
+// the mutation returns, so an acknowledged write survives kill -9;
+// FsyncInterval bounds loss to a background sync period; FsyncOff leaves
+// write-back to the OS. Point-in-time snapshots (package persist, driven
+// by the Store.Range capability every kind implements natively) bound
+// recovery time: Open recovers by restoring the newest valid snapshot
+// and replaying the WAL tail, truncating a torn final record. Snapshots
+// are taken automatically every WithSnapshotEvery(n) records, or
+// explicitly through the Durable surface (AsDurable: Snapshot,
+// CompactWAL), and store plain pairs — they restore into any kind.
+//
 // # Serving
 //
 // The server and client packages put a Store on the network: a TCP

@@ -171,6 +171,24 @@ func (t *Table) DeleteBatch(keys []uint64) []bool {
 	return ok
 }
 
+// Range calls fn for every stored entry until fn returns false. Iteration
+// order is unspecified. fn must not mutate the table.
+func (t *Table) Range(fn func(key, value uint64) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.used && !fn(s.key, s.val) {
+			return
+		}
+		for b := s.chain; b != nil; b = b.next {
+			for j := 0; j < int(b.used); j++ {
+				if !fn(b.keys[j], b.vals[j]) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Delete removes key and reports whether it was present. Chain cells are
 // back-filled from the bucket tail so chains stay dense.
 func (t *Table) Delete(key uint64) bool {

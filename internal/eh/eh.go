@@ -221,6 +221,30 @@ func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
 	return ok
 }
 
+// Range calls fn for every stored entry until fn returns false. Each
+// distinct bucket is visited once even when several directory slots fan in
+// to it. Iteration order is unspecified. fn must not mutate the table.
+func (t *Table) Range(fn func(key, value uint64) bool) {
+	seen := make(map[pool.Ref]struct{}, t.buckets)
+	stop := false
+	for i, r := range t.refs {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		bucket.ViewAddr(t.dir[i]).ForEach(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
 // Delete removes key and reports whether it was present. Buckets are not
 // merged (the classical scheme leaves coalescing optional).
 func (t *Table) Delete(key uint64) bool {

@@ -172,6 +172,19 @@ func (t *Table) DeleteBatch(keys []uint64) []bool {
 	return ok
 }
 
+// Range calls fn for every stored entry until fn returns false. Iteration
+// order is unspecified. fn must not mutate the table.
+func (t *Table) Range(fn func(key, value uint64) bool) {
+	if t.zeroSet && !fn(0, t.zeroVal) {
+		return
+	}
+	for i, k := range t.keys {
+		if k != 0 && !fn(k, t.vals[i]) {
+			return
+		}
+	}
+}
+
 // Lookup returns the value stored for key.
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	if key == 0 {

@@ -217,19 +217,34 @@ func (t *Table) step() {
 	}
 	for moved < t.cfg.MigrationBatch && t.cursor < len(m.keys) {
 		k := m.keys[t.cursor]
-		if k != 0 {
-			t.active.insert(k, m.vals[t.cursor])
-			m.keys[t.cursor] = 0
-			m.count--
-			moved++
-			t.MovedEntries++
+		if k == 0 {
+			t.cursor++
+			continue
 		}
-		t.cursor++
+		v := m.vals[t.cursor]
+		// Remove through the backward-shift delete so the old table's
+		// probe chains stay intact for the keys not yet migrated —
+		// zeroing the slot directly cuts the chain and strands every
+		// displaced key probing through it (unreachable to lookups and,
+		// worse, to Insert's update-in-place check, which then
+		// duplicated the key into the new table). The shift may pull
+		// another entry into the cursor slot, so the cursor only
+		// advances on empty slots.
+		m.delete(k)
+		t.active.insert(k, v)
+		moved++
+		t.MovedEntries++
 	}
-	if m.count == 0 || t.cursor >= len(m.keys) {
-		// Drain any remainder (only possible via the zero key, handled
-		// above) and finish the resize.
+	if m.count == 0 {
 		t.migrating = nil
+		t.cursor = 0
+	} else if t.cursor >= len(m.keys) {
+		// Entries can survive a full scan: deleting from the old table
+		// (the update-in-place path of Insert, or Delete) compacts with
+		// backward shifting, which may move a not-yet-migrated entry
+		// behind the cursor. Rescan until the table is truly empty —
+		// nothing is ever inserted into the old table, so every pass
+		// makes progress and the resize still terminates.
 		t.cursor = 0
 	}
 }
@@ -311,6 +326,28 @@ func (t *Table) LookupBatch(keys []uint64, out []uint64) []bool {
 		out[i], ok[i] = t.Lookup(k)
 	}
 	return ok
+}
+
+// Range calls fn for every stored entry until fn returns false. Unlike
+// Lookup, Range is a pure read: it does not advance the incremental
+// migration, so it can run while a resize is in progress without moving
+// entries under the caller. Iteration order is unspecified. fn must not
+// mutate the table.
+func (t *Table) Range(fn func(key, value uint64) bool) {
+	tables := []*subtable{t.active}
+	if t.migrating != nil {
+		tables = append(tables, t.migrating)
+	}
+	for _, s := range tables {
+		if s.zeroSet && !fn(0, s.zeroVal) {
+			return
+		}
+		for i, k := range s.keys {
+			if k != 0 && !fn(k, s.vals[i]) {
+				return
+			}
+		}
+	}
 }
 
 // Delete removes key from whichever table holds it.

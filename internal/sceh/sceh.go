@@ -499,6 +499,12 @@ func (t *Table) DeleteBatch(keys []uint64) []bool {
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return t.eh.Len() }
 
+// Range calls fn for every stored entry until fn returns false, walking
+// the traditional directory (bucket contents are shared with the shortcut,
+// so no synchronization with the mapper is needed — but Range must not
+// race mutations, exactly like Lookup). fn must not mutate the table.
+func (t *Table) Range(fn func(key, value uint64) bool) { t.eh.Range(fn) }
+
 // EH exposes the underlying traditional table (read-only use).
 func (t *Table) EH() *eh.Table { return t.eh }
 

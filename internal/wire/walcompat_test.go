@@ -1,0 +1,23 @@
+package wire_test
+
+import (
+	"testing"
+
+	"vmshortcut/internal/wire"
+	"vmshortcut/wal"
+)
+
+// TestWALOpcodesMatchWire pins the cross-package contract the WAL's
+// record format documents: its PUT/DEL opcodes are the wire protocol's
+// batch opcodes, so a coalesced batch frame and the log record it becomes
+// agree byte-for-byte on tag and element packing. (wal cannot import
+// internal/wire — the dependency would be cyclic through the root
+// package — so the equality is asserted here instead.)
+func TestWALOpcodesMatchWire(t *testing.T) {
+	if wal.OpPut != wire.OpPutBatch {
+		t.Fatalf("wal.OpPut = %#x, wire.OpPutBatch = %#x", wal.OpPut, wire.OpPutBatch)
+	}
+	if wal.OpDel != wire.OpDelBatch {
+		t.Fatalf("wal.OpDel = %#x, wire.OpDelBatch = %#x", wal.OpDel, wire.OpDelBatch)
+	}
+}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// mapSource is a deterministic in-memory Source.
+type mapSource struct {
+	keys []uint64
+	vals []uint64
+	// lieLen makes Len misreport, to exercise the consistency check.
+	lieLen int
+}
+
+func (m *mapSource) Len() int {
+	if m.lieLen != 0 {
+		return m.lieLen
+	}
+	return len(m.keys)
+}
+
+func (m *mapSource) Range(fn func(key, value uint64) bool) {
+	for i, k := range m.keys {
+		if !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+func sampleSource(n int) *mapSource {
+	src := &mapSource{}
+	for i := 0; i < n; i++ {
+		src.keys = append(src.keys, uint64(i)*0x9E3779B9)
+		src.vals = append(src.vals, uint64(i))
+	}
+	return src
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	// A size spanning several restore chunks, plus the empty edge case.
+	for _, n := range []int{0, 1, chunkPairs - 1, chunkPairs, 3*chunkPairs + 17} {
+		src := sampleSource(n)
+		var buf bytes.Buffer
+		if err := Snapshot(&buf, src); err != nil {
+			t.Fatalf("n=%d: Snapshot: %v", n, err)
+		}
+		if count, err := Verify(bytes.NewReader(buf.Bytes())); err != nil || count != uint64(n) {
+			t.Fatalf("n=%d: Verify = %d, %v", n, count, err)
+		}
+		var gotK, gotV []uint64
+		count, err := Restore(bytes.NewReader(buf.Bytes()), func(k, v []uint64) error {
+			gotK = append(gotK, k...)
+			gotV = append(gotV, v...)
+			return nil
+		})
+		if err != nil || count != uint64(n) {
+			t.Fatalf("n=%d: Restore = %d, %v", n, count, err)
+		}
+		if len(gotK) != n {
+			t.Fatalf("n=%d: restored %d pairs", n, len(gotK))
+		}
+		for i := range gotK {
+			if gotK[i] != src.keys[i] || gotV[i] != src.vals[i] {
+				t.Fatalf("n=%d: pair %d = (%d,%d), want (%d,%d)",
+					n, i, gotK[i], gotV[i], src.keys[i], src.vals[i])
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Snapshot(&buf, sampleSource(100)); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	// Every single-byte flip must be caught — header, pairs, or trailer.
+	for _, off := range []int{0, 8, 16, 17, len(blob) / 2, len(blob) - 5, len(blob) - 1} {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x01
+		if _, err := Verify(bytes.NewReader(mut)); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("flip at %d: Verify = %v, want ErrInvalid", off, err)
+		}
+	}
+	// Truncation at any point must be caught too.
+	for _, cut := range []int{0, 7, 16, 30, len(blob) - 1} {
+		if _, err := Verify(bytes.NewReader(blob[:cut])); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("cut at %d: Verify = %v, want ErrInvalid", cut, err)
+		}
+	}
+}
+
+func TestSnapshotDetectsInconsistentSource(t *testing.T) {
+	src := sampleSource(10)
+	src.lieLen = 12
+	var buf bytes.Buffer
+	if err := Snapshot(&buf, src); err == nil {
+		t.Fatal("Snapshot accepted a source whose Len disagrees with Range")
+	}
+}
+
+func TestRestoreApplyErrorPropagates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Snapshot(&buf, sampleSource(10)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := Restore(&buf, func(_, _ []uint64) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Restore = %v, want apply error", err)
+	}
+}

@@ -47,6 +47,14 @@ type Config struct {
 	// Shutdown has drained). It must be safe for concurrent use
 	// (WithConcurrency or WithShards) when more than one connection is
 	// expected.
+	//
+	// Durability rides on the store, not the server: with a store opened
+	// via WithWAL, every InsertBatch/DeleteBatch returns only after the
+	// mutation is logged (and, under FsyncAlways, fsynced), and the
+	// server writes a response only after the store call returns — so a
+	// client that has read its ack holds a durable write, and the
+	// coalescer's batching makes that one group-committed fsync per
+	// gathered batch rather than per op.
 	Store vmshortcut.Store
 
 	// BatchWindow is how long a connection's coalescer waits for further

@@ -259,6 +259,27 @@ func (s *sharded) DeleteBatch(keys []uint64) []bool {
 	return oks
 }
 
+// Range calls fn for every stored entry until fn returns false, visiting
+// the shards sequentially. Each shard's iteration runs under that shard's
+// read lock, so Range is safe against concurrent mutation — but entries
+// mutated while the iteration is between shards may or may not be
+// observed, the usual weakly consistent contract of concurrent ranges.
+func (s *sharded) Range(fn func(key, value uint64) bool) {
+	stop := false
+	for _, sh := range s.shards {
+		sh.Range(func(k, v uint64) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
 // Stats aggregates across shards: entries, shape counts and every counter
 // are summed, GlobalDepth is the deepest shard's, and the ratios are
 // recombined from the sums — AvgFanIn as total slots over total buckets,

@@ -213,6 +213,7 @@ func (s *stubStore) Len() int                                  { return 0 }
 func (s *stubStore) InsertBatch(keys, values []uint64) error   { return nil }
 func (s *stubStore) LookupBatch(k []uint64, o []uint64) []bool { return make([]bool, len(k)) }
 func (s *stubStore) DeleteBatch(k []uint64) []bool             { return make([]bool, len(k)) }
+func (s *stubStore) Range(fn func(key, value uint64) bool)     {}
 func (s *stubStore) Stats() Stats                              { return Stats{} }
 func (s *stubStore) WaitSync(timeout time.Duration) bool       { return true }
 func (s *stubStore) Kind() Kind                                { return KindShortcutEH }

@@ -91,6 +91,14 @@ type Store interface {
 	// (the network server's pipelined DEL path).
 	DeleteBatch(keys []uint64) []bool
 
+	// Range calls fn for every stored (key, value) entry until fn returns
+	// false. Iteration order is unspecified (KindRadix iterates in key
+	// order; the hash kinds do not). fn must not mutate the store. Range
+	// is a read: on a WithConcurrency store it holds the read lock for the
+	// whole iteration, and on other stores it must not race mutations —
+	// the snapshot layer (package persist) is its primary consumer.
+	Range(fn func(key, value uint64) bool)
+
 	// Stats snapshots the store's observability counters. Fields that do
 	// not apply to the kind are zero-valued.
 	Stats() Stats
@@ -140,6 +148,18 @@ type Stats struct {
 	InSync             bool
 	UsingShortcut      bool
 
+	// Durability (stores opened with WithWAL; zero otherwise). WALRecords
+	// and WALSyncs count appended log records and fsync calls, WALSegments
+	// and WALBytes describe the live log, SnapshotLSN is the newest
+	// snapshot's covered position, and DurableLSN is the highest log
+	// position known to be on stable storage.
+	WALRecords  uint64
+	WALSyncs    uint64
+	WALSegments int
+	WALBytes    int64
+	SnapshotLSN uint64
+	DurableLSN  uint64
+
 	// Batch-operation counters at the Store surface (every kind): how many
 	// InsertBatch/LookupBatch/DeleteBatch calls this store has served. A
 	// sharded store counts each caller-facing batch once — the per-shard
@@ -172,6 +192,14 @@ type storeOptions struct {
 	disableShortcut bool
 	concurrent      bool
 	shards          int
+
+	// Durability (durable.go): set via WithWAL and friends; ignored
+	// entirely when walDir is empty.
+	walDir          string
+	fsyncMode       FsyncMode
+	fsyncInterval   time.Duration
+	snapshotEvery   int
+	walSegmentBytes int64
 }
 
 // Option configures Open. Options that do not apply to the chosen kind are
@@ -363,6 +391,7 @@ type batchIndex interface {
 	InsertBatch(keys, values []uint64) error
 	LookupBatch(keys []uint64, out []uint64) []bool
 	DeleteBatch(keys []uint64) []bool
+	Range(fn func(key, value uint64) bool)
 }
 
 // effectiveLoadFactor mirrors the 0.35 default every implementation fills
@@ -446,10 +475,24 @@ func Open(kind Kind, opts ...Option) (Store, error) {
 	if kind < 0 || kind >= kindCount {
 		return nil, fmt.Errorf("vmshortcut: unknown index kind %d", int(kind))
 	}
+	var (
+		base Store
+		err  error
+	)
 	if o.shards > 1 {
-		return openSharded(kind, &o)
+		base, err = openSharded(kind, &o)
+	} else {
+		base, err = openStore(kind, &o)
 	}
-	return openStore(kind, &o)
+	if err != nil {
+		return nil, err
+	}
+	if o.walDir != "" {
+		// WithWAL: recover the keyspace from disk into the fresh store,
+		// then serve through the durable wrapper.
+		return openDurable(base, &o)
+	}
+	return base, nil
 }
 
 // openStore builds one (unsharded) store from validated options — the
@@ -752,6 +795,15 @@ func (l *lockedIndex) DeleteBatch(keys []uint64) []bool {
 	return l.idx.DeleteBatch(keys)
 }
 
+func (l *lockedIndex) Range(fn func(key, value uint64) bool) {
+	l.rlock()
+	defer l.runlock()
+	if l.closed {
+		return
+	}
+	l.idx.Range(fn)
+}
+
 // store implements Store: one batchIndex plus kind-specific lifecycle and
 // observability hooks.
 type store struct {
@@ -829,6 +881,13 @@ func (s *store) DeleteBatch(keys []uint64) []bool {
 	return s.idx.DeleteBatch(keys)
 }
 
+func (s *store) Range(fn func(key, value uint64) bool) {
+	if s.closed.Load() {
+		return
+	}
+	s.idx.Range(fn)
+}
+
 func (s *store) Stats() Stats {
 	if s.closed.Load() {
 		return Stats{Kind: s.kind}
@@ -904,6 +963,12 @@ func AsRadixMap(s Store) (*RadixMap, bool) {
 }
 
 func underOf(s Store) any {
+	// The durable wrapper is transparent here: it decorates exactly one
+	// inner store, so the documented "sharded stores are the only ones
+	// without a concrete table" contract holds with WithWAL too.
+	if d, ok := s.(*durableStore); ok {
+		s = d.inner
+	}
 	st, ok := s.(*store)
 	if !ok || st.closed.Load() {
 		return nil

@@ -1,0 +1,660 @@
+// Package wal is the durability subsystem's write-ahead log: an
+// append-only, CRC32-checked, length-prefixed record log over rotating
+// segment files. Each record carries a whole PUT or DEL batch, so the
+// store's batch-oriented hot path — the server's coalescer, the sharded
+// fan-out — costs one log append (and, with FsyncAlways, one shared
+// fsync) per batch, not per operation.
+//
+// # Durability policies
+//
+// FsyncAlways syncs before Append returns, with group commit: one
+// appender at a time leads a sync — flushing everything appended so far
+// and fsyncing outside the log lock, so appends continue during the
+// fsync — while concurrent appenders wait on the published durable
+// position and piggyback on that one fsync instead of issuing their own.
+// FsyncInterval
+// syncs on a background ticker (bounded data loss, no sync on the append
+// path). FsyncOff leaves syncing to the OS (rotation and Close still
+// sync).
+//
+// # Segments and recovery
+//
+// The log is a directory of segment files named wal-<first-lsn>.log. Open
+// scans them in order, replays every intact record through the caller's
+// callback, and truncates a torn final record — a crash mid-write leaves
+// at most one, always at the tail of the last segment. Corruption
+// anywhere else (a CRC mismatch in the middle of the log) is not a torn
+// write and fails Open with ErrCorrupt rather than silently dropping
+// acknowledged records. Compact removes whole segments that a snapshot
+// has made redundant.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FsyncMode selects when appended records reach stable storage.
+type FsyncMode int
+
+const (
+	// FsyncAlways syncs before Append returns (group-committed): an
+	// acknowledged append survives any crash.
+	FsyncAlways FsyncMode = iota
+	// FsyncInterval syncs on a background ticker: a crash loses at most
+	// the last interval's appends.
+	FsyncInterval
+	// FsyncOff never syncs explicitly (except on rotation and Close): a
+	// crash loses whatever the OS had not written back.
+	FsyncOff
+)
+
+var fsyncNames = [...]string{"always", "interval", "off"}
+
+// String returns the mode's flag-style name.
+func (m FsyncMode) String() string {
+	if m < 0 || int(m) >= len(fsyncNames) {
+		return fmt.Sprintf("FsyncMode(%d)", int(m))
+	}
+	return fsyncNames[m]
+}
+
+// ParseFsyncMode maps a flag-style name onto its FsyncMode.
+func ParseFsyncMode(name string) (FsyncMode, error) {
+	for i, n := range fsyncNames {
+		if n == name {
+			return FsyncMode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("wal: unknown fsync mode %q (want always, interval, or off)", name)
+}
+
+// Options tunes a Log. The zero value selects FsyncAlways, 64 MiB
+// segments, and a 100 ms sync interval (used only by FsyncInterval).
+type Options struct {
+	// Mode is the fsync policy. Default FsyncAlways.
+	Mode FsyncMode
+	// Interval is the background sync period for FsyncInterval. Default
+	// 100 ms.
+	Interval time.Duration
+	// SegmentBytes rotates the active segment when it would exceed this
+	// size. Default 64 MiB.
+	SegmentBytes int64
+}
+
+func (o *Options) fill() {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ReplayFunc receives one decoded record during Open. For OpDel, values
+// is nil. The slices are fresh allocations the callback may retain.
+// Returning an error aborts Open.
+type ReplayFunc func(lsn uint64, op byte, keys, values []uint64) error
+
+// segment is one log file and what Open or appends learned about it.
+type segment struct {
+	path     string
+	firstLSN uint64
+	size     int64
+}
+
+// Stats is a point-in-time snapshot of the log's counters.
+type Stats struct {
+	// LastLSN is the sequence number of the newest appended record (0
+	// when the log is empty).
+	LastLSN uint64
+	// SyncedLSN is the highest LSN known to be on stable storage.
+	SyncedLSN uint64
+	// Syncs counts fsync calls issued since Open.
+	Syncs uint64
+	// Segments is the number of live segment files.
+	Segments int
+	// Bytes is the total size of all live segments.
+	Bytes int64
+}
+
+// Log is an append-only record log. All methods are safe for concurrent
+// use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // active segment
+	bw      *bufio.Writer
+	segs    []segment // in LSN order; the last one is active
+	lastLSN uint64    // newest appended record
+	buf     []byte    // record scratch, reused across appends
+	err     error     // sticky I/O error; the log is dead once set
+	closed  bool
+
+	// Group-commit state. One appender at a time is the sync leader: it
+	// flushes under mu, then fsyncs OUTSIDE all locks — so other
+	// appenders keep appending during the fsync — and publishes the
+	// durable position. Followers wait on the condition variable; every
+	// record appended before the leader's flush is covered by the
+	// leader's one fsync.
+	syncMu  sync.Mutex
+	syncC   *sync.Cond
+	syncing bool   // a leader's fsync is in flight
+	synced  uint64 // newest record known durable
+	syncErr error  // sticky: a sync failed; waiters must not report durable
+	syncs   uint64
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	done     chan struct{} // closed when the interval syncer exits
+}
+
+// segName formats the segment filename for its first LSN.
+func segName(firstLSN uint64) string { return fmt.Sprintf("wal-%016x.log", firstLSN) }
+
+// parseSegName extracts the first LSN from a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	var lsn uint64
+	if _, err := fmt.Sscanf(name, "wal-%016x.log", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// SyncDir fsyncs a directory so entry creation, removal, and renames
+// inside it survive a crash. The log uses it around segment lifecycle;
+// the snapshot layer shares it for publishing snapshot renames.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Open opens (creating if necessary) the log in dir, replays every intact
+// record through replay (which may be nil), truncates a torn record at the
+// tail of the last segment, and positions the log for appending. The
+// caller filters replayed records by LSN when a snapshot already covers a
+// prefix.
+func Open(dir string, opts Options, replay ReplayFunc) (*Log, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range names {
+		if lsn, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), firstLSN: lsn})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+
+	l := &Log{dir: dir, opts: opts, stopc: make(chan struct{}), done: make(chan struct{})}
+	l.syncC = sync.NewCond(&l.syncMu)
+	for i := range segs {
+		// LSNs must run contiguously across segment boundaries: rotation
+		// names the next segment lastLSN+1, so a gap means a whole
+		// segment of acknowledged records is missing (lost file, bad
+		// restore) — refuse rather than silently serve a hole. The first
+		// remaining segment is exempt: compaction legitimately removes
+		// the prefix.
+		if i > 0 && segs[i].firstLSN != l.lastLSN+1 {
+			return nil, fmt.Errorf("%w: segment %s starts at LSN %d but the previous segment ends at %d",
+				ErrCorrupt, filepath.Base(segs[i].path), segs[i].firstLSN, l.lastLSN)
+		}
+		final := i == len(segs)-1
+		size, last, err := l.replaySegment(&segs[i], final, replay)
+		if err != nil {
+			return nil, err
+		}
+		segs[i].size = size
+		if last > l.lastLSN {
+			l.lastLSN = last
+		}
+		// A segment's name alone proves records < firstLSN once existed,
+		// even when the segment replays empty (a crash between rotation
+		// and the first flushed record, with the predecessors already
+		// compacted). Without this floor the LSN counter would restart
+		// below positions a snapshot may cover, and the reused LSNs
+		// would be skipped — or truncated as torn — on the next
+		// recovery.
+		if segs[i].firstLSN > 0 && segs[i].firstLSN-1 > l.lastLSN {
+			l.lastLSN = segs[i].firstLSN - 1
+		}
+	}
+	l.segs = segs
+	l.synced = l.lastLSN // everything replayed is on disk by definition
+
+	if len(l.segs) == 0 {
+		if err := l.openSegmentLocked(l.lastLSN + 1); err != nil {
+			return nil, err
+		}
+	} else {
+		active := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening active segment: %w", err)
+		}
+		l.f = f
+		l.bw = bufio.NewWriterSize(f, 64<<10)
+	}
+
+	if opts.Mode == FsyncInterval {
+		go l.intervalSyncer()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// replaySegment scans one segment, feeding intact records to replay. It
+// returns the validated size (the segment is truncated to it when a torn
+// record was found at the tail of the final segment) and the last LSN
+// seen. Corruption in a non-final position fails with ErrCorrupt.
+func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64, uint64, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: opening %s: %w", seg.path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var (
+		offset  int64
+		lastLSN uint64
+		hdr     [recordHeaderSize]byte
+		payload []byte
+	)
+	expect := seg.firstLSN
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF && n == 0 {
+			return offset, lastLSN, nil // clean end of segment
+		}
+		torn := func(reason string) (int64, uint64, error) {
+			if !final {
+				return 0, 0, fmt.Errorf("%w: %s in non-final segment %s at offset %d",
+					ErrCorrupt, reason, filepath.Base(seg.path), offset)
+			}
+			// Torn tail: drop the partial record, keep everything before it.
+			if err := os.Truncate(seg.path, offset); err != nil {
+				return 0, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			return offset, lastLSN, nil
+		}
+		if err != nil {
+			return torn("partial record header")
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if payloadLen < payloadHeaderSize || payloadLen > maxPayload {
+			return torn(fmt.Sprintf("payload length %d out of range", payloadLen))
+		}
+		if cap(payload) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return torn("partial record payload")
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+			return torn("CRC mismatch")
+		}
+		lsn, op, keys, values, err := decodePayload(payload)
+		if err != nil {
+			return torn(err.Error())
+		}
+		if lsn != expect {
+			return torn(fmt.Sprintf("LSN %d, expected %d", lsn, expect))
+		}
+		if replay != nil {
+			if err := replay(lsn, op, keys, values); err != nil {
+				return 0, 0, fmt.Errorf("wal: replaying record %d: %w", lsn, err)
+			}
+		}
+		offset += int64(recordHeaderSize + payloadLen)
+		lastLSN = lsn
+		expect = lsn + 1
+	}
+}
+
+// openSegmentLocked creates a fresh segment whose first record will be
+// firstLSN and makes it the active one. Caller holds mu (or is Open).
+func (l *Log) openSegmentLocked(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segName(firstLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing dir after segment create: %w", err)
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 64<<10)
+	l.segs = append(l.segs, segment{path: path, firstLSN: firstLSN})
+	return nil
+}
+
+// rotateLocked seals the active segment (flush, fsync, close) and opens a
+// new one. Everything appended so far becomes durable, so the synced
+// position advances to lastLSN — waking any group-commit followers whose
+// records the rotation just covered. Caller holds mu.
+func (l *Log) rotateLocked() error {
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.syncMu.Lock()
+	l.syncs++
+	if l.lastLSN > l.synced {
+		l.synced = l.lastLSN
+	}
+	l.syncC.Broadcast()
+	l.syncMu.Unlock()
+	return l.openSegmentLocked(l.lastLSN + 1)
+}
+
+// AppendPut appends one PUT batch — len(values) must equal len(keys) —
+// and returns the LSN of its (last) record. With FsyncAlways the record
+// is on stable storage when AppendPut returns.
+func (l *Log) AppendPut(keys, values []uint64) (uint64, error) {
+	if len(keys) != len(values) {
+		return 0, fmt.Errorf("wal: AppendPut: %d keys, %d values", len(keys), len(values))
+	}
+	return l.append(OpPut, keys, values)
+}
+
+// AppendDelete appends one DEL batch and returns the LSN of its (last)
+// record, with the same durability contract as AppendPut.
+func (l *Log) AppendDelete(keys []uint64) (uint64, error) {
+	return l.append(OpDel, keys, nil)
+}
+
+// append writes the batch as one record (several when it exceeds
+// MaxRecordPairs — still covered by a single fsync) and applies the
+// configured sync policy.
+func (l *Log) append(op byte, keys, values []uint64) (uint64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
+	// Fail-stop applies to sync failures too: under FsyncInterval/
+	// FsyncOff nothing on the append path would otherwise ever consult
+	// syncErr, and the log would keep acknowledging writes forever on a
+	// disk that stopped syncing — unbounded loss instead of the
+	// documented one-interval window.
+	l.syncMu.Lock()
+	serr := l.syncErr
+	l.syncMu.Unlock()
+	if serr != nil {
+		l.mu.Unlock()
+		return 0, serr
+	}
+	var lsn uint64
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > MaxRecordPairs {
+			n = MaxRecordPairs
+		}
+		var vchunk []uint64
+		if op == OpPut {
+			vchunk = values[:n]
+			values = values[n:]
+		}
+		lsn = l.lastLSN + 1
+		l.buf = appendRecord(l.buf[:0], lsn, op, keys[:n], vchunk)
+		keys = keys[n:]
+		active := &l.segs[len(l.segs)-1]
+		if active.size > 0 && active.size+int64(len(l.buf)) > l.opts.SegmentBytes {
+			if err := l.rotateLocked(); err != nil {
+				l.err = err
+				l.mu.Unlock()
+				return 0, err
+			}
+			active = &l.segs[len(l.segs)-1]
+		}
+		if _, err := l.bw.Write(l.buf); err != nil {
+			l.err = err
+			l.mu.Unlock()
+			return 0, err
+		}
+		active.size += int64(len(l.buf))
+		l.lastLSN = lsn
+	}
+	l.mu.Unlock()
+	if l.opts.Mode == FsyncAlways {
+		// Group commit: wait until a leader's fsync covers this record
+		// — joining an in-flight cohort instead of issuing our own
+		// fsync whenever one is already pending.
+		if err := l.syncTo(lsn); err != nil {
+			return lsn, err
+		}
+	}
+	return lsn, nil
+}
+
+// syncTo blocks until every record up to target is on stable storage.
+// Exactly one caller at a time acts as the sync leader: it flushes the
+// buffered writer under mu (covering everything appended so far, not just
+// its own record), fsyncs outside all locks so appends continue
+// meanwhile, and publishes the new durable position; the other callers
+// wait on the condition variable and piggyback on that one fsync.
+func (l *Log) syncTo(target uint64) error {
+	l.syncMu.Lock()
+	for {
+		if l.synced >= target {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.syncMu.Unlock()
+			return err
+		}
+		if l.syncing {
+			l.syncC.Wait()
+			continue
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+
+		l.mu.Lock()
+		ferr := l.err
+		var f *os.File
+		var cur uint64
+		if ferr == nil {
+			if ferr = l.bw.Flush(); ferr != nil {
+				l.err = ferr
+			} else {
+				cur = l.lastLSN
+				f = l.f
+			}
+		}
+		l.mu.Unlock()
+		var serr error
+		if ferr == nil {
+			serr = f.Sync()
+		}
+
+		l.syncMu.Lock()
+		l.syncing = false
+		switch {
+		case ferr != nil:
+			l.syncErr = ferr
+		case serr == nil:
+			l.syncs++
+			if cur > l.synced {
+				l.synced = cur
+			}
+		case l.synced >= cur:
+			// A rotation raced the leader: it flushed, fsynced, and
+			// closed the captured file, so the Sync failure is benign —
+			// everything up to cur reached disk through the rotation's
+			// own fsync (a genuine I/O failure there would have left
+			// synced behind and the sticky l.err set).
+		default:
+			l.syncErr = serr
+		}
+		l.syncC.Broadcast()
+		// Loop: re-check target against the published position.
+	}
+}
+
+// Sync forces everything appended so far onto stable storage, regardless
+// of the configured policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	target := l.lastLSN
+	l.mu.Unlock()
+	if target == 0 {
+		return nil
+	}
+	return l.syncTo(target)
+}
+
+// intervalSyncer is the FsyncInterval background goroutine. It exits —
+// and signals done — when Close stops it.
+func (l *Log) intervalSyncer() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopc:
+			return
+		case <-ticker.C:
+			l.Sync() // sticky l.err / syncErr preserve any failure
+		}
+	}
+}
+
+// LastLSN returns the newest appended record's sequence number.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// OldestLSN returns the lowest sequence number the log can still
+// replay — the first segment's first LSN. Recovery uses it to detect a
+// hole between a snapshot and the log: records after the snapshot's
+// position but before OldestLSN exist nowhere.
+func (l *Log) OldestLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].firstLSN
+}
+
+// Compact removes whole segments every record of which has LSN ≤ upTo —
+// typically the position covered by a snapshot. The active segment is
+// never removed. It returns how many segments were deleted.
+func (l *Log) Compact(upTo uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	// A segment is redundant when its successor starts at or before
+	// upTo+1: every record it holds is then ≤ upTo.
+	for len(l.segs) > 1 && l.segs[1].firstLSN <= upTo+1 {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return removed, fmt.Errorf("wal: removing %s: %w", l.segs[0].path, err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := SyncDir(l.dir); err != nil {
+			return removed, fmt.Errorf("wal: syncing dir after compact: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	st := Stats{
+		LastLSN:  l.lastLSN,
+		Segments: len(l.segs),
+	}
+	for _, s := range l.segs {
+		st.Bytes += s.size
+	}
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	st.SyncedLSN = l.synced
+	st.Syncs = l.syncs
+	l.syncMu.Unlock()
+	return st
+}
+
+// Close stops the background syncer (waiting for it to exit), flushes and
+// fsyncs the active segment, and closes it. Close is idempotent; appends
+// after Close fail with ErrClosed.
+func (l *Log) Close() error {
+	l.stopOnce.Do(func() { close(l.stopc) })
+	<-l.done
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	target := l.lastLSN
+	l.mu.Unlock()
+	var firstErr error
+	if target > 0 {
+		firstErr = l.syncTo(target)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	cerr := l.f.Close()
+	l.mu.Unlock()
+	if cerr != nil && firstErr == nil {
+		firstErr = cerr
+	}
+	return firstErr
+}

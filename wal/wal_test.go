@@ -1,0 +1,532 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rec is one replayed record, for collection-based assertions.
+type rec struct {
+	lsn    uint64
+	op     byte
+	keys   []uint64
+	values []uint64
+}
+
+// collect returns a ReplayFunc appending into out.
+func collect(out *[]rec) ReplayFunc {
+	return func(lsn uint64, op byte, keys, values []uint64) error {
+		*out = append(*out, rec{lsn: lsn, op: op, keys: keys, values: values})
+		return nil
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for _, m := range []FsyncMode{FsyncAlways, FsyncInterval, FsyncOff} {
+		got, err := ParseFsyncMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Fatal("ParseFsyncMode accepted an unknown mode")
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn, err := l.AppendPut([]uint64{1, 2, 3}, []uint64{10, 20, 30}); err != nil || lsn != 1 {
+		t.Fatalf("AppendPut = %d, %v", lsn, err)
+	}
+	if lsn, err := l.AppendDelete([]uint64{2}); err != nil || lsn != 2 {
+		t.Fatalf("AppendDelete = %d, %v", lsn, err)
+	}
+	if lsn, err := l.AppendPut([]uint64{0}, []uint64{99}); err != nil || lsn != 3 {
+		t.Fatalf("AppendPut = %d, %v", lsn, err)
+	}
+	st := l.Stats()
+	if st.LastLSN != 3 || st.SyncedLSN != 3 || st.Segments != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []rec
+	l2, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := []rec{
+		{lsn: 1, op: OpPut, keys: []uint64{1, 2, 3}, values: []uint64{10, 20, 30}},
+		{lsn: 2, op: OpDel, keys: []uint64{2}},
+		{lsn: 3, op: OpPut, keys: []uint64{0}, values: []uint64{99}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.lsn != w.lsn || g.op != w.op || !equalU64(g.keys, w.keys) || !equalU64(g.values, w.values) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, w)
+		}
+	}
+	// Appends continue from the replayed position.
+	if lsn, err := l2.AppendDelete([]uint64{7}); err != nil || lsn != 4 {
+		t.Fatalf("post-replay append = %d, %v", lsn, err)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTornTailEveryOffset is the torn-write table test: a one-segment log
+// truncated at every byte offset must open cleanly, replay exactly the
+// records that fit completely before the cut, and accept new appends.
+func TestTornTailEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	l, err := Open(src, Options{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few records of different shapes and sizes.
+	var boundaries []int64 // file size after each complete record
+	segPath := filepath.Join(src, segName(1))
+	appendAndMark := func(op byte, keys, values []uint64) {
+		t.Helper()
+		if op == OpPut {
+			_, err = l.AppendPut(keys, values)
+		} else {
+			_, err = l.AppendDelete(keys)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, fi.Size())
+	}
+	appendAndMark(OpPut, []uint64{1, 2}, []uint64{11, 22})
+	appendAndMark(OpDel, []uint64{2, 3, 4}, nil)
+	appendAndMark(OpPut, []uint64{5}, []uint64{55})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(whole); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []rec
+		l2, err := Open(dir, Options{Mode: FsyncOff}, collect(&got))
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		wantRecords := 0
+		for _, b := range boundaries {
+			if int64(cut) >= b {
+				wantRecords++
+			}
+		}
+		if len(got) != wantRecords {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), wantRecords)
+		}
+		// The log stays appendable and the new record survives a reopen.
+		newLSN, err := l2.AppendPut([]uint64{100}, []uint64{200})
+		if err != nil {
+			t.Fatalf("cut at %d: append after truncation: %v", cut, err)
+		}
+		if want := uint64(wantRecords) + 1; newLSN != want {
+			t.Fatalf("cut at %d: new LSN %d, want %d", cut, newLSN, want)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+		got = got[:0]
+		l3, err := Open(dir, Options{Mode: FsyncOff}, collect(&got))
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", cut, err)
+		}
+		if len(got) != wantRecords+1 || got[len(got)-1].keys[0] != 100 {
+			t.Fatalf("cut at %d: after reappend replayed %d records", cut, len(got))
+		}
+		l3.Close()
+	}
+}
+
+func TestRotationAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record is ~45 bytes, so rotation is frequent.
+	l, err := Open(dir, Options{Mode: FsyncOff, SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := uint64(1); i <= n; i++ {
+		if _, err := l.AppendPut([]uint64{i}, []uint64{i * 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+	// Compacting up to LSN 20 must keep every record after 20 replayable.
+	removed, err := l.Compact(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("Compact removed nothing")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []rec
+	l2, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) == 0 || got[len(got)-1].lsn != n {
+		t.Fatalf("replay after compact ended at %d records", len(got))
+	}
+	for _, g := range got {
+		if g.lsn > 20 && g.keys[0] != g.lsn {
+			t.Fatalf("record %d carries key %d", g.lsn, g.keys[0])
+		}
+	}
+	first := got[0].lsn
+	if first > 21 {
+		t.Fatalf("compact removed records past LSN 20: first replayed is %d", first)
+	}
+}
+
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncOff, SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if _, err := l.AppendPut([]uint64{i}, []uint64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("need at least two segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the FIRST segment: that is corruption, not
+	// a torn tail, and recovery must refuse rather than drop records.
+	path := filepath.Join(dir, segName(1))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[recordHeaderSize+9] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt middle segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMissingMiddleSegmentFails pins the cross-segment continuity check:
+// a lost segment between two surviving ones is a hole of acknowledged
+// records and must fail Open, not replay around it.
+func TestMissingMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncOff, SegmentBytes: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		if _, err := l.AppendPut([]uint64{i}, []uint64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("need ≥3 segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove a middle segment (neither the first nor the last).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segNames []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			segNames = append(segNames, e.Name())
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, segNames[1])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over a segment gap = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEmptySegmentSeedsLSNFromName pins the LSN floor: a lone segment
+// that replays empty (crash between rotation and the first flushed
+// record, predecessors compacted) must still resume LSNs after its name,
+// never restart at 1 — reused LSNs would collide with snapshot coverage
+// and be dropped on the next recovery.
+func TestEmptySegmentSeedsLSNFromName(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segName(101)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().LastLSN; got != 100 {
+		t.Fatalf("LastLSN = %d, want 100 (from the segment name)", got)
+	}
+	lsn, err := l.AppendPut([]uint64{1}, []uint64{1})
+	if err != nil || lsn != 101 {
+		t.Fatalf("first append = %d, %v, want LSN 101", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The record must survive the next recovery (it is the segment's
+	// first record and matches the name).
+	var got []rec
+	l2, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 1 || got[0].lsn != 101 {
+		t.Fatalf("replayed %+v, want one record at LSN 101", got)
+	}
+}
+
+// TestGroupCommitSharesFsyncs drives many concurrent FsyncAlways
+// appenders and checks the cohort actually shares fsyncs: the fsync
+// count must come out well below the append count (every appender
+// issuing its own would make them equal).
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const workers, perWorker = 16, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := l.AppendPut([]uint64{uint64(w)}, []uint64{uint64(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	total := uint64(workers * perWorker)
+	if st.SyncedLSN != total {
+		t.Fatalf("synced %d of %d appended", st.SyncedLSN, total)
+	}
+	if st.Syncs >= total {
+		t.Fatalf("%d fsyncs for %d appends: group commit shared nothing", st.Syncs, total)
+	}
+	t.Logf("group commit: %d appends covered by %d fsyncs", total, st.Syncs)
+}
+
+// TestLargeBatchSplits checks that a batch beyond MaxRecordPairs lands as
+// several records that replay back to the same pairs.
+func TestLargeBatchSplits(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := MaxRecordPairs + 100
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i) * 2
+	}
+	lsn, err := l.AppendPut(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("last LSN = %d, want 2 (two records)", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var gotK, gotV []uint64
+	l2, err := Open(dir, Options{}, func(_ uint64, _ byte, k, v []uint64) error {
+		gotK = append(gotK, k...)
+		gotV = append(gotV, v...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !equalU64(gotK, keys) || !equalU64(gotV, vals) {
+		t.Fatalf("split batch did not replay identically (%d pairs back)", len(gotK))
+	}
+}
+
+// TestConcurrentAppends drives appenders from many goroutines under
+// FsyncAlways (group commit) and checks every append is replayed exactly
+// once. Run under -race this also validates the locking.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := uint64(w*perWorker + i)
+				if _, err := l.AppendPut([]uint64{key}, []uint64{key}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.LastLSN != workers*perWorker {
+		t.Fatalf("LastLSN = %d, want %d", st.LastLSN, workers*perWorker)
+	}
+	if st.SyncedLSN != st.LastLSN {
+		t.Fatalf("FsyncAlways left synced=%d behind last=%d", st.SyncedLSN, st.LastLSN)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	l2, err := Open(dir, Options{}, func(_ uint64, _ byte, k, _ []uint64) error {
+		seen[k[0]] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(seen) != workers*perWorker {
+		t.Fatalf("replayed %d distinct keys, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestIntervalModeSyncsAndCloses(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncInterval, Interval: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendPut([]uint64{1}, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Close performs the final sync and must stop the ticker goroutine.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendPut([]uint64{2}, []uint64{2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after Close = %v, want ErrClosed", err)
+	}
+	var got []rec
+	l2, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+}
+
+// TestRecordEncoding pins the on-disk framing so a refactor cannot
+// silently change the format: a known record must produce known bytes.
+func TestRecordEncoding(t *testing.T) {
+	got := appendRecord(nil, 7, OpPut, []uint64{0x1122334455667788}, []uint64{0x99})
+	if len(got) != recordHeaderSize+payloadHeaderSize+16 {
+		t.Fatalf("record length %d", len(got))
+	}
+	// payloadLen field.
+	if want := payloadHeaderSize + 16; int(got[0])|int(got[1])<<8 != want {
+		t.Fatalf("payloadLen = %d, want %d", int(got[0])|int(got[1])<<8, want)
+	}
+	// The payload must start with the LSN and op.
+	payload := got[recordHeaderSize:]
+	lsn, op, keys, vals, err := decodePayload(payload)
+	if err != nil || lsn != 7 || op != OpPut || keys[0] != 0x1122334455667788 || vals[0] != 0x99 {
+		t.Fatalf("decode = %d %#x %v %v %v", lsn, op, keys, vals, err)
+	}
+	if !bytes.Equal(appendRecord(nil, 7, OpPut, []uint64{0x1122334455667788}, []uint64{0x99}), got) {
+		t.Fatal("encoding is not deterministic")
+	}
+}
+
+// TestSegmentNames pins the name scheme replay ordering depends on.
+func TestSegmentNames(t *testing.T) {
+	for _, lsn := range []uint64{1, 255, 1 << 40} {
+		name := segName(lsn)
+		got, ok := parseSegName(name)
+		if !ok || got != lsn {
+			t.Fatalf("parseSegName(%q) = %d, %v", name, got, ok)
+		}
+	}
+	if _, ok := parseSegName("snap-0000000000000001.snap"); ok {
+		t.Fatal("parseSegName accepted a snapshot name")
+	}
+	if fmt.Sprintf("wal-%016x.log", uint64(16)) <= fmt.Sprintf("wal-%016x.log", uint64(9)) {
+		t.Fatal("hex segment names must sort in LSN order")
+	}
+}
