@@ -3,6 +3,7 @@ package client
 import (
 	"fmt"
 
+	"vmshortcut/internal/op"
 	"vmshortcut/internal/wire"
 )
 
@@ -20,18 +21,22 @@ type Pipeline struct {
 	c       *Conn
 	buf     []byte
 	pending []pendingOp
+	kinds   []op.Kind // arena of queued mixed batches' kind columns
+	mres    op.Results
 	ops     int
 	err     error // deferred queueing error (oversized batch), reported by Flush
 }
 
 // pendingOp records what response decoding one queued request needs —
-// the opcode and, for batch frames, the element count — plus where its
-// frame ends in the request buffer, so Flush can write in bounded
-// segments.
+// the opcode, for batch frames the element count, and for mixed frames
+// the batch's kind column (a range of the pipeline's kinds arena) — plus
+// where its frame ends in the request buffer, so Flush can write in
+// bounded segments.
 type pendingOp struct {
-	op  byte
-	n   int
-	end int
+	op     byte
+	n      int
+	end    int
+	kstart int // mixed only: kinds arena range
 }
 
 // Pipeline returns a pipeline over this connection. Do not interleave
@@ -107,6 +112,58 @@ func (p *Pipeline) DelBatch(keys []uint64) {
 	p.push(wire.OpDelBatch, len(keys))
 }
 
+// MixedBatch accumulates an ordered mix of Get/Put/Del operations for
+// submission as ONE wire frame — the client-side face of the serving
+// stack's shared operation batch. Where a run of single-op frames pays
+// one frame header per op and relies on the server's coalescer, a mixed
+// batch frame carries the whole mix in one decode, one store call, and —
+// on a durable server — one WAL record appended from the frame's own
+// bytes. A MixedBatch is reusable after Reset and is not safe for
+// concurrent use.
+type MixedBatch struct {
+	b op.Batch
+}
+
+// Reset empties the batch, retaining its storage.
+func (m *MixedBatch) Reset() { m.b.Reset() }
+
+// Len returns the number of queued operations.
+func (m *MixedBatch) Len() int { return m.b.Len() }
+
+// Get queues a lookup entry.
+func (m *MixedBatch) Get(key uint64) { m.b.Get(key) }
+
+// Put queues an upsert entry.
+func (m *MixedBatch) Put(key, value uint64) { m.b.Put(key, value) }
+
+// Del queues a delete entry.
+func (m *MixedBatch) Del(key uint64) { m.b.Del(key) }
+
+// Mixed queues m's operations as one MIXEDBATCH frame; it contributes
+// m.Len() Results in entry order (Found is presence for Get/Del and
+// acceptance for Put; Value is set for Get hits). The batch's contents
+// are copied into the pipeline, so m may be reused immediately. Batches
+// beyond wire.MaxMixedBatch fail at Flush; an empty batch queues
+// nothing.
+func (p *Pipeline) Mixed(m *MixedBatch) {
+	n := m.b.Len()
+	if n == 0 {
+		return
+	}
+	if p.err == nil && n > wire.MaxMixedBatch {
+		p.err = fmt.Errorf("client: mixed batch of %d elements exceeds wire.MaxMixedBatch (%d); split it",
+			n, wire.MaxMixedBatch)
+	}
+	if p.err != nil {
+		return
+	}
+	kstart := len(p.kinds)
+	p.kinds = append(p.kinds, m.b.Kinds()...)
+	p.buf = wire.AppendMixedBatch(p.buf, &m.b)
+	p.pending = append(p.pending, pendingOp{op: wire.OpMixedBatch, n: n, end: len(p.buf), kstart: kstart})
+	p.ops += n
+}
+
 // checkBatch rejects batch frames the server would refuse (their
 // encoding would exceed the frame bound); nothing is queued and the
 // error surfaces at Flush, before any bytes hit the wire. A poisoned
@@ -166,6 +223,7 @@ func (p *Pipeline) Flush(results []Result) ([]Result, error) {
 	}
 	p.buf = p.buf[:0]
 	p.pending = p.pending[:0]
+	p.kinds = p.kinds[:0]
 	p.ops = 0
 	return results, nil
 }
@@ -241,6 +299,17 @@ func (p *Pipeline) readOne(pd pendingOp, results []Result) ([]Result, error) {
 		}
 		for _, ok := range oks {
 			results = append(results, Result{Found: ok})
+		}
+	case wire.OpMixedBatch:
+		if tag != wire.StatusOK {
+			return results, c.fail(unexpectedStatus(tag))
+		}
+		kinds := p.kinds[pd.kstart : pd.kstart+pd.n]
+		if err := wire.DecodeMixedResults(payload, kinds, &p.mres); err != nil {
+			return results, c.fail(err)
+		}
+		for i := range kinds {
+			results = append(results, Result{Found: p.mres.Found[i], Value: p.mres.Vals[i]})
 		}
 	}
 	return results, nil

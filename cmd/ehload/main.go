@@ -25,6 +25,7 @@
 //
 //	ehload -addr :6380 -mix A -conns 4 -pipeline 32 -load 100000 -duration 10s
 //	ehload -mix C -dist uniform -batch 64 -out BENCH_server.json
+//	ehload -mix F -batch mixed -duration 5s   # one MIXEDBATCH frame per round trip
 //	ehload -restart-check -addr 127.0.0.1:16390 -load 200000 -duration 2s \
 //	       -server-cmd "ehserver -addr 127.0.0.1:16390 -kind eh -wal-dir /tmp/wal -fsync always"
 package main
@@ -35,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,18 +49,26 @@ import (
 	"vmshortcut/internal/workload"
 )
 
+// Batch modes: how each worker turns its generated ops into wire frames.
+const (
+	batchNone  = "none"  // pipelined single-op frames (the server coalesces)
+	batchKind  = "kind"  // same-kind runs as native GETBATCH/PUTBATCH frames
+	batchMixed = "mixed" // each round trip as ONE MIXEDBATCH frame
+)
+
 type config struct {
-	addr     string
-	mix      workload.Mix
-	dist     string
-	conns    int
-	pipeline int
-	batch    int
-	load     int
-	duration time.Duration
-	ops      int
-	seed     uint64
-	out      string
+	addr      string
+	mix       workload.Mix
+	dist      string
+	conns     int
+	pipeline  int
+	batch     int    // batch size in kind mode; 0 otherwise
+	batchMode string // batchNone | batchKind | batchMixed
+	load      int
+	duration  time.Duration
+	ops       int
+	seed      uint64
+	out       string
 }
 
 func main() {
@@ -67,7 +77,7 @@ func main() {
 	dist := flag.String("dist", "", "request distribution override: zipfian | uniform (default: the mix's own)")
 	conns := flag.Int("conns", 4, "client connections, one worker goroutine each")
 	pipeline := flag.Int("pipeline", 32, "operations in flight per connection round trip")
-	batch := flag.Int("batch", 0, "use native batch frames of up to this many ops instead of pipelined single-op frames (0 = singles)")
+	batch := flag.String("batch", "0", "native batch frames: N gathers same-kind runs into batch frames of up to N ops; 'mixed' submits each round trip as one MIXEDBATCH frame; 0 = pipelined single-op frames")
 	load := flag.Int("load", 100_000, "keyspace entries preloaded before the measured run")
 	duration := flag.Duration("duration", 10*time.Second, "measured run length")
 	ops := flag.Int("ops", 0, "fixed op budget per connection instead of -duration (0 = use -duration)")
@@ -112,9 +122,23 @@ func main() {
 	if *ops == 0 && *duration <= 0 {
 		usageError("-duration must be positive when -ops is 0 (the run would never stop)")
 	}
+	batchMode, batchSize := batchNone, 0
+	switch strings.ToLower(*batch) {
+	case "", "0", batchNone:
+	case batchMixed:
+		batchMode = batchMixed
+	default:
+		n, err := strconv.Atoi(*batch)
+		if err != nil || n < 0 {
+			usageError("-batch must be a non-negative size or 'mixed', got %q", *batch)
+		}
+		if n > 0 {
+			batchMode, batchSize = batchKind, n
+		}
+	}
 	cfg := config{
 		addr: *addr, mix: mix, dist: distName(mix), conns: *conns,
-		pipeline: *pipeline, batch: *batch, load: *load,
+		pipeline: *pipeline, batch: batchSize, batchMode: batchMode, load: *load,
 		duration: *duration, ops: *ops, seed: *seed, out: *out,
 	}
 
@@ -156,12 +180,17 @@ func distName(mix workload.Mix) string {
 
 // report is the BENCH_server.json schema.
 type report struct {
-	Bench      string  `json:"bench"`
-	Addr       string  `json:"addr"`
-	Mix        string  `json:"mix"`
-	Dist       string  `json:"dist"`
-	Conns      int     `json:"conns"`
-	Pipeline   int     `json:"pipeline"`
+	Bench    string `json:"bench"`
+	Addr     string `json:"addr"`
+	Mix      string `json:"mix"`
+	Dist     string `json:"dist"`
+	Conns    int    `json:"conns"`
+	Pipeline int    `json:"pipeline"`
+	// BatchMode is how ops became frames: none | kind | mixed. Batch is
+	// the kind-mode batch size; it predates BatchMode (it used to be the
+	// only batch field and read 0 ambiguously) and is kept one release
+	// for consumers that still parse it.
+	BatchMode  string  `json:"batch_mode"`
 	Batch      int     `json:"batch"`
 	Loaded     int     `json:"loaded"`
 	Seed       uint64  `json:"seed"`
@@ -182,6 +211,8 @@ type report struct {
 
 	Server wire.ServerCounters `json:"server"`
 	Store  vmshortcut.Stats    `json:"store"`
+	// Durability is the server store's WAL state (zero without -wal-dir).
+	Durability wire.DurabilityCounters `json:"durability"`
 }
 
 type latencyNS struct {
@@ -236,7 +267,8 @@ func run(cfg config) (*report, error) {
 
 	rep := &report{
 		Bench: "server", Addr: cfg.addr, Mix: cfg.mix.Name, Dist: cfg.dist,
-		Conns: cfg.conns, Pipeline: cfg.pipeline, Batch: cfg.batch,
+		Conns: cfg.conns, Pipeline: cfg.pipeline,
+		BatchMode: cfg.batchMode, Batch: cfg.batch,
 		Loaded: cfg.load, Seed: cfg.seed,
 		DurationS: elapsed.Seconds(),
 		LoadS:     loadDur.Seconds(),
@@ -277,6 +309,7 @@ func run(cfg config) (*report, error) {
 	}
 	rep.Server = st.Server
 	rep.Store = st.Store
+	rep.Durability = st.Durability
 	return rep, nil
 }
 
@@ -355,9 +388,17 @@ func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
 
 	p := c.Pipeline()
 	var exp []expected
+	var mixed client.MixedBatch
 	var batchKeys, batchVals []uint64
 	var batchRead bool
 	flushBatch := func() {
+		if cfg.batchMode == batchMixed {
+			// The whole round trip is one MIXEDBATCH frame: one decode,
+			// one store call, one WAL record server-side.
+			p.Mixed(&mixed)
+			mixed.Reset()
+			return
+		}
 		if len(batchKeys) == 0 {
 			return
 		}
@@ -371,7 +412,14 @@ func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
 	}
 	queue := func(read bool, idx uint64) {
 		key := workload.Key(cfg.seed, idx)
-		if cfg.batch > 0 {
+		switch {
+		case cfg.batchMode == batchMixed:
+			if read {
+				mixed.Get(key)
+			} else {
+				mixed.Put(key, idx)
+			}
+		case cfg.batch > 0:
 			if len(batchKeys) > 0 && (batchRead != read || len(batchKeys) >= cfg.batch) {
 				flushBatch()
 			}
@@ -380,9 +428,9 @@ func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
 			if !read {
 				batchVals = append(batchVals, idx)
 			}
-		} else if read {
+		case read:
 			p.Get(key)
-		} else {
+		default:
 			p.Put(key, idx)
 		}
 		exp = append(exp, expected{read: read, idx: idx})
@@ -432,8 +480,12 @@ func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
 }
 
 func printSummary(r *report) {
-	fmt.Printf("mix %s (%s)  conns=%d pipeline=%d batch=%d  loaded=%d\n",
-		r.Mix, r.Dist, r.Conns, r.Pipeline, r.Batch, r.Loaded)
+	batch := r.BatchMode
+	if r.BatchMode == batchKind {
+		batch = fmt.Sprintf("%s(%d)", batchKind, r.Batch)
+	}
+	fmt.Printf("mix %s (%s)  conns=%d pipeline=%d batch=%s  loaded=%d\n",
+		r.Mix, r.Dist, r.Conns, r.Pipeline, batch, r.Loaded)
 	fmt.Printf("load: %d entries in %.2fs (%.0f ops/s)\n", r.Loaded, r.LoadS, r.LoadRate)
 	fmt.Printf("run:  %d ops in %.2fs = %.0f ops/s, %d errors\n",
 		r.Ops, r.DurationS, r.Throughput, r.Errors)
@@ -444,4 +496,8 @@ func printSummary(r *report) {
 	fmt.Printf("server: %d coalesced batches carrying %d ops; store batches I/L/D %d/%d/%d\n",
 		r.Server.CoalescedBatches, r.Server.CoalescedOps,
 		r.Store.InsertBatches, r.Store.LookupBatches, r.Store.DeleteBatches)
+	if d := r.Durability; d.WALRecords > 0 {
+		fmt.Printf("durability: %d WAL records, %d fsyncs, durable LSN %d, snapshot LSN %d\n",
+			d.WALRecords, d.WALSyncs, d.DurableLSN, d.SnapshotLSN)
+	}
 }

@@ -220,6 +220,10 @@ func main() {
 	default:
 		fmt.Printf("stats:   entries=%d structural_mods=%d\n", st.Entries, st.StructuralMods)
 	}
+	if *walDir != "" {
+		fmt.Printf("wal:     records=%d syncs=%d durable_lsn=%d snapshot_lsn=%d segments=%d bytes=%d\n",
+			st.WALRecords, st.WALSyncs, st.DurableLSN, st.SnapshotLSN, st.WALSegments, st.WALBytes)
+	}
 }
 
 // runAdmin executes one durability administration operation: SNAP takes

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmshortcut/internal/op"
 	"vmshortcut/persist"
 	"vmshortcut/wal"
 )
@@ -174,18 +175,18 @@ func openDurable(inner Store, o *storeOptions) (Store, error) {
 	if err != nil {
 		return fail(err)
 	}
-	replay := func(lsn uint64, op byte, keys, values []uint64) error {
+	// Replay pushes each record — uniform or mixed, it is the same
+	// op.Batch representation the serving stack logged — back through the
+	// store's own batch path. GET entries inside a mixed record replay as
+	// lookups, i.e. as no-ops; a rejected insert aborts recovery (such a
+	// batch is never logged, so hitting one means the log and the store
+	// configuration disagree).
+	var rres op.Results
+	replay := func(lsn uint64, b *op.Batch) error {
 		if lsn <= baseLSN {
 			return nil // the snapshot already covers this record
 		}
-		switch op {
-		case wal.OpPut:
-			return inner.InsertBatch(keys, values)
-		case wal.OpDel:
-			inner.DeleteBatch(keys)
-			return nil
-		}
-		return fmt.Errorf("unknown record opcode 0x%02x", op)
+		return inner.ApplyBatch(b, &rres)
 	}
 	log, err := wal.Open(o.walDir, wal.Options{
 		Mode:         o.fsyncMode,
@@ -307,6 +308,62 @@ func (d *durableStore) InsertBatch(keys, values []uint64) error {
 	}
 	d.mu.RUnlock()
 	return err
+}
+
+// ApplyBatch applies the mixed batch to the inner store and then appends
+// ONE log record for it — the record's payload being the batch's own
+// wire payload, handed to the log zero-copy (op.Batch.Payload returns
+// the received frame bytes when the batch came off a socket, and encodes
+// exactly once otherwise). A batch with no mutations is not logged.
+//
+// Ordering: apply-then-log for the whole batch. ApplyBatch — unlike
+// DeleteBatch — has an error channel, so the delete side no longer needs
+// the log-first ordering: on any failure (a rejected insert, an append
+// error) the whole batch fails as a unit and the caller acknowledges
+// nothing, which keeps "acknowledged ⇒ durable" intact. The flip side,
+// shared with every failed append on this log, is that a FAILED batch
+// may have taken effect in memory without a record; the log is fail-stop
+// (the first I/O error is sticky), so that window is one batch. And as
+// on the insert path, a record is only ever logged for a batch the store
+// accepted, so replay cannot re-fail.
+func (d *durableStore) ApplyBatch(b *op.Batch, res *op.Results) error {
+	if b.Len() == 0 {
+		res.Reset(0)
+		return nil
+	}
+	if d.closed.Load() {
+		res.Reset(b.Len())
+		return ErrClosed
+	}
+	if b.Mutations() == 0 {
+		// Pure reads need no record and no (keyspace, LSN) exactness, so
+		// they bypass d.mu entirely — a running snapshot (which holds the
+		// write lock for its O(keyspace) duration) must not stall the
+		// serving path's GET traffic.
+		return d.inner.ApplyBatch(b, res)
+	}
+	// Validate the record BEFORE applying: rejecting after the apply
+	// would leave mutations live in memory with no record and no sticky
+	// log error — silent divergence a crash would then surface as loss.
+	// (The keys/values paths split oversized batches across records; one
+	// mixed batch is one record by design, so it must fit.)
+	if b.Len() > wal.MaxRecordPairs {
+		res.Reset(b.Len())
+		return fmt.Errorf("vmshortcut: ApplyBatch: %d entries exceed one WAL record's capacity (%d); split the batch",
+			b.Len(), wal.MaxRecordPairs)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.inner.ApplyBatch(b, res); err != nil {
+		return err
+	}
+	code, payload := b.Payload()
+	lsn, err := d.log.AppendBatch(code, payload)
+	if err != nil {
+		return err
+	}
+	d.maybeSnapshot(lsn) // under the read lock; see InsertBatch
+	return nil
 }
 
 func (d *durableStore) DeleteBatch(keys []uint64) []bool {

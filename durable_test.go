@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"vmshortcut/wal"
 )
 
 // verifyEntries checks the store holds exactly want.
@@ -73,6 +75,115 @@ func TestDurableRecoverFromWAL(t *testing.T) {
 			defer s2.Close()
 			verifyEntries(t, s2, want)
 		})
+	}
+}
+
+// TestDurableApplyBatchRecovery covers the unified pipeline's durability
+// path: mixed batches (including GET entries, which must not be replayed
+// as mutations) applied through ApplyBatch land as ONE WAL record each
+// and recover exactly — across every kind and the sharded store.
+func TestDurableApplyBatchRecovery(t *testing.T) {
+	kinds := []struct {
+		name string
+		open func(dir string) (Store, error)
+	}{
+		{"ht", func(dir string) (Store, error) {
+			return Open(KindHT, WithWAL(dir), WithFsync(FsyncAlways))
+		}},
+		{"shortcut-eh", func(dir string) (Store, error) {
+			return Open(KindShortcutEH, WithWAL(dir), WithFsync(FsyncAlways))
+		}},
+		{"sharded", func(dir string) (Store, error) {
+			return Open(KindShortcutEH, WithShards(4), WithWAL(dir), WithFsync(FsyncAlways))
+		}},
+	}
+	for _, tc := range kinds {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := tc.open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res OpResults
+			var b OpBatch
+			b.Put(1, 10)
+			b.Get(1)
+			b.Put(2, 20)
+			b.Del(1)
+			if err := s.ApplyBatch(&b, &res); err != nil {
+				t.Fatal(err)
+			}
+			b.Reset()
+			b.Put(3, 30)
+			b.Put(2, 21) // overwrite in a later record
+			if err := s.ApplyBatch(&b, &res); err != nil {
+				t.Fatal(err)
+			}
+			// A read-only batch appends NO record.
+			before := s.Stats().WALRecords
+			b.Reset()
+			b.Get(2)
+			b.Get(3)
+			if err := s.ApplyBatch(&b, &res); err != nil {
+				t.Fatal(err)
+			}
+			if !res.Found[0] || res.Vals[0] != 21 || !res.Found[1] || res.Vals[1] != 30 {
+				t.Fatalf("read-only batch results = %+v", res)
+			}
+			st := s.Stats()
+			if st.WALRecords != before {
+				t.Fatalf("read-only batch appended a record (%d → %d)", before, st.WALRecords)
+			}
+			if st.WALRecords != 2 {
+				t.Fatalf("2 mutation batches produced %d records, want 2", st.WALRecords)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2, err := tc.open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer s2.Close()
+			verifyEntries(t, s2, map[uint64]uint64{2: 21, 3: 30})
+		})
+	}
+}
+
+// TestDurableApplyBatchRejectsOversizedBeforeApply pins the
+// validate-before-apply ordering: a mutation batch too large for one WAL
+// record must be rejected WITHOUT touching the keyspace — rejecting
+// after the apply would leave mutations live in memory with no record
+// and no sticky log error, silent divergence a crash would surface as
+// data loss.
+func TestDurableApplyBatchRejectsOversizedBeforeApply(t *testing.T) {
+	s, err := Open(KindHT, WithWAL(t.TempDir()), WithFsync(FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var b OpBatch
+	for i := uint64(0); i <= uint64(wal.MaxRecordPairs); i++ {
+		b.Put(i, i)
+	}
+	var res OpResults
+	if err := s.ApplyBatch(&b, &res); err == nil {
+		t.Fatal("oversized mutation batch accepted")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected batch still applied %d entries", s.Len())
+	}
+	if got := s.Stats().WALRecords; got != 0 {
+		t.Fatalf("rejected batch appended %d records", got)
+	}
+	// A pure-read batch of any size is fine — it never becomes a record.
+	b.Reset()
+	for i := uint64(0); i <= uint64(wal.MaxRecordPairs); i++ {
+		b.Get(i)
+	}
+	if err := s.ApplyBatch(&b, &res); err != nil {
+		t.Fatalf("oversized read-only batch rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,185 @@
+package op
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchBuildAndCounts(t *testing.T) {
+	var b Batch
+	b.Get(1)
+	b.Put(2, 20)
+	b.Del(3)
+	b.Put(4, 40)
+	if b.Len() != 4 || b.Gets() != 1 || b.Puts() != 2 || b.Dels() != 1 || b.Mutations() != 3 {
+		t.Fatalf("counts = len %d gets %d puts %d dels %d", b.Len(), b.Gets(), b.Puts(), b.Dels())
+	}
+	wantKinds := []Kind{Get, Put, Del, Put}
+	wantKeys := []uint64{1, 2, 3, 4}
+	wantVals := []uint64{0, 20, 0, 40}
+	for i := range wantKinds {
+		if b.Kinds()[i] != wantKinds[i] || b.Keys()[i] != wantKeys[i] || b.Vals()[i] != wantVals[i] {
+			t.Fatalf("entry %d = (%v, %d, %d)", i, b.Kinds()[i], b.Keys()[i], b.Vals()[i])
+		}
+	}
+	if b.Code() != CodeMixedBatch {
+		t.Fatalf("Code = %#x, want mixed", b.Code())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Mutations() != 0 {
+		t.Fatalf("Reset left %d entries", b.Len())
+	}
+}
+
+// TestUniformBatchesEncodeAsKindCodes pins the degenerate-batch contract:
+// a uniform batch encodes exactly as its kind-specific payload, so WAL
+// records of all-PUT/all-DEL batches keep the pre-mixed on-disk layout.
+func TestUniformBatchesEncodeAsKindCodes(t *testing.T) {
+	keys := []uint64{5, 6, 7}
+	vals := []uint64{50, 60, 70}
+
+	var puts Batch
+	for i, k := range keys {
+		puts.Put(k, vals[i])
+	}
+	code, payload := puts.Payload()
+	if code != CodePutBatch || !bytes.Equal(payload, AppendPairsPayload(nil, keys, vals)) {
+		t.Fatalf("uniform put batch encoded as %#x / %x", code, payload)
+	}
+
+	var dels Batch
+	for _, k := range keys {
+		dels.Del(k)
+	}
+	code, payload = dels.Payload()
+	if code != CodeDelBatch || !bytes.Equal(payload, AppendKeysPayload(nil, keys)) {
+		t.Fatalf("uniform del batch encoded as %#x / %x", code, payload)
+	}
+
+	var gets Batch
+	for _, k := range keys {
+		gets.Get(k)
+	}
+	if code, _ := gets.Payload(); code != CodeGetBatch {
+		t.Fatalf("uniform get batch encoded as %#x", code)
+	}
+}
+
+// TestDecodeRetainsPayloadZeroCopy pins the zero-re-encoding contract: a
+// batch decoded from bytes hands the same bytes back from Payload,
+// without an encoding pass.
+func TestDecodeRetainsPayloadZeroCopy(t *testing.T) {
+	var src Batch
+	src.Get(1)
+	src.Put(2, 22)
+	src.Del(3)
+	wire := src.AppendPayload(nil)
+
+	var b Batch
+	if err := DecodePayload(CodeMixedBatch, wire, &b); err != nil {
+		t.Fatal(err)
+	}
+	before := Encodings()
+	code, payload := b.Payload()
+	if Encodings() != before {
+		t.Fatal("Payload of a decoded batch performed an encoding pass")
+	}
+	if code != CodeMixedBatch || len(payload) != len(wire) || &payload[0] != &wire[0] {
+		t.Fatalf("Payload did not return the received bytes (code %#x)", code)
+	}
+	// Mutating drops the retained encoding: Payload must re-encode.
+	b.Put(9, 99)
+	code, payload = b.Payload()
+	if Encodings() == before {
+		t.Fatal("mutated batch did not re-encode")
+	}
+	var back Batch
+	if err := DecodePayload(code, payload, &back); err != nil {
+		t.Fatalf("re-encoded payload does not decode: %v", err)
+	}
+	if back.Len() != 4 || back.Keys()[3] != 9 || back.Vals()[3] != 99 {
+		t.Fatalf("round trip lost the appended entry: %+v", back)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	var b Batch
+	cases := []struct {
+		name string
+		code byte
+		p    []byte
+	}{
+		{"short header", CodeGetBatch, []byte{1, 2}},
+		{"count/length mismatch", CodeDelBatch, []byte{2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}},
+		{"unknown code", 0x42, []byte{0, 0, 0, 0}},
+		{"mixed short kind column", CodeMixedBatch, []byte{5, 0, 0, 0, 0, 1}},
+		{"mixed bad kind", CodeMixedBatch, append([]byte{1, 0, 0, 0, 7}, make([]byte, 8)...)},
+		{"oversized count", CodePutBatch, []byte{0xFF, 0xFF, 0xFF, 0xFF}},
+	}
+	for _, tc := range cases {
+		if err := DecodePayload(tc.code, tc.p, &b); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPayloadSizeMatchesEncoding(t *testing.T) {
+	var b Batch
+	b.Get(1)
+	b.Put(2, 3)
+	b.Del(4)
+	if got := len(b.AppendPayload(nil)); got != b.PayloadSize() {
+		t.Fatalf("PayloadSize = %d, encoded %d", b.PayloadSize(), got)
+	}
+	var puts Batch
+	puts.Put(1, 2)
+	if got := len(puts.AppendPayload(nil)); got != puts.PayloadSize() {
+		t.Fatalf("uniform PayloadSize = %d, encoded %d", puts.PayloadSize(), got)
+	}
+}
+
+// FuzzDecodeMixedPayload mirrors the WAL's FuzzDecodePayload for the
+// MIXEDBATCH layout: the decoder must never panic, and whatever it
+// accepts must re-encode to the identical bytes (the codec is bijective
+// on valid payloads).
+func FuzzDecodeMixedPayload(f *testing.F) {
+	var seed Batch
+	seed.Get(1)
+	seed.Put(2, 22)
+	seed.Del(3)
+	f.Add(seed.AppendPayload(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{2, 0, 0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var b Batch
+		if err := DecodePayload(CodeMixedBatch, payload, &b); err != nil {
+			return
+		}
+		re := b.AppendPayload(nil)
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("re-encoded %x from accepted payload %x", re, payload)
+		}
+	})
+}
+
+// FuzzDecodeAnyPayload extends the bijectivity property across every
+// batch code, re-encoding under the code the payload was decoded with.
+func FuzzDecodeAnyPayload(f *testing.F) {
+	f.Add(CodePutBatch, AppendPairsPayload(nil, []uint64{1}, []uint64{2}))
+	f.Add(CodeDelBatch, AppendKeysPayload(nil, []uint64{9}))
+	f.Add(CodeGetBatch, AppendKeysPayload(nil, []uint64{7, 8}))
+	f.Fuzz(func(t *testing.T, code byte, payload []byte) {
+		var b Batch
+		if err := DecodePayload(code, payload, &b); err != nil {
+			return
+		}
+		if b.Code() != code {
+			t.Fatalf("decoded under %#x but Code() = %#x", code, b.Code())
+		}
+		re := b.AppendPayload(nil)
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("code %#x: re-encoded %x from accepted payload %x", code, re, payload)
+		}
+	})
+}

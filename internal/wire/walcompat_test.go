@@ -1,23 +1,114 @@
 package wire_test
 
 import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"vmshortcut/internal/op"
 	"vmshortcut/internal/wire"
 	"vmshortcut/wal"
 )
 
-// TestWALOpcodesMatchWire pins the cross-package contract the WAL's
-// record format documents: its PUT/DEL opcodes are the wire protocol's
-// batch opcodes, so a coalesced batch frame and the log record it becomes
-// agree byte-for-byte on tag and element packing. (wal cannot import
-// internal/wire — the dependency would be cyclic through the root
-// package — so the equality is asserted here instead.)
+// TestWALOpcodesMatchWire pins what is now true by construction: the
+// wire protocol's batch opcodes and the WAL's record opcodes are the
+// SAME constants — both alias internal/op's batch codes, so there is one
+// code path and one set of values, not two kept equal by convention.
 func TestWALOpcodesMatchWire(t *testing.T) {
-	if wal.OpPut != wire.OpPutBatch {
-		t.Fatalf("wal.OpPut = %#x, wire.OpPutBatch = %#x", wal.OpPut, wire.OpPutBatch)
+	pairs := []struct {
+		name          string
+		walOp, wireOp byte
+	}{
+		{"put", wal.OpPut, wire.OpPutBatch},
+		{"del", wal.OpDel, wire.OpDelBatch},
+		{"mixed", wal.OpMixed, wire.OpMixedBatch},
 	}
-	if wal.OpDel != wire.OpDelBatch {
-		t.Fatalf("wal.OpDel = %#x, wire.OpDelBatch = %#x", wal.OpDel, wire.OpDelBatch)
+	for _, p := range pairs {
+		if p.walOp != p.wireOp {
+			t.Fatalf("%s: wal opcode %#x != wire opcode %#x", p.name, p.walOp, p.wireOp)
+		}
+	}
+	if op.CodePutBatch != 0x06 || op.CodeDelBatch != 0x07 || op.CodeMixedBatch != 0x08 {
+		t.Fatalf("op batch codes moved: %#x %#x %#x — on-disk WAL compatibility broken",
+			op.CodePutBatch, op.CodeDelBatch, op.CodeMixedBatch)
+	}
+}
+
+// TestWALRecordIsWirePayload drives the whole contract end to end
+// through the REAL code paths: a batch frame's payload, decoded exactly
+// as the server decodes it, appended to a real log via the zero-copy
+// path, must appear on disk byte-for-byte as the record's payload — for
+// a uniform PUT batch (the PR 4 layout, unchanged) and for a mixed
+// batch. No re-encoding happened in between: op.Encodings stays flat
+// across decode → Payload → append.
+func TestWALRecordIsWirePayload(t *testing.T) {
+	// Build the frames a client would send.
+	putFrame := wire.AppendPutBatch(nil, []uint64{1, 2}, []uint64{10, 20})
+	var m op.Batch
+	m.Get(5)
+	m.Put(6, 66)
+	m.Del(7)
+	mixedFrame := wire.AppendMixedBatch(nil, &m)
+
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{Mode: wal.FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPayloads [][]byte
+	encBefore := op.Encodings()
+	for _, frame := range [][]byte{putFrame, mixedFrame} {
+		tag, payload := frame[4], frame[wire.HeaderSize:]
+		var b op.Batch
+		if err := wire.DecodeBatch(tag, payload, &b); err != nil {
+			t.Fatal(err)
+		}
+		code, recPayload := b.Payload()
+		if code != tag || !bytes.Equal(recPayload, payload) {
+			t.Fatalf("decoded batch's payload (code %#x) differs from the frame payload", code)
+		}
+		if _, err := l.AppendBatch(code, recPayload); err != nil {
+			t.Fatal(err)
+		}
+		wantPayloads = append(wantPayloads, payload)
+	}
+	if got := op.Encodings(); got != encBefore {
+		t.Fatalf("wire→WAL path performed %d encoding passes, want 0", got-encBefore)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the segment by hand and compare each record's payload (after
+	// the 8-byte record header, the 8-byte LSN, and the code byte) to the
+	// frame payload that produced it.
+	blob, err := os.ReadFile(filepath.Join(dir, "wal-0000000000000001.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := 0
+	for i, want := range wantPayloads {
+		payloadLen := int(binary.LittleEndian.Uint32(blob[offset:]))
+		rec := blob[offset+8 : offset+8+payloadLen]
+		lsn, code := binary.LittleEndian.Uint64(rec), rec[8]
+		if lsn != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, lsn)
+		}
+		wantCode := wire.OpPutBatch
+		if i == 1 {
+			wantCode = wire.OpMixedBatch
+		}
+		if code != wantCode {
+			t.Fatalf("record %d code %#x, want %#x", i, code, wantCode)
+		}
+		if !bytes.Equal(rec[9:], want) {
+			t.Fatalf("record %d payload differs from the wire frame payload", i)
+		}
+		offset += 8 + payloadLen
+	}
+	if offset != len(blob) {
+		t.Fatalf("segment has %d trailing bytes", len(blob)-offset)
 	}
 }

@@ -13,19 +13,33 @@
 //
 // Request payloads:
 //
-//	OpGet       u64 key
-//	OpPut       u64 key, u64 value
-//	OpDel       u64 key
-//	OpStats     (empty)
-//	OpGetBatch  u32 n, n × u64 key
-//	OpPutBatch  u32 n, n × (u64 key, u64 value)
-//	OpDelBatch  u32 n, n × u64 key
+//	OpGet         u64 key
+//	OpPut         u64 key, u64 value
+//	OpDel         u64 key
+//	OpStats       (empty)
+//	OpGetBatch    u32 n, n × u64 key
+//	OpPutBatch    u32 n, n × (u64 key, u64 value)
+//	OpDelBatch    u32 n, n × u64 key
+//	OpMixedBatch  u32 n, n × u8 kind, n × u64 key, puts × u64 value
+//
+// The batch payloads are not defined here: they are the internal/op
+// package's batch payload layouts, and the batch opcodes are its batch
+// codes — the same bytes name a batch in a request frame and in a WAL
+// record, so the wire→log path appends payloads without re-encoding.
+// MIXEDBATCH carries an ordered mix of GET/PUT/DEL entries (columnar:
+// kinds, keys, then one value per PUT entry in entry order), so one
+// frame — and one store call, and one WAL record — can carry whatever a
+// pipelined client had in flight.
 //
 // Response payloads:
 //
 //	StatusOK        op-specific: u64 value (GET); empty (PUT, STATS via
 //	                JSON below); u32 n, n × u8 found, n × u64 value
-//	                (GETBATCH); u32 n, n × u8 found (DELBATCH)
+//	                (GETBATCH); u32 n, n × u8 found (DELBATCH);
+//	                u32 n, n × u8 flag, gets × u64 value (MIXEDBATCH —
+//	                flag is presence for GET/DEL entries and acceptance
+//	                for PUT entries; one value per GET entry in entry
+//	                order, zero when absent)
 //	StatusNotFound  empty (GET, DEL miss)
 //	StatusErr       UTF-8 error message
 //
@@ -39,6 +53,7 @@ import (
 	"io"
 
 	"vmshortcut"
+	"vmshortcut/internal/op"
 )
 
 // HeaderSize is the fixed frame prefix: u32 length + u8 tag.
@@ -53,16 +68,27 @@ const MaxFrame = 1 << 20
 // the largest batch frame (PUTBATCH) stays under MaxFrame.
 const MaxBatch = (MaxFrame - HeaderSize - 4) / 16
 
-// Request opcodes.
+// Request opcodes. The batch opcodes are the internal/op batch codes —
+// not merely equal by convention but the same constants — so the frame
+// tag, the store-facing batch representation, and the WAL record opcode
+// agree by construction.
 const (
 	OpGet byte = 0x01 + iota
 	OpPut
 	OpDel
 	OpStats
-	OpGetBatch
-	OpPutBatch
-	OpDelBatch
 )
+
+const (
+	OpGetBatch   = op.CodeGetBatch
+	OpPutBatch   = op.CodePutBatch
+	OpDelBatch   = op.CodeDelBatch
+	OpMixedBatch = op.CodeMixedBatch
+)
+
+// MaxMixedBatch is the largest element count a MIXEDBATCH frame may
+// carry: its worst-case entry (a PUT) is 17 payload bytes.
+const MaxMixedBatch = (MaxFrame - HeaderSize - 4) / 17
 
 // Response statuses.
 const (
@@ -72,10 +98,36 @@ const (
 )
 
 // StatsReply is the JSON payload of a successful OpStats response: the
-// server's own counters next to the backing store's uniform Stats.
+// server's own counters next to the backing store's uniform Stats, plus
+// an explicit durability section so remote clients (and the ehload /
+// ehstore outputs) can read the WAL's state without knowing the Stats
+// struct's field names.
 type StatsReply struct {
 	Server ServerCounters   `json:"server"`
 	Store  vmshortcut.Stats `json:"store"`
+	// Durability mirrors the store's WAL counters (zero without WithWAL).
+	Durability DurabilityCounters `json:"durability"`
+}
+
+// DurabilityCounters is the durability state of the backing store: how
+// many WAL records and fsyncs it has issued, the highest log position
+// known to be on stable storage, and the newest snapshot's coverage.
+type DurabilityCounters struct {
+	WALRecords  uint64 `json:"wal_records"`
+	WALSyncs    uint64 `json:"wal_syncs"`
+	DurableLSN  uint64 `json:"durable_lsn"`
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+}
+
+// DurabilityFrom extracts the durability section from a store Stats
+// snapshot.
+func DurabilityFrom(st vmshortcut.Stats) DurabilityCounters {
+	return DurabilityCounters{
+		WALRecords:  st.WALRecords,
+		WALSyncs:    st.WALSyncs,
+		DurableLSN:  st.DurableLSN,
+		SnapshotLSN: st.SnapshotLSN,
+	}
 }
 
 // ServerCounters are the serving-layer counters of one server.
@@ -127,26 +179,43 @@ func AppendPut(dst []byte, key, value uint64) []byte {
 }
 
 // AppendKeyBatch appends a keys-only batch request frame (OpGetBatch,
-// OpDelBatch).
-func AppendKeyBatch(dst []byte, op byte, keys []uint64) []byte {
-	dst = appendHeader(dst, op, 4+8*len(keys))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
-	for _, k := range keys {
-		dst = binary.LittleEndian.AppendUint64(dst, k)
-	}
-	return dst
+// OpDelBatch) through the shared op codec.
+func AppendKeyBatch(dst []byte, tag byte, keys []uint64) []byte {
+	dst = appendHeader(dst, tag, 4+8*len(keys))
+	return op.AppendKeysPayload(dst, keys)
 }
 
-// AppendPutBatch appends an OpPutBatch frame; len(keys) must equal
-// len(values).
+// AppendPutBatch appends an OpPutBatch frame through the shared op
+// codec; len(keys) must equal len(values).
 func AppendPutBatch(dst []byte, keys, values []uint64) []byte {
 	dst = appendHeader(dst, OpPutBatch, 4+16*len(keys))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
-	for i, k := range keys {
-		dst = binary.LittleEndian.AppendUint64(dst, k)
-		dst = binary.LittleEndian.AppendUint64(dst, values[i])
-	}
-	return dst
+	return op.AppendPairsPayload(dst, keys, values)
+}
+
+// AppendBatch appends a batch request frame carrying b's payload under
+// its own code — the one encoder every layer shares. A batch decoded
+// from received bytes re-emits them without an encoding pass.
+func AppendBatch(dst []byte, b *op.Batch) []byte {
+	code, payload := b.Payload()
+	return AppendFrame(dst, code, payload)
+}
+
+// AppendMixedBatch appends an OpMixedBatch request frame, pinning the
+// mixed layout even for a uniform batch — the response layout follows
+// the request opcode, so the submitting client must know which one went
+// out.
+func AppendMixedBatch(dst []byte, b *op.Batch) []byte {
+	n := b.PayloadSizeMixed()
+	dst = appendHeader(dst, OpMixedBatch, n)
+	return b.AppendMixedPayload(dst)
+}
+
+// DecodeBatch decodes a batch request payload (OpGetBatch, OpPutBatch,
+// OpDelBatch, OpMixedBatch) into b. b retains payload (aliased) as its
+// pre-encoded form, so the WAL can append it zero-copy; payload must
+// stay untouched while b is in use.
+func DecodeBatch(tag byte, payload []byte, b *op.Batch) error {
+	return op.DecodePayload(tag, payload, b)
 }
 
 // AppendValue appends a StatusOK response carrying one value (GET hit).
@@ -173,6 +242,57 @@ func AppendFoundValues(dst []byte, found []bool, values []uint64) []byte {
 		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
 	return dst
+}
+
+// AppendMixedResults appends the MIXEDBATCH StatusOK response: one flag
+// per entry (presence for GET/DEL, acceptance for PUT), then one u64
+// value per GET entry in entry order (zero where absent).
+func AppendMixedResults(dst []byte, b *op.Batch, r *op.Results) []byte {
+	n := b.Len()
+	dst = appendHeader(dst, StatusOK, 4+n+8*b.Gets())
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	for _, ok := range r.Found {
+		dst = append(dst, boolByte(ok))
+	}
+	for i, k := range b.Kinds() {
+		if k == op.Get {
+			dst = binary.LittleEndian.AppendUint64(dst, r.Vals[i])
+		}
+	}
+	return dst
+}
+
+// DecodeMixedResults decodes a MIXEDBATCH StatusOK payload against the
+// kinds of the batch that was sent, filling r with one outcome per
+// entry.
+func DecodeMixedResults(payload []byte, kinds []op.Kind, r *op.Results) error {
+	n := len(kinds)
+	if len(payload) < 4 {
+		return fmt.Errorf("wire: mixed batch response %d bytes, need at least 4", len(payload))
+	}
+	if got := int(Uint32(payload, 0)); got != n {
+		return fmt.Errorf("wire: mixed batch response carries %d entries, want %d", got, n)
+	}
+	gets := 0
+	for _, k := range kinds {
+		if k == op.Get {
+			gets++
+		}
+	}
+	if want := 4 + n + 8*gets; len(payload) != want {
+		return fmt.Errorf("wire: mixed batch response %d bytes, want %d", len(payload), want)
+	}
+	r.Reset(n)
+	valCol := payload[4+n:]
+	vi := 0
+	for i, k := range kinds {
+		r.Found[i] = payload[4+i] == 1
+		if k == op.Get {
+			r.Vals[i] = Uint64(valCol, 8*vi)
+			vi++
+		}
+	}
+	return nil
 }
 
 // AppendFound appends the DELBATCH StatusOK response: per-key presence.
@@ -222,19 +342,3 @@ func Uint64(p []byte, off int) uint64 { return binary.LittleEndian.Uint64(p[off:
 
 // Uint32 decodes the u32 at offset off of a payload.
 func Uint32(p []byte, off int) uint32 { return binary.LittleEndian.Uint32(p[off:]) }
-
-// BatchLen validates and returns the element count of a batch payload
-// whose elements are elemSize bytes each.
-func BatchLen(p []byte, elemSize int) (int, error) {
-	if len(p) < 4 {
-		return 0, fmt.Errorf("wire: batch payload %d bytes, need at least 4", len(p))
-	}
-	n := int(Uint32(p, 0))
-	if n > MaxBatch {
-		return 0, fmt.Errorf("wire: batch of %d elements exceeds max %d", n, MaxBatch)
-	}
-	if len(p) != 4+n*elemSize {
-		return 0, fmt.Errorf("wire: batch payload %d bytes, want %d for %d elements", len(p), 4+n*elemSize, n)
-	}
-	return n, nil
-}

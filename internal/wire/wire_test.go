@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"strings"
 	"testing"
+
+	"vmshortcut/internal/op"
 )
 
 // roundTrip feeds an encoded frame back through ReadFrame.
@@ -40,13 +42,13 @@ func TestRequestFrameRoundTrips(t *testing.T) {
 	if tag != OpGetBatch {
 		t.Fatalf("GETBATCH tag = %d", tag)
 	}
-	n, err := BatchLen(p, 8)
-	if err != nil || n != len(keys) {
-		t.Fatalf("GETBATCH BatchLen = %d, %v", n, err)
+	var b op.Batch
+	if err := DecodeBatch(tag, p, &b); err != nil || b.Len() != len(keys) {
+		t.Fatalf("GETBATCH decode = %d entries, %v", b.Len(), err)
 	}
 	for i, k := range keys {
-		if got := Uint64(p, 4+8*i); got != k {
-			t.Fatalf("GETBATCH key[%d] = %d, want %d", i, got, k)
+		if b.Kinds()[i] != op.Get || b.Keys()[i] != k {
+			t.Fatalf("GETBATCH entry[%d] = (%v, %d), want (GET, %d)", i, b.Kinds()[i], b.Keys()[i], k)
 		}
 	}
 
@@ -54,13 +56,12 @@ func TestRequestFrameRoundTrips(t *testing.T) {
 	if tag != OpPutBatch {
 		t.Fatalf("PUTBATCH tag = %d", tag)
 	}
-	n, err = BatchLen(p, 16)
-	if err != nil || n != len(keys) {
-		t.Fatalf("PUTBATCH BatchLen = %d, %v", n, err)
+	if err := DecodeBatch(tag, p, &b); err != nil || b.Len() != len(keys) {
+		t.Fatalf("PUTBATCH decode = %d entries, %v", b.Len(), err)
 	}
 	for i := range keys {
-		if Uint64(p, 4+16*i) != keys[i] || Uint64(p, 4+16*i+8) != vals[i] {
-			t.Fatalf("PUTBATCH pair[%d] mismatch", i)
+		if b.Kinds()[i] != op.Put || b.Keys()[i] != keys[i] || b.Vals()[i] != vals[i] {
+			t.Fatalf("PUTBATCH entry[%d] mismatch", i)
 		}
 	}
 }
@@ -124,19 +125,20 @@ func TestReadFrameRejectsBadLengths(t *testing.T) {
 	}
 }
 
-func TestBatchLenRejectsMalformedPayloads(t *testing.T) {
-	if _, err := BatchLen([]byte{1, 2}, 8); err == nil {
+func TestDecodeBatchRejectsMalformedPayloads(t *testing.T) {
+	var b op.Batch
+	if err := DecodeBatch(OpGetBatch, []byte{1, 2}, &b); err == nil {
 		t.Fatal("short batch header accepted")
 	}
 	// Count says 2 elements, payload carries 1.
 	p := binary.LittleEndian.AppendUint32(nil, 2)
 	p = binary.LittleEndian.AppendUint64(p, 1)
-	if _, err := BatchLen(p, 8); err == nil {
+	if err := DecodeBatch(OpGetBatch, p, &b); err == nil {
 		t.Fatal("count/payload mismatch accepted")
 	}
-	// Count beyond MaxBatch.
-	p = binary.LittleEndian.AppendUint32(nil, MaxBatch+1)
-	if _, err := BatchLen(p, 8); err == nil {
+	// Count beyond the element cap.
+	p = binary.LittleEndian.AppendUint32(nil, op.MaxElems+1)
+	if err := DecodeBatch(OpDelBatch, p, &b); err == nil {
 		t.Fatal("oversized batch accepted")
 	}
 }

@@ -6,13 +6,24 @@
 // The serving layer is built around the same observation as the store's
 // batch API: per-operation overhead — here a syscall, a frame decode, and
 // a routing decision per request — dominates small key-value ops, and
-// batching amortizes it. Each connection runs a coalescer: when pipelined
-// single-op requests of the same kind are already buffered (or arrive
-// within Config.BatchWindow), they are gathered and executed as one
-// InsertBatch/LookupBatch/DeleteBatch call, so the once-per-batch routing
-// decision of Shortcut-EH and the sharded store's parallel fan-out are
-// exploited on the wire path. Responses are written in request order, so
-// clients cannot observe the coalescing.
+// batching amortizes it. Each connection runs a coalescer: pipelined
+// single-op requests of ANY kind — those already buffered, plus any that
+// arrive within Config.BatchWindow — are gathered in request order into
+// one mixed operation batch (internal/op.Batch, the representation every
+// layer below shares) and executed as ONE Store.ApplyBatch call: one
+// lock acquisition, one sharded fan-out pass, and — on a durable store —
+// one WAL record whose payload is the batch's own encoding, appended
+// without re-packing. Native batch frames (GETBATCH/PUTBATCH/DELBATCH/
+// MIXEDBATCH) take the same path: the frame payload decodes directly
+// into the batch and, for mutations, IS the bytes the log appends.
+// Responses are written in request order, so clients cannot observe the
+// coalescing.
+//
+// Error fan-out: a coalesced batch (or a MIXEDBATCH frame) that fails —
+// a rejected insert, a closed store, a log append failure — fails as a
+// unit: every entry gathered into it is answered with StatusErr, because
+// on a durable store a partially acknowledged batch could ack a mutation
+// whose log record was never written.
 //
 // Shutdown drains: accepting stops, connections finish every request that
 // has already arrived, and pending responses are flushed before the
@@ -33,6 +44,7 @@ import (
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/internal/op"
 	"vmshortcut/internal/wire"
 )
 
@@ -58,15 +70,17 @@ type Config struct {
 	Store vmshortcut.Store
 
 	// BatchWindow is how long a connection's coalescer waits for further
-	// pipelined requests of the same kind before executing a gathered
-	// batch. 0 (the default) never waits: only requests already buffered
-	// on the connection coalesce, which adds no latency. A positive
-	// window trades up to that much added latency for larger batches —
-	// worthwhile for clients that dribble requests.
+	// pipelined single-op requests — of any kind; the gathered batch is a
+	// mixed operation batch — before executing it. 0 (the default) never
+	// waits: only requests already buffered on the connection coalesce,
+	// which adds no latency. A positive window trades up to that much
+	// added latency for larger batches — worthwhile for clients that
+	// dribble requests.
 	BatchWindow time.Duration
 
 	// MaxBatch caps the ops per coalesced store call (default
-	// DefaultMaxBatch, hard-capped at wire.MaxBatch).
+	// DefaultMaxBatch, hard-capped at wire.MaxMixedBatch so a gathered
+	// batch always fits one mixed payload — and so one WAL record).
 	MaxBatch int
 
 	// Logf receives accept/connection errors; nil discards them.
@@ -104,8 +118,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	if cfg.MaxBatch > wire.MaxBatch {
-		cfg.MaxBatch = wire.MaxBatch
+	// Cap at the mixed-frame element bound: a coalesced batch must stay
+	// encodable as one mixed payload, which is what a durable store
+	// appends as its WAL record.
+	if cfg.MaxBatch > wire.MaxMixedBatch {
+		cfg.MaxBatch = wire.MaxMixedBatch
 	}
 	return &Server{cfg: cfg, store: cfg.Store, conns: map[net.Conn]struct{}{}}, nil
 }
@@ -247,18 +264,17 @@ func (s *Server) Counters() wire.ServerCounters {
 }
 
 // connState is the per-connection working set: buffered reader/writer,
-// the reusable frame payload buffer, and the coalescer's gather slices —
-// all reused across requests so the steady-state request path does not
-// allocate.
+// the reusable frame payload buffer, and the coalescer's operation batch
+// and result arenas — all reused across requests so the steady-state
+// request path does not allocate.
 type connState struct {
 	srv     *Server
 	c       net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	readBuf []byte
-	keys    []uint64
-	vals    []uint64
-	outs    []uint64
+	batch   op.Batch
+	res     op.Results
 	resp    []byte
 	// drainBroken is set when Shutdown's deadline poke interrupted the
 	// coalescer mid-frame: the gathered complete requests are still
@@ -314,12 +330,8 @@ func (s *Server) serveConn(c net.Conn) {
 		switch tag {
 		case wire.OpGet, wire.OpPut, wire.OpDel:
 			err = st.singles(tag, payload)
-		case wire.OpGetBatch:
-			err = st.getBatch(payload)
-		case wire.OpPutBatch:
-			err = st.putBatch(payload)
-		case wire.OpDelBatch:
-			err = st.delBatch(payload)
+		case wire.OpGetBatch, wire.OpPutBatch, wire.OpDelBatch, wire.OpMixedBatch:
+			err = st.batchFrame(tag, payload)
 		case wire.OpStats:
 			err = st.statsReply()
 		default:
@@ -355,18 +367,19 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
-// singles handles a single-op request frame and coalesces: consecutive
-// pipelined frames of the same opcode — those already buffered, plus any
-// that arrive within BatchWindow — are gathered (up to MaxBatch) and
-// executed as one store batch call. Responses are appended in request
-// order, so the wire contract is indistinguishable from serial execution.
-func (st *connState) singles(op byte, payload []byte) error {
-	st.keys = st.keys[:0]
-	st.vals = st.vals[:0]
-	if err := st.appendSingle(op, payload); err != nil {
+// singles handles a single-op request frame and coalesces: every
+// pipelined single-op frame — GET, PUT, and DEL alike, those already
+// buffered plus any that arrive within BatchWindow — is gathered in
+// request order (up to MaxBatch) into one mixed operation batch and
+// executed as ONE ApplyBatch call. Responses are appended in request
+// order, so the wire contract is indistinguishable from serial
+// execution; a kind switch in the pipeline no longer breaks the batch.
+func (st *connState) singles(tag byte, payload []byte) error {
+	st.batch.Reset()
+	if err := st.appendSingle(tag, payload); err != nil {
 		return err
 	}
-	for len(st.keys) < st.srv.cfg.MaxBatch && st.peekSame(op) {
+	for st.batch.Len() < st.srv.cfg.MaxBatch && st.peekSingle() {
 		tag, p, buf, err := wire.ReadFrame(st.br, st.readBuf)
 		st.readBuf = buf
 		if err != nil {
@@ -381,102 +394,76 @@ func (st *connState) singles(op byte, payload []byte) error {
 			}
 			return fmt.Errorf("reading pipelined frame: %w", err)
 		}
-		if tag != op { // unreachable: peekSame checked the header
-			return fmt.Errorf("pipelined opcode changed mid-run: 0x%02x", tag)
-		}
 		st.srv.frames.Add(1)
-		if err := st.appendSingle(op, p); err != nil {
+		if err := st.appendSingle(tag, p); err != nil {
 			return err
 		}
 	}
 
-	n := len(st.keys)
-	store := st.srv.store
+	n := st.batch.Len()
 	st.srv.ops.Add(uint64(n))
 	if n > 1 {
 		st.srv.coalescedBatches.Add(1)
 		st.srv.coalescedOps.Add(uint64(n))
 	}
-	switch op {
-	case wire.OpGet:
-		if n == 1 {
-			v, ok := store.Lookup(st.keys[0])
-			st.appendLookupResp(v, ok)
-			return nil
-		}
-		if cap(st.outs) < n {
-			st.outs = make([]uint64, n)
-		}
-		st.outs = st.outs[:n]
-		oks := store.LookupBatch(st.keys, st.outs)
-		for i, ok := range oks {
-			st.appendLookupResp(st.outs[i], ok)
-		}
-	case wire.OpPut:
-		var err error
-		if n == 1 {
-			err = store.Insert(st.keys[0], st.vals[0])
-		} else {
-			err = store.InsertBatch(st.keys, st.vals)
-		}
+	err := st.srv.store.ApplyBatch(&st.batch, &st.res)
+	if err != nil {
+		// Unit failure: nothing in the batch may be acknowledged (see the
+		// package comment), so every gathered request answers the error.
+		st.srv.errors.Add(uint64(n))
 		for i := 0; i < n; i++ {
-			if err != nil {
-				st.srv.errors.Add(1)
-				st.resp = wire.AppendError(st.resp, err.Error())
+			st.resp = wire.AppendError(st.resp, err.Error())
+		}
+		return nil
+	}
+	for i, kind := range st.batch.Kinds() {
+		switch kind {
+		case op.Get:
+			if st.res.Found[i] {
+				st.resp = wire.AppendValue(st.resp, st.res.Vals[i])
 			} else {
-				st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
 			}
-		}
-	case wire.OpDel:
-		if n == 1 {
-			st.appendDelResp(store.Delete(st.keys[0]))
-			return nil
-		}
-		for _, ok := range store.DeleteBatch(st.keys) {
-			st.appendDelResp(ok)
+		case op.Put:
+			st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+		case op.Del:
+			if st.res.Found[i] {
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+			} else {
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
+			}
 		}
 	}
 	return nil
 }
 
-func (st *connState) appendSingle(op byte, payload []byte) error {
+func (st *connState) appendSingle(tag byte, payload []byte) error {
 	want := 8
-	if op == wire.OpPut {
+	if tag == wire.OpPut {
 		want = 16
 	}
 	if len(payload) != want {
-		return fmt.Errorf("opcode 0x%02x payload %d bytes, want %d", op, len(payload), want)
+		return fmt.Errorf("opcode 0x%02x payload %d bytes, want %d", tag, len(payload), want)
 	}
-	st.keys = append(st.keys, wire.Uint64(payload, 0))
-	if op == wire.OpPut {
-		st.vals = append(st.vals, wire.Uint64(payload, 8))
+	switch tag {
+	case wire.OpGet:
+		st.batch.Get(wire.Uint64(payload, 0))
+	case wire.OpPut:
+		st.batch.Put(wire.Uint64(payload, 0), wire.Uint64(payload, 8))
+	case wire.OpDel:
+		st.batch.Del(wire.Uint64(payload, 0))
 	}
 	return nil
 }
 
-func (st *connState) appendLookupResp(v uint64, ok bool) {
-	if ok {
-		st.resp = wire.AppendValue(st.resp, v)
-	} else {
-		st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
-	}
-}
-
-func (st *connState) appendDelResp(ok bool) {
-	if ok {
-		st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
-	} else {
-		st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
-	}
-}
-
-// peekSame reports whether the next buffered frame carries the same
-// opcode. With a positive BatchWindow it waits up to that long for a
-// header to arrive (flushing pending responses first, so a client waiting
-// on them is not starved); without one it only inspects what is already
-// buffered, adding zero latency. A window timeout consumes nothing — the
-// partial bytes stay buffered for the main loop.
-func (st *connState) peekSame(op byte) bool {
+// peekSingle reports whether the next buffered frame is another
+// single-op request (any of GET/PUT/DEL — the mixed coalescer gathers
+// across kinds). With a positive BatchWindow it waits up to that long
+// for a header to arrive (flushing pending responses first, so a client
+// waiting on them is not starved); without one it only inspects what is
+// already buffered, adding zero latency. A window timeout consumes
+// nothing — the partial bytes stay buffered for the main loop.
+func (st *connState) peekSingle() bool {
 	if st.br.Buffered() < wire.HeaderSize {
 		w := st.srv.cfg.BatchWindow
 		if w <= 0 || st.srv.draining.Load() {
@@ -494,73 +481,52 @@ func (st *connState) peekSame(op byte) bool {
 	if err != nil {
 		return false
 	}
-	return hdr[4] == op
+	switch hdr[4] {
+	case wire.OpGet, wire.OpPut, wire.OpDel:
+		return true
+	}
+	return false
 }
 
-// getBatch answers an OpGetBatch frame with one LookupBatch call.
-func (st *connState) getBatch(payload []byte) error {
-	n, err := wire.BatchLen(payload, 8)
-	if err != nil {
+// batchFrame answers a native batch frame (GETBATCH, PUTBATCH, DELBATCH,
+// MIXEDBATCH): the payload decodes directly into the connection's
+// operation batch — which retains the payload bytes, so a durable
+// store's WAL record is those bytes, zero-copy — and one ApplyBatch call
+// executes it. The response keeps each frame's historical shape; a
+// store-level failure answers StatusErr for the whole frame with the
+// stream still aligned.
+func (st *connState) batchFrame(tag byte, payload []byte) error {
+	if err := wire.DecodeBatch(tag, payload, &st.batch); err != nil {
 		return err
 	}
-	st.keys = st.keys[:0]
-	for i := 0; i < n; i++ {
-		st.keys = append(st.keys, wire.Uint64(payload, 4+8*i))
-	}
-	if cap(st.outs) < n {
-		st.outs = make([]uint64, n)
-	}
-	st.outs = st.outs[:n]
-	oks := st.srv.store.LookupBatch(st.keys, st.outs)
+	n := st.batch.Len()
 	st.srv.ops.Add(uint64(n))
-	st.resp = wire.AppendFoundValues(st.resp, oks, st.outs)
-	return nil
-}
-
-// putBatch answers an OpPutBatch frame with one InsertBatch call.
-func (st *connState) putBatch(payload []byte) error {
-	n, err := wire.BatchLen(payload, 16)
-	if err != nil {
-		return err
-	}
-	st.keys = st.keys[:0]
-	st.vals = st.vals[:0]
-	for i := 0; i < n; i++ {
-		st.keys = append(st.keys, wire.Uint64(payload, 4+16*i))
-		st.vals = append(st.vals, wire.Uint64(payload, 4+16*i+8))
-	}
-	st.srv.ops.Add(uint64(n))
-	if err := st.srv.store.InsertBatch(st.keys, st.vals); err != nil {
+	if err := st.srv.store.ApplyBatch(&st.batch, &st.res); err != nil {
 		st.srv.errors.Add(1)
 		st.resp = wire.AppendError(st.resp, err.Error())
 		return nil
 	}
-	st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
-	return nil
-}
-
-// delBatch answers an OpDelBatch frame with one DeleteBatch call.
-func (st *connState) delBatch(payload []byte) error {
-	n, err := wire.BatchLen(payload, 8)
-	if err != nil {
-		return err
+	switch tag {
+	case wire.OpGetBatch:
+		st.resp = wire.AppendFoundValues(st.resp, st.res.Found, st.res.Vals)
+	case wire.OpPutBatch:
+		st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+	case wire.OpDelBatch:
+		st.resp = wire.AppendFound(st.resp, st.res.Found)
+	case wire.OpMixedBatch:
+		st.resp = wire.AppendMixedResults(st.resp, &st.batch, &st.res)
 	}
-	st.keys = st.keys[:0]
-	for i := 0; i < n; i++ {
-		st.keys = append(st.keys, wire.Uint64(payload, 4+8*i))
-	}
-	oks := st.srv.store.DeleteBatch(st.keys)
-	st.srv.ops.Add(uint64(n))
-	st.resp = wire.AppendFound(st.resp, oks)
 	return nil
 }
 
 // statsReply answers OpStats with the JSON StatsReply.
 func (st *connState) statsReply() error {
 	st.srv.ops.Add(1)
+	storeStats := st.srv.store.Stats()
 	reply := wire.StatsReply{
-		Server: st.srv.Counters(),
-		Store:  st.srv.store.Stats(),
+		Server:     st.srv.Counters(),
+		Store:      storeStats,
+		Durability: wire.DurabilityFrom(storeStats),
 	}
 	body, err := json.Marshal(reply)
 	if err != nil {

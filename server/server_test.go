@@ -270,6 +270,158 @@ func TestShardedStoreBehindServer(t *testing.T) {
 	}
 }
 
+// TestMixedBatchFrame drives the MIXEDBATCH opcode end to end: one
+// frame carrying an ordered GET/PUT/DEL mix, one ApplyBatch on the
+// store, element-wise results in entry order — including same-key
+// read-after-write ordering inside the frame.
+func TestMixedBatchFrame(t *testing.T) {
+	_, st, addr := startServer(t, server.Config{})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var m client.MixedBatch
+	m.Put(1, 11) // 0: ack
+	m.Get(1)     // 1: 11
+	m.Put(1, 12) // 2: ack — same key, later entry
+	m.Get(1)     // 3: 12
+	m.Del(1)     // 4: found
+	m.Get(1)     // 5: miss
+	m.Get(2)     // 6: miss
+	m.Put(2, 22) // 7: ack
+	p := c.Pipeline()
+	p.Mixed(&m)
+	if got := p.Len(); got != 8 {
+		t.Fatalf("pipeline queued %d ops for the mixed batch", got)
+	}
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		found bool
+		value uint64
+	}{
+		{true, 0}, {true, 11}, {true, 0}, {true, 12},
+		{true, 0}, {false, 0}, {false, 0}, {true, 0},
+	}
+	for i, w := range want {
+		if res[i].Err != nil || res[i].Found != w.found || res[i].Value != w.value {
+			t.Fatalf("result[%d] = %+v, want %+v", i, res[i], w)
+		}
+	}
+	if v, ok := st.Lookup(2); !ok || v != 22 {
+		t.Fatalf("store after mixed batch: Lookup(2) = %d, %v", v, ok)
+	}
+}
+
+// TestMixedCoalescingAcrossKinds is the acceptance check for the mixed
+// coalescer: a pipelined burst that SWITCHES kinds must still gather
+// into few ApplyBatch calls (visible as one coalesced batch per flush,
+// not one per kind switch), with every response correct and in order.
+func TestMixedCoalescingAcrossKinds(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{BatchWindow: coalesceWindow})
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const rounds = 32
+	p := c.Pipeline()
+	for i := uint64(0); i < rounds; i++ {
+		p.Put(i, i*7) // alternate kinds every op: the old same-kind
+		p.Get(i)      // coalescer would break the run 2×rounds times
+	}
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < rounds; i++ {
+		put, get := res[2*i], res[2*i+1]
+		if put.Err != nil || !put.Found {
+			t.Fatalf("put result[%d] = %+v", i, put)
+		}
+		if get.Err != nil || !get.Found || get.Value != i*7 {
+			t.Fatalf("get result[%d] = %+v, want %d", i, get, i*7)
+		}
+	}
+	counters := srv.Counters()
+	if counters.CoalescedBatches == 0 {
+		t.Fatal("no coalesced batches despite a pipelined burst")
+	}
+	// The burst is 64 ops; a same-kind coalescer would need ≥ 64 store
+	// calls (every op is a kind switch). The mixed coalescer must carry
+	// many ops per batch.
+	if avg := float64(counters.CoalescedOps) / float64(counters.CoalescedBatches); avg < 8 {
+		t.Fatalf("coalesced batches average %.1f ops — kind switches still break the batch", avg)
+	}
+}
+
+// TestShutdownDrainsHalfFilledWindow is the drain contract for the mixed
+// coalescer's batch window: a connection whose coalescer sits mid-window
+// with a half-filled MIXED batch (a PUT, a GET, and a DEL gathered, more
+// expected) must, on Shutdown, execute the gathered batch, flush the
+// responses in order, and close — not drop the batch, not wait out the
+// window. Run under -race in CI this also checks the drain poke against
+// the window wait.
+func TestShutdownDrainsHalfFilledWindow(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{BatchWindow: 30 * time.Second})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// Three single-op frames of different kinds, then silence: the
+	// coalescer gathers all three and parks in the 30s batch window.
+	var burst []byte
+	burst = wire.AppendPut(burst, 1, 10)
+	burst = wire.AppendKey(burst, wire.OpGet, 1)
+	burst = wire.AppendKey(burst, wire.OpDel, 1)
+	if _, err := raw.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server time to ingest the burst and enter the window wait
+	// (the responses cannot arrive before Shutdown — the window flush
+	// only happens when the coalescer peeks, which it has: nothing more
+	// will arrive).
+	time.Sleep(100 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	raw.SetReadDeadline(time.Now().Add(10 * time.Second))
+	reply, err := io.ReadAll(raw)
+	if err != nil {
+		t.Fatalf("reading drained responses: %v", err)
+	}
+	// PUT ack, GET hit (5-byte header + 8-byte value), DEL found.
+	if want := 3*wire.HeaderSize + 8; len(reply) != want {
+		t.Fatalf("drained %d response bytes, want %d", len(reply), want)
+	}
+	if reply[4] != wire.StatusOK {
+		t.Fatalf("PUT response = %x", reply[:wire.HeaderSize])
+	}
+	get := reply[wire.HeaderSize:]
+	if get[4] != wire.StatusOK || wire.Uint64(get, wire.HeaderSize) != 10 {
+		t.Fatalf("GET response = %x", get[:wire.HeaderSize+8])
+	}
+	del := get[wire.HeaderSize+8:]
+	if del[4] != wire.StatusOK {
+		t.Fatalf("DEL response = %x", del)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
 // TestConcurrentClients hammers one server from several pooled clients;
 // run under -race this is the serving-path race check.
 func TestConcurrentClients(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vmshortcut/internal/hashfn"
+	"vmshortcut/internal/op"
 )
 
 // shardFanOutMin is the batch size below which the per-shard sub-batches
@@ -115,10 +116,11 @@ func (s *sharded) Len() int {
 // sub-batches are slices of two flat backing arrays laid out in shard
 // order, so the allocation count is constant in the shard count — no
 // append growth, no per-shard make. pos records each key's original
-// position so batch lookups can gather results back in caller order.
-func (s *sharded) split(keys []uint64) (byShard [][]uint64, pos [][]int) {
+// position so batch lookups can gather results back in caller order;
+// counts feeds fanOut.
+func (s *sharded) split(keys []uint64) (byShard [][]uint64, pos [][]int, counts []int) {
 	n := len(s.shards)
-	counts := make([]int, n)
+	counts = make([]int, n)
 	route := make([]uint32, len(keys))
 	for i, k := range keys {
 		sh := s.shardOf(k)
@@ -140,24 +142,25 @@ func (s *sharded) split(keys []uint64) (byShard [][]uint64, pos [][]int) {
 		byShard[sh] = append(byShard[sh], k)
 		pos[sh] = append(pos[sh], i)
 	}
-	return byShard, pos
+	return byShard, pos, counts
 }
 
-// fanOut runs fn for every non-empty shard sub-batch. Small batches (or a
-// batch that routed entirely to one shard) run on the calling goroutine;
-// otherwise one goroutine is spawned per additional shard and the first
-// hit shard runs on the caller — the caller would only block on wg.Wait
-// anyway, so this saves one spawn per batch.
-func (s *sharded) fanOut(byShard [][]uint64, total int, fn func(sh int)) {
+// fanOut runs fn for every shard whose sub-batch is non-empty (per
+// counts). Small batches (or a batch that routed entirely to one shard)
+// run on the calling goroutine; otherwise one goroutine is spawned per
+// additional shard and the first hit shard runs on the caller — the
+// caller would only block on wg.Wait anyway, so this saves one spawn per
+// batch.
+func (s *sharded) fanOut(counts []int, total int, fn func(sh int)) {
 	hit := 0
-	for _, ks := range byShard {
-		if len(ks) > 0 {
+	for _, c := range counts {
+		if c > 0 {
 			hit++
 		}
 	}
 	if hit <= 1 || total < shardFanOutMin {
-		for sh, ks := range byShard {
-			if len(ks) > 0 {
+		for sh, c := range counts {
+			if c > 0 {
 				fn(sh)
 			}
 		}
@@ -165,8 +168,8 @@ func (s *sharded) fanOut(byShard [][]uint64, total int, fn func(sh int)) {
 	}
 	var wg sync.WaitGroup
 	inline := -1
-	for sh, ks := range byShard {
-		if len(ks) == 0 {
+	for sh, c := range counts {
+		if c == 0 {
 			continue
 		}
 		if inline < 0 {
@@ -193,7 +196,7 @@ func (s *sharded) InsertBatch(keys, values []uint64) error {
 		return fmt.Errorf("vmshortcut: InsertBatch: %d keys but %d values", len(keys), len(values))
 	}
 	s.insertBatches.Add(1)
-	byShard, pos := s.split(keys)
+	byShard, pos, counts := s.split(keys)
 	flatV := make([]uint64, len(keys))
 	valsByShard := make([][]uint64, len(s.shards))
 	off := 0
@@ -206,7 +209,7 @@ func (s *sharded) InsertBatch(keys, values []uint64) error {
 		off += len(ps)
 	}
 	errs := make([]error, len(s.shards))
-	s.fanOut(byShard, len(keys), func(sh int) {
+	s.fanOut(counts, len(keys), func(sh int) {
 		errs[sh] = s.shards[sh].InsertBatch(byShard[sh], valsByShard[sh])
 	})
 	for _, err := range errs {
@@ -224,7 +227,7 @@ func (s *sharded) InsertBatch(keys, values []uint64) error {
 func (s *sharded) LookupBatch(keys []uint64, out []uint64) []bool {
 	s.lookupBatches.Add(1)
 	oks := make([]bool, len(keys))
-	byShard, pos := s.split(keys)
+	byShard, pos, counts := s.split(keys)
 	flatOut := make([]uint64, len(keys)) // sliced per shard; ranges disjoint
 	subOuts := make([][]uint64, len(s.shards))
 	off := 0
@@ -232,7 +235,7 @@ func (s *sharded) LookupBatch(keys []uint64, out []uint64) []bool {
 		subOuts[sh] = flatOut[off : off+len(ks)]
 		off += len(ks)
 	}
-	s.fanOut(byShard, len(keys), func(sh int) {
+	s.fanOut(counts, len(keys), func(sh int) {
 		subOks := s.shards[sh].LookupBatch(byShard[sh], subOuts[sh])
 		for j, i := range pos[sh] {
 			out[i] = subOuts[sh][j]
@@ -249,14 +252,76 @@ func (s *sharded) LookupBatch(keys []uint64, out []uint64) []bool {
 func (s *sharded) DeleteBatch(keys []uint64) []bool {
 	s.deleteBatches.Add(1)
 	oks := make([]bool, len(keys))
-	byShard, pos := s.split(keys)
-	s.fanOut(byShard, len(keys), func(sh int) {
+	byShard, pos, counts := s.split(keys)
+	s.fanOut(counts, len(keys), func(sh int) {
 		subOks := s.shards[sh].DeleteBatch(byShard[sh])
 		for j, i := range pos[sh] {
 			oks[i] = subOks[j]
 		}
 	})
 	return oks
+}
+
+// ApplyBatch splits a mixed batch across the shards in ONE pass — each
+// entry is routed by its key, so the per-key operation order of the
+// caller's batch is preserved inside the owning shard's sub-batch — fans
+// the per-shard sub-batches out in parallel, and gathers the per-entry
+// outcomes back into caller order. The batch counters count the
+// caller-facing batch's same-kind runs once, like the other batch paths;
+// the per-shard sub-batches are not double counted. The first shard
+// error (in shard order) fails the whole batch, per the ApplyBatch
+// unit-failure contract.
+func (s *sharded) ApplyBatch(b *op.Batch, res *op.Results) error {
+	n := b.Len()
+	res.Reset(n)
+	if n == 0 {
+		return nil
+	}
+	kinds, keys, vals := b.Kinds(), b.Keys(), b.Vals()
+	ns := len(s.shards)
+	counts := make([]int, ns)
+	route := make([]uint32, n)
+	for i, k := range keys {
+		sh := s.shardOf(k)
+		route[i] = uint32(sh)
+		counts[sh]++
+	}
+	sub := make([]op.Batch, ns)
+	flatP := make([]int, n)
+	pos := make([][]int, ns)
+	off := 0
+	for sh, c := range counts {
+		sub[sh].Grow(c)
+		pos[sh] = flatP[off : off : off+c]
+		off += c
+	}
+	for i, k := range keys {
+		sh := route[i]
+		sub[sh].Add(kinds[i], k, vals[i])
+		pos[sh] = append(pos[sh], i)
+	}
+	runs := op.CountRuns(kinds)
+	s.lookupBatches.Add(runs[op.Get])
+	s.insertBatches.Add(runs[op.Put])
+	s.deleteBatches.Add(runs[op.Del])
+
+	subRes := make([]op.Results, ns)
+	errs := make([]error, ns)
+	s.fanOut(counts, n, func(sh int) {
+		errs[sh] = s.shards[sh].ApplyBatch(&sub[sh], &subRes[sh])
+	})
+	for sh := range pos {
+		for j, i := range pos[sh] {
+			res.Found[i] = subRes[sh].Found[j]
+			res.Vals[i] = subRes[sh].Vals[j]
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Range calls fn for every stored entry until fn returns false, visiting

@@ -129,6 +129,54 @@ func TestShardedDeleteBatch(t *testing.T) {
 // TestShardOfCoversAllShards checks the routing hash is total and spreads:
 // every shard index is produced, results stay in range, and the function
 // is deterministic.
+// TestShardedApplyBatch drives a large mixed batch through a sharded
+// store: the one-pass split must route every entry to its key's shard
+// with per-key order preserved, fan out in parallel, and gather results
+// back into caller order — checked against a reference run on an
+// unsharded store.
+func TestShardedApplyBatch(t *testing.T) {
+	s := openShardedSCEH(t, 4)
+	ref, err := Open(KindHT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() })
+
+	// A deterministic pseudo-random mix, well above the fan-out
+	// threshold, with repeated keys so same-key order matters.
+	const n = 4096
+	var b OpBatch
+	rng := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		key := rng % 257 // dense: plenty of same-key collisions
+		switch rng >> 61 {
+		case 0, 1, 2:
+			b.Put(key, rng)
+		case 3, 4, 5:
+			b.Get(key)
+		default:
+			b.Del(key)
+		}
+	}
+	var got, want OpResults
+	if err := s.ApplyBatch(&b, &got); err != nil {
+		t.Fatalf("sharded ApplyBatch: %v", err)
+	}
+	if err := ref.ApplyBatch(&b, &want); err != nil {
+		t.Fatalf("reference ApplyBatch: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got.Found[i] != want.Found[i] || got.Vals[i] != want.Vals[i] {
+			t.Fatalf("entry %d = (%v, %d), reference (%v, %d)",
+				i, got.Found[i], got.Vals[i], want.Found[i], want.Vals[i])
+		}
+	}
+	if s.Len() != ref.Len() {
+		t.Fatalf("sharded Len %d, reference %d", s.Len(), ref.Len())
+	}
+}
+
 func TestShardOfCoversAllShards(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 16} {
 		hit := make([]int, n)
@@ -214,9 +262,13 @@ func (s *stubStore) InsertBatch(keys, values []uint64) error   { return nil }
 func (s *stubStore) LookupBatch(k []uint64, o []uint64) []bool { return make([]bool, len(k)) }
 func (s *stubStore) DeleteBatch(k []uint64) []bool             { return make([]bool, len(k)) }
 func (s *stubStore) Range(fn func(key, value uint64) bool)     {}
-func (s *stubStore) Stats() Stats                              { return Stats{} }
-func (s *stubStore) WaitSync(timeout time.Duration) bool       { return true }
-func (s *stubStore) Kind() Kind                                { return KindShortcutEH }
+func (s *stubStore) ApplyBatch(b *OpBatch, res *OpResults) error {
+	res.Reset(b.Len())
+	return nil
+}
+func (s *stubStore) Stats() Stats                        { return Stats{} }
+func (s *stubStore) WaitSync(timeout time.Duration) bool { return true }
+func (s *stubStore) Kind() Kind                          { return KindShortcutEH }
 func (s *stubStore) Close() error {
 	s.closed.Store(true)
 	return s.closeErr

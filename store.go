@@ -11,10 +11,23 @@ import (
 	"vmshortcut/internal/eh"
 	"vmshortcut/internal/ht"
 	"vmshortcut/internal/hti"
+	"vmshortcut/internal/op"
 	"vmshortcut/internal/pool"
 	"vmshortcut/internal/radix"
 	"vmshortcut/internal/sceh"
 )
+
+// OpBatch is the serving stack's shared operation-batch representation
+// (internal/op.Batch): an ordered mix of GET/PUT/DEL entries over
+// contiguous storage. One OpBatch travels from the wire decode through
+// the coalescer and the shard fan-out down to the WAL append without
+// being re-packed. Build one with its Get/Put/Del methods, or let the
+// wire layer decode a frame into it.
+type OpBatch = op.Batch
+
+// OpResults holds per-entry outcomes of an applied OpBatch
+// (internal/op.Results): Found per entry, plus the value for GET hits.
+type OpResults = op.Results
 
 // Kind selects the index implementation behind Open.
 type Kind int
@@ -90,6 +103,28 @@ type Store interface {
 	// delete path is symmetric with insert/lookup for batch-shaped callers
 	// (the network server's pipelined DEL path).
 	DeleteBatch(keys []uint64) []bool
+
+	// ApplyBatch executes an ordered mixed-operation batch — the serving
+	// stack's one shared representation (OpBatch) — writing per-entry
+	// outcomes into res (sized and zeroed by the call): presence and
+	// value for GET entries, presence for DEL entries, acceptance for PUT
+	// entries. Entries are applied in order (maximal same-kind runs go
+	// through the native batch paths, so a uniform batch is exactly an
+	// InsertBatch/LookupBatch/DeleteBatch — and counts in the same Stats
+	// counters), a concurrent store takes its lock once for the whole
+	// batch, a sharded store splits the batch per shard in one pass, and
+	// a durable store appends ONE log record for the whole batch,
+	// zero-copy from the batch's wire payload.
+	//
+	// A mixed batch fails as a unit: a non-nil error (a rejected insert,
+	// a closed store, a log append failure) means the caller must treat
+	// every entry as failed and acknowledge none of them — on a durable
+	// store, entries may then have taken effect in memory without being
+	// logged, exactly the unacknowledged one-batch window the WAL's
+	// fail-stop contract already documents. Batches larger than
+	// wal.MaxRecordPairs may be rejected by durable stores; the wire
+	// layer's frame bounds keep served batches far below that.
+	ApplyBatch(b *OpBatch, res *OpResults) error
 
 	// Range calls fn for every stored (key, value) entry until fn returns
 	// false. Iteration order is unspecified (KindRadix iterates in key
@@ -392,6 +427,60 @@ type batchIndex interface {
 	LookupBatch(keys []uint64, out []uint64) []bool
 	DeleteBatch(keys []uint64) []bool
 	Range(fn func(key, value uint64) bool)
+}
+
+// applyRuns executes a mixed batch against an index as maximal same-kind
+// runs, in entry order: each run becomes one native batch call (one
+// routing decision, per the paper's amortization), and a single-entry
+// run uses the single-op path so a lone pipelined request costs what it
+// did before batching existed. Results land at the entries' caller-order
+// positions. It returns how many multi-entry runs of each kind ran (the
+// store's batch counters count exactly those, keeping their meaning from
+// the same-kind era) and the first insert error; later runs still
+// execute, but per the ApplyBatch contract the whole batch then fails as
+// a unit.
+func applyRuns(idx batchIndex, b *op.Batch, res *op.Results) (runs [3]uint64, firstErr error) {
+	kinds, keys, vals := b.Kinds(), b.Keys(), b.Vals()
+	res.Reset(len(kinds))
+	runs = op.CountRuns(kinds) // the one shared "what counts as a batch" definition
+	for i := 0; i < len(kinds); {
+		j := i + 1
+		for j < len(kinds) && kinds[j] == kinds[i] {
+			j++
+		}
+		switch kinds[i] {
+		case op.Get:
+			if j-i == 1 {
+				res.Vals[i], res.Found[i] = idx.Lookup(keys[i])
+			} else {
+				copy(res.Found[i:j], idx.LookupBatch(keys[i:j], res.Vals[i:j]))
+			}
+		case op.Put:
+			var err error
+			if j-i == 1 {
+				err = idx.Insert(keys[i], vals[i])
+			} else {
+				err = idx.InsertBatch(keys[i:j], vals[i:j])
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				for k := i; k < j; k++ {
+					res.Found[k] = true
+				}
+			}
+		case op.Del:
+			if j-i == 1 {
+				res.Found[i] = idx.Delete(keys[i])
+			} else {
+				copy(res.Found[i:j], idx.DeleteBatch(keys[i:j]))
+			}
+		}
+		i = j
+	}
+	return runs, firstErr
 }
 
 // effectiveLoadFactor mirrors the 0.35 default every implementation fills
@@ -795,6 +884,25 @@ func (l *lockedIndex) DeleteBatch(keys []uint64) []bool {
 	return l.idx.DeleteBatch(keys)
 }
 
+// applyBatch executes a mixed batch under ONE lock acquisition — the
+// write lock when the batch mutates (or reads migrate, KindHTI), the
+// read lock for a pure-GET batch — so a coalesced pipeline round pays
+// one lock, not one per kind switch.
+func (l *lockedIndex) applyBatch(b *op.Batch, res *op.Results) ([3]uint64, error) {
+	if b.Mutations() > 0 || l.readMutates {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	} else {
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+	}
+	if l.closed {
+		res.Reset(b.Len())
+		return [3]uint64{}, ErrClosed
+	}
+	return applyRuns(l.idx, b, res)
+}
+
 func (l *lockedIndex) Range(fn func(key, value uint64) bool) {
 	l.rlock()
 	defer l.runlock()
@@ -879,6 +987,24 @@ func (s *store) DeleteBatch(keys []uint64) []bool {
 	}
 	s.deleteBatches.Add(1)
 	return s.idx.DeleteBatch(keys)
+}
+
+func (s *store) ApplyBatch(b *op.Batch, res *op.Results) error {
+	if s.closed.Load() {
+		res.Reset(b.Len())
+		return ErrClosed
+	}
+	var runs [3]uint64
+	var err error
+	if s.lck != nil {
+		runs, err = s.lck.applyBatch(b, res)
+	} else {
+		runs, err = applyRuns(s.idx, b, res)
+	}
+	s.lookupBatches.Add(runs[op.Get])
+	s.insertBatches.Add(runs[op.Put])
+	s.deleteBatches.Add(runs[op.Del])
+	return err
 }
 
 func (s *store) Range(fn func(key, value uint64) bool) {

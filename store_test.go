@@ -119,6 +119,108 @@ func TestOpenConformance(t *testing.T) {
 	}
 }
 
+// TestApplyBatchConformance drives a mixed operation batch — including
+// same-key sequences whose per-entry order is observable — through every
+// kind, plain and concurrent. ApplyBatch is the serving stack's one
+// execution path, so its semantics must match running the entries one by
+// one.
+func TestApplyBatchConformance(t *testing.T) {
+	const n = 4096
+	run := func(t *testing.T, s Store) {
+		var b OpBatch
+		b.Put(1, 10) // 0: accepted
+		b.Get(1)     // 1: 10
+		b.Put(1, 11) // 2: accepted — overwrites after the read
+		b.Get(1)     // 3: 11
+		b.Del(1)     // 4: found
+		b.Get(1)     // 5: miss
+		b.Del(1)     // 6: miss
+		for k := uint64(100); k < 140; k++ {
+			b.Put(k, k*2) // a long uniform run: one InsertBatch
+		}
+		for k := uint64(100); k < 140; k++ {
+			b.Get(k) // a long uniform run: one LookupBatch
+		}
+		var res OpResults
+		if err := s.ApplyBatch(&b, &res); err != nil {
+			t.Fatalf("ApplyBatch: %v", err)
+		}
+		wantFound := []bool{true, true, true, true, true, false, false}
+		wantVals := []uint64{0, 10, 0, 11, 0, 0, 0}
+		for i := range wantFound {
+			if res.Found[i] != wantFound[i] || res.Vals[i] != wantVals[i] {
+				t.Fatalf("entry %d = (%v, %d), want (%v, %d)",
+					i, res.Found[i], res.Vals[i], wantFound[i], wantVals[i])
+			}
+		}
+		for i := 0; i < 40; i++ {
+			put, get := 7+i, 47+i
+			if !res.Found[put] || !res.Found[get] || res.Vals[get] != uint64(100+i)*2 {
+				t.Fatalf("run entries %d/%d = (%v, %v, %d)", put, get,
+					res.Found[put], res.Found[get], res.Vals[get])
+			}
+		}
+		// The uniform runs went through the native batch paths: visible
+		// in the batch counters exactly like a same-kind batch call.
+		st := s.Stats()
+		if st.InsertBatches == 0 || st.LookupBatches == 0 {
+			t.Fatalf("multi-entry runs did not count as batches: %+v", st)
+		}
+		// An empty batch is a no-op.
+		var empty OpBatch
+		if err := s.ApplyBatch(&empty, &res); err != nil || len(res.Found) != 0 {
+			t.Fatalf("empty ApplyBatch = %v, %d results", err, len(res.Found))
+		}
+	}
+	for name, s := range openKinds(t, n) {
+		t.Run(name, func(t *testing.T) { run(t, s) })
+	}
+	for name, s := range openKinds(t, n, WithConcurrency(true)) {
+		t.Run(name+"/concurrent", func(t *testing.T) { run(t, s) })
+	}
+}
+
+// TestApplyBatchClosed pins the lifecycle contract: ApplyBatch on a
+// closed store fails with ErrClosed and zeroed results.
+func TestApplyBatchClosed(t *testing.T) {
+	for _, opts := range [][]Option{nil, {WithConcurrency(true)}} {
+		s, err := Open(KindHT, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		var b OpBatch
+		b.Put(1, 2)
+		b.Get(1)
+		var res OpResults
+		if err := s.ApplyBatch(&b, &res); !errors.Is(err, ErrClosed) {
+			t.Fatalf("ApplyBatch after Close = %v, want ErrClosed", err)
+		}
+		if len(res.Found) != 2 || res.Found[0] || res.Found[1] {
+			t.Fatalf("closed ApplyBatch results = %+v", res)
+		}
+	}
+}
+
+// TestApplyBatchUnitFailure pins the unit-failure contract: a rejected
+// insert (radix key out of range) fails the whole batch with the insert
+// error, even though other entries executed.
+func TestApplyBatchUnitFailure(t *testing.T) {
+	s, err := Open(KindRadix, WithCapacity(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var b OpBatch
+	b.Put(1, 10)
+	b.Put(1<<40, 1) // out of the radix key-space bound
+	b.Get(1)
+	var res OpResults
+	if err := s.ApplyBatch(&b, &res); err == nil {
+		t.Fatal("ApplyBatch accepted an out-of-range radix insert")
+	}
+}
+
 // TestOpenErrors exercises Open's failure paths.
 func TestOpenErrors(t *testing.T) {
 	if _, err := Open(Kind(99)); err == nil {

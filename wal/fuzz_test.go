@@ -1,32 +1,37 @@
 package wal
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"vmshortcut/internal/op"
 )
 
 // FuzzDecodePayload throws arbitrary bytes at the record payload decoder:
 // it must never panic, and whatever it accepts must re-encode to the same
-// payload (the codec is bijective on valid records).
+// payload (the codec is bijective on valid records) — across all three
+// record codes, including OpMixed's variable-stride layout.
 func FuzzDecodePayload(f *testing.F) {
-	f.Add(appendRecord(nil, 1, OpPut, []uint64{1, 2}, []uint64{3, 4})[recordHeaderSize:])
-	f.Add(appendRecord(nil, 9, OpDel, []uint64{42}, nil)[recordHeaderSize:])
+	f.Add(appendRecord(nil, 1, OpPut, op.AppendPairsPayload(nil, []uint64{1, 2}, []uint64{3, 4}))[recordHeaderSize:])
+	f.Add(appendRecord(nil, 9, OpDel, op.AppendKeysPayload(nil, []uint64{42}))[recordHeaderSize:])
+	var mixed op.Batch
+	mixed.Get(5)
+	mixed.Put(6, 66)
+	mixed.Del(7)
+	f.Add(appendRecord(nil, 3, OpMixed, mixed.AppendPayload(nil))[recordHeaderSize:])
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, OpPut, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		lsn, op, keys, values, err := decodePayload(payload)
+		var b op.Batch
+		lsn, code, err := decodeRecordPayload(payload, &b)
 		if err != nil {
 			return
 		}
-		re := appendRecord(nil, lsn, op, keys, values)[recordHeaderSize:]
-		if len(re) != len(payload) {
-			t.Fatalf("re-encoded %d bytes from a %d-byte payload", len(re), len(payload))
-		}
-		for i := range re {
-			if re[i] != payload[i] {
-				t.Fatalf("re-encoding differs at byte %d", i)
-			}
+		re := appendRecord(nil, lsn, code, b.AppendPayload(nil))[recordHeaderSize:]
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("re-encoded %d bytes differ from the %d-byte payload", len(re), len(payload))
 		}
 	})
 }
@@ -36,9 +41,15 @@ func FuzzDecodePayload(f *testing.F) {
 // tail damage is always repairable by truncation), and the resulting log
 // must accept an append and survive a reopen.
 func FuzzOpenSegment(f *testing.F) {
-	intact := appendRecord(nil, 1, OpPut, []uint64{5}, []uint64{6})
+	intact := appendRecord(nil, 1, OpPut, op.AppendPairsPayload(nil, []uint64{5}, []uint64{6}))
+	var mixed op.Batch
+	mixed.Put(1, 2)
+	mixed.Get(3)
+	withMixed := appendRecord(intact, 2, OpMixed, mixed.AppendPayload(nil))
 	f.Add(intact)
 	f.Add(intact[:len(intact)-3])
+	f.Add(withMixed)
+	f.Add(withMixed[:len(withMixed)-5])
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, blob []byte) {
@@ -47,7 +58,7 @@ func FuzzOpenSegment(f *testing.F) {
 			t.Fatal(err)
 		}
 		var replayed uint64
-		l, err := Open(dir, Options{Mode: FsyncOff}, func(lsn uint64, _ byte, _, _ []uint64) error {
+		l, err := Open(dir, Options{Mode: FsyncOff}, func(lsn uint64, _ *op.Batch) error {
 			replayed = lsn
 			return nil
 		})

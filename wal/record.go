@@ -1,22 +1,24 @@
-// Record codec. A record is one durable unit of the log — a whole PUT or
-// DEL batch — framed so that replay can both detect corruption and
+// Record codec. A record is one durable unit of the log — one whole
+// operation batch — framed so that replay can both detect corruption and
 // recognize a torn tail:
 //
 //	u32 payloadLen   length of everything after the crc field
 //	u32 crc          IEEE CRC32 of the payload
 //	payload:
 //	  u64 lsn        the record's log sequence number (strictly increasing)
-//	  u8  op         OpPut or OpDel
-//	  u32 n          element count
-//	  n × u64 key            (OpDel)
-//	  n × (u64 key, u64 val) (OpPut)
+//	  u8  op         the batch code: OpPut, OpDel, or OpMixed
+//	  ...            the batch's payload, in the internal/op layout
 //
-// All integers are little-endian. The payload past the lsn is laid out
-// exactly like the body of an internal/wire OpPutBatch / OpDelBatch frame
-// (same op byte values, same count prefix, same element packing), so the
-// server's coalesced batches translate into log records without
-// re-encoding concepts — the log is the wire protocol's batch frames,
-// made durable.
+// All integers are little-endian. The payload past the lsn is NOT a
+// private format: the op byte and the bytes after it are exactly an
+// internal/op batch payload — the same constants and the same codec the
+// wire protocol's batch frames use (OpPut is op.CodePutBatch is
+// wire.OpPutBatch, and so on). A batch frame received from the socket
+// therefore becomes a log record by prefixing lsn and code; nothing is
+// re-encoded between the read syscall and the fsync. OpMixed records
+// (an ordered GET/PUT/DEL mix) may contain GET entries when the wire
+// payload did; replay applies the mutations and treats the GETs as
+// no-ops.
 package wal
 
 import (
@@ -24,100 +26,78 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"vmshortcut/internal/op"
 )
 
-// Record opcodes. The values deliberately equal wire.OpPutBatch and
-// wire.OpDelBatch (asserted by a test in the root package; wal cannot
-// import internal/wire without a cycle).
+// Record opcodes: the internal/op batch codes, shared — by construction,
+// not convention — with the wire protocol's batch frame opcodes.
 const (
-	OpPut byte = 0x06
-	OpDel byte = 0x07
+	OpPut   = op.CodePutBatch
+	OpDel   = op.CodeDelBatch
+	OpMixed = op.CodeMixedBatch
 )
 
-// MaxRecordPairs caps the elements one record may carry. Append splits
-// larger batches across several records (still covered by one fsync), so
-// the cap bounds replay buffers without bounding caller batches.
-const MaxRecordPairs = 1 << 16
+// MaxRecordPairs caps the elements one record may carry. AppendPut and
+// AppendDelete split larger batches across several records (still
+// covered by one fsync), so the cap bounds replay buffers without
+// bounding caller batches. It equals op.MaxElems, so any batch the wire
+// layer accepts fits one record.
+const MaxRecordPairs = op.MaxElems
 
 // recordHeaderSize is the fixed prefix: u32 payloadLen + u32 crc.
 const recordHeaderSize = 8
 
-// payloadHeaderSize is the fixed payload prefix: u64 lsn + u8 op + u32 n.
-const payloadHeaderSize = 13
+// payloadPrefixSize is the fixed payload prefix: u64 lsn + u8 op. The
+// batch payload that follows carries at least its own u32 count.
+const payloadPrefixSize = 9
 
-// maxPayload is the largest valid payload: a full PUT record.
-const maxPayload = payloadHeaderSize + MaxRecordPairs*16
+// minPayload is the smallest valid record payload: prefix + empty batch.
+const minPayload = payloadPrefixSize + 4
+
+// maxPayload is the largest valid payload: a full mixed record whose
+// entries are all PUTs (1 kind byte + 16 pair bytes each).
+const maxPayload = payloadPrefixSize + 4 + MaxRecordPairs*17
 
 // ErrCorrupt reports a record that is structurally invalid in a position
 // where a torn write cannot explain it (CRC mismatch or malformed payload
 // in a non-final segment, or an inconsistent element count anywhere).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// appendRecord appends one framed record to dst. For OpDel, values must be
-// nil; for OpPut, len(values) must equal len(keys).
-func appendRecord(dst []byte, lsn uint64, op byte, keys, values []uint64) []byte {
-	elem := 8
-	if op == OpPut {
-		elem = 16
-	}
-	payloadLen := payloadHeaderSize + elem*len(keys)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+// appendRecord appends one framed record carrying an already-encoded
+// batch payload. The append hot path streams the identical layout via
+// writeRecordLocked; this helper exists for tests and fuzzers that build
+// records in memory.
+func appendRecord(dst []byte, lsn uint64, code byte, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadPrefixSize+len(payload)))
 	crcAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // crc placeholder
 	payloadAt := len(dst)
 	dst = binary.LittleEndian.AppendUint64(dst, lsn)
-	dst = append(dst, op)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
-	for i, k := range keys {
-		dst = binary.LittleEndian.AppendUint64(dst, k)
-		if op == OpPut {
-			dst = binary.LittleEndian.AppendUint64(dst, values[i])
-		}
-	}
+	dst = append(dst, code)
+	dst = append(dst, payload...)
 	crc := crc32.ChecksumIEEE(dst[payloadAt:])
 	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
 	return dst
 }
 
-// decodePayload decodes a record payload whose CRC already matched. It
-// returns the lsn, opcode, and the decoded keys (and, for OpPut, values).
-// The returned slices alias nothing — they are fresh allocations safe to
-// retain.
-func decodePayload(p []byte) (lsn uint64, op byte, keys, values []uint64, err error) {
-	if len(p) < payloadHeaderSize {
-		return 0, 0, nil, nil, fmt.Errorf("%w: payload %d bytes, need at least %d",
-			ErrCorrupt, len(p), payloadHeaderSize)
+// decodeRecordPayload decodes a record payload whose CRC already matched
+// into b (replacing its contents; b is safe to reuse across records).
+// Every structural failure wraps ErrCorrupt — the caller decides whether
+// the position makes it a torn tail instead.
+func decodeRecordPayload(p []byte, b *op.Batch) (lsn uint64, code byte, err error) {
+	if len(p) < minPayload {
+		return 0, 0, fmt.Errorf("%w: payload %d bytes, need at least %d", ErrCorrupt, len(p), minPayload)
 	}
 	lsn = binary.LittleEndian.Uint64(p)
-	op = p[8]
-	n := int(binary.LittleEndian.Uint32(p[9:]))
-	if n > MaxRecordPairs {
-		return 0, 0, nil, nil, fmt.Errorf("%w: %d elements exceeds max %d", ErrCorrupt, n, MaxRecordPairs)
-	}
-	elem := 8
-	switch op {
-	case OpPut:
-		elem = 16
-	case OpDel:
+	code = p[8]
+	switch code {
+	case OpPut, OpDel, OpMixed:
 	default:
-		return 0, 0, nil, nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrCorrupt, op)
+		return 0, 0, fmt.Errorf("%w: unknown opcode 0x%02x", ErrCorrupt, code)
 	}
-	if len(p) != payloadHeaderSize+n*elem {
-		return 0, 0, nil, nil, fmt.Errorf("%w: payload %d bytes, want %d for %d elements",
-			ErrCorrupt, len(p), payloadHeaderSize+n*elem, n)
+	if err := op.DecodePayload(code, p[payloadPrefixSize:], b); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	body := p[payloadHeaderSize:]
-	keys = make([]uint64, n)
-	if op == OpPut {
-		values = make([]uint64, n)
-		for i := 0; i < n; i++ {
-			keys[i] = binary.LittleEndian.Uint64(body[16*i:])
-			values[i] = binary.LittleEndian.Uint64(body[16*i+8:])
-		}
-	} else {
-		for i := 0; i < n; i++ {
-			keys[i] = binary.LittleEndian.Uint64(body[8*i:])
-		}
-	}
-	return lsn, op, keys, values, nil
+	return lsn, code, nil
 }

@@ -41,6 +41,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vmshortcut/internal/op"
 )
 
 // FsyncMode selects when appended records reach stable storage.
@@ -103,10 +105,11 @@ func (o *Options) fill() {
 // ErrClosed is returned by operations on a closed Log.
 var ErrClosed = errors.New("wal: log closed")
 
-// ReplayFunc receives one decoded record during Open. For OpDel, values
-// is nil. The slices are fresh allocations the callback may retain.
-// Returning an error aborts Open.
-type ReplayFunc func(lsn uint64, op byte, keys, values []uint64) error
+// ReplayFunc receives one decoded record during Open as an operation
+// batch — the same representation every other layer passes around. The
+// batch is reused between calls: the callback must apply or copy it
+// before returning. Returning an error aborts Open.
+type ReplayFunc func(lsn uint64, b *op.Batch) error
 
 // segment is one log file and what Open or appends learned about it.
 type segment struct {
@@ -141,7 +144,7 @@ type Log struct {
 	bw      *bufio.Writer
 	segs    []segment // in LSN order; the last one is active
 	lastLSN uint64    // newest appended record
-	buf     []byte    // record scratch, reused across appends
+	pbuf    []byte    // payload scratch for the keys/values append path
 	err     error     // sticky I/O error; the log is dead once set
 	closed  bool
 
@@ -287,6 +290,7 @@ func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64,
 		lastLSN uint64
 		hdr     [recordHeaderSize]byte
 		payload []byte
+		batch   op.Batch // reused across records; ReplayFunc must not retain it
 	)
 	expect := seg.firstLSN
 	for {
@@ -309,7 +313,7 @@ func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64,
 			return torn("partial record header")
 		}
 		payloadLen := int(binary.LittleEndian.Uint32(hdr[:4]))
-		if payloadLen < payloadHeaderSize || payloadLen > maxPayload {
+		if payloadLen < minPayload || payloadLen > maxPayload {
 			return torn(fmt.Sprintf("payload length %d out of range", payloadLen))
 		}
 		if cap(payload) < payloadLen {
@@ -322,7 +326,7 @@ func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64,
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
 			return torn("CRC mismatch")
 		}
-		lsn, op, keys, values, err := decodePayload(payload)
+		lsn, _, err := decodeRecordPayload(payload, &batch)
 		if err != nil {
 			return torn(err.Error())
 		}
@@ -330,7 +334,7 @@ func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64,
 			return torn(fmt.Sprintf("LSN %d, expected %d", lsn, expect))
 		}
 		if replay != nil {
-			if err := replay(lsn, op, keys, values); err != nil {
+			if err := replay(lsn, &batch); err != nil {
 				return 0, 0, fmt.Errorf("wal: replaying record %d: %w", lsn, err)
 			}
 		}
@@ -398,31 +402,54 @@ func (l *Log) AppendDelete(keys []uint64) (uint64, error) {
 	return l.append(OpDel, keys, nil)
 }
 
-// append writes the batch as one record (several when it exceeds
-// MaxRecordPairs — still covered by a single fsync) and applies the
-// configured sync policy.
-func (l *Log) append(op byte, keys, values []uint64) (uint64, error) {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return 0, ErrClosed
+// AppendBatch appends one record whose payload is an already-encoded
+// batch payload in the internal/op layout, under its batch code (OpPut,
+// OpDel, or OpMixed — a mixed payload may contain GET entries, which
+// replay ignores). This is the serving stack's zero-copy path: the bytes
+// a batch frame arrived with are the bytes the log writes, with only the
+// (lsn, code) prefix added — no re-encoding between the socket and the
+// fsync. The payload must be structurally valid for its code (the wire
+// layer's decode, or op.Batch.Payload, guarantees that); its element
+// count must be at most MaxRecordPairs. The configured sync policy
+// applies exactly as for AppendPut.
+func (l *Log) AppendBatch(code byte, payload []byte) (uint64, error) {
+	switch code {
+	case OpPut, OpDel, OpMixed:
+	default:
+		return 0, fmt.Errorf("wal: AppendBatch: invalid batch code 0x%02x", code)
 	}
-	if l.err != nil {
-		err := l.err
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("wal: AppendBatch: payload %d bytes, need at least 4", len(payload))
+	}
+	if n := binary.LittleEndian.Uint32(payload); n > MaxRecordPairs {
+		return 0, fmt.Errorf("wal: AppendBatch: %d elements exceeds max %d", n, MaxRecordPairs)
+	}
+	l.mu.Lock()
+	if err := l.appendableLocked(); err != nil {
 		l.mu.Unlock()
 		return 0, err
 	}
-	// Fail-stop applies to sync failures too: under FsyncInterval/
-	// FsyncOff nothing on the append path would otherwise ever consult
-	// syncErr, and the log would keep acknowledging writes forever on a
-	// disk that stopped syncing — unbounded loss instead of the
-	// documented one-interval window.
-	l.syncMu.Lock()
-	serr := l.syncErr
-	l.syncMu.Unlock()
-	if serr != nil {
+	lsn := l.lastLSN + 1
+	if err := l.writeRecordLocked(lsn, code, payload); err != nil {
+		l.err = err
 		l.mu.Unlock()
-		return 0, serr
+		return 0, err
+	}
+	l.lastLSN = lsn
+	l.mu.Unlock()
+	return lsn, l.maybeSync(lsn)
+}
+
+// append writes the batch as one record (several when it exceeds
+// MaxRecordPairs — still covered by a single fsync) and applies the
+// configured sync policy. This is the keys/values convenience path; the
+// payload is encoded through the same op codec AppendBatch's callers
+// used, into a scratch buffer the log reuses.
+func (l *Log) append(code byte, keys, values []uint64) (uint64, error) {
+	l.mu.Lock()
+	if err := l.appendableLocked(); err != nil {
+		l.mu.Unlock()
+		return 0, err
 	}
 	var lsn uint64
 	for len(keys) > 0 {
@@ -430,41 +457,90 @@ func (l *Log) append(op byte, keys, values []uint64) (uint64, error) {
 		if n > MaxRecordPairs {
 			n = MaxRecordPairs
 		}
-		var vchunk []uint64
-		if op == OpPut {
-			vchunk = values[:n]
+		if code == OpPut {
+			l.pbuf = op.AppendPairsPayload(l.pbuf[:0], keys[:n], values[:n])
 			values = values[n:]
+		} else {
+			l.pbuf = op.AppendKeysPayload(l.pbuf[:0], keys[:n])
 		}
-		lsn = l.lastLSN + 1
-		l.buf = appendRecord(l.buf[:0], lsn, op, keys[:n], vchunk)
 		keys = keys[n:]
-		active := &l.segs[len(l.segs)-1]
-		if active.size > 0 && active.size+int64(len(l.buf)) > l.opts.SegmentBytes {
-			if err := l.rotateLocked(); err != nil {
-				l.err = err
-				l.mu.Unlock()
-				return 0, err
-			}
-			active = &l.segs[len(l.segs)-1]
-		}
-		if _, err := l.bw.Write(l.buf); err != nil {
+		lsn = l.lastLSN + 1
+		if err := l.writeRecordLocked(lsn, code, l.pbuf); err != nil {
 			l.err = err
 			l.mu.Unlock()
 			return 0, err
 		}
-		active.size += int64(len(l.buf))
 		l.lastLSN = lsn
 	}
 	l.mu.Unlock()
-	if l.opts.Mode == FsyncAlways {
-		// Group commit: wait until a leader's fsync covers this record
-		// — joining an in-flight cohort instead of issuing our own
-		// fsync whenever one is already pending.
-		if err := l.syncTo(lsn); err != nil {
-			return lsn, err
-		}
+	return lsn, l.maybeSync(lsn)
+}
+
+// appendableLocked reports whether the log can accept an append: not
+// closed, no sticky write error, and no sticky sync error. Fail-stop
+// applies to sync failures too: under FsyncInterval/FsyncOff nothing on
+// the append path would otherwise ever consult syncErr, and the log
+// would keep acknowledging writes forever on a disk that stopped syncing
+// — unbounded loss instead of the documented one-interval window.
+func (l *Log) appendableLocked() error {
+	if l.closed {
+		return ErrClosed
 	}
-	return lsn, nil
+	if l.err != nil {
+		return l.err
+	}
+	l.syncMu.Lock()
+	serr := l.syncErr
+	l.syncMu.Unlock()
+	return serr
+}
+
+// writeRecordLocked streams one record — header, CRC, lsn, code, then
+// the payload bytes as given — into the active segment, rotating first
+// when it would overflow. The payload is written directly (one copy into
+// the segment writer's buffer, no intermediate record buffer). Caller
+// holds mu.
+func (l *Log) writeRecordLocked(lsn uint64, code byte, payload []byte) error {
+	// pre is everything before the payload: u32 len | u32 crc | u64 lsn |
+	// u8 code. The CRC covers lsn, code, and payload ("everything after
+	// the crc field"), computed incrementally so the payload is not
+	// copied to be summed.
+	var pre [recordHeaderSize + payloadPrefixSize]byte
+	payloadLen := payloadPrefixSize + len(payload)
+	binary.LittleEndian.PutUint32(pre[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint64(pre[8:], lsn)
+	pre[16] = code
+	crc := crc32.ChecksumIEEE(pre[8:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.LittleEndian.PutUint32(pre[4:], crc)
+
+	recLen := int64(recordHeaderSize + payloadLen)
+	active := &l.segs[len(l.segs)-1]
+	if active.size > 0 && active.size+recLen > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+		active = &l.segs[len(l.segs)-1]
+	}
+	if _, err := l.bw.Write(pre[:]); err != nil {
+		return err
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		return err
+	}
+	active.size += recLen
+	return nil
+}
+
+// maybeSync applies the configured sync policy after an append: under
+// FsyncAlways it blocks until a group-commit leader's fsync covers lsn —
+// joining an in-flight cohort instead of issuing its own fsync whenever
+// one is already pending.
+func (l *Log) maybeSync(lsn uint64) error {
+	if l.opts.Mode != FsyncAlways {
+		return nil
+	}
+	return l.syncTo(lsn)
 }
 
 // syncTo blocks until every record up to target is on stable storage.

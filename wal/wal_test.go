@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"vmshortcut/internal/op"
 )
 
 // rec is one replayed record, for collection-based assertions.
@@ -19,10 +21,15 @@ type rec struct {
 	values []uint64
 }
 
-// collect returns a ReplayFunc appending into out.
+// collect returns a ReplayFunc appending into out. The batch is reused
+// between callbacks, so its columns are copied out.
 func collect(out *[]rec) ReplayFunc {
-	return func(lsn uint64, op byte, keys, values []uint64) error {
-		*out = append(*out, rec{lsn: lsn, op: op, keys: keys, values: values})
+	return func(lsn uint64, b *op.Batch) error {
+		r := rec{lsn: lsn, op: b.Code(), keys: append([]uint64(nil), b.Keys()...)}
+		if b.Puts() > 0 {
+			r.values = append([]uint64(nil), b.Vals()...)
+		}
+		*out = append(*out, r)
 		return nil
 	}
 }
@@ -130,6 +137,20 @@ func TestTornTailEveryOffset(t *testing.T) {
 	}
 	appendAndMark(OpPut, []uint64{1, 2}, []uint64{11, 22})
 	appendAndMark(OpDel, []uint64{2, 3, 4}, nil)
+	// A mixed record in the middle: torn-tail repair must handle the
+	// variable-stride layout exactly like the uniform ones.
+	var mixed op.Batch
+	mixed.Get(7)
+	mixed.Put(8, 88)
+	mixed.Del(9)
+	if _, err := l.AppendBatch(OpMixed, mixed.AppendPayload(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(segPath); err != nil {
+		t.Fatal(err)
+	} else {
+		boundaries = append(boundaries, fi.Size())
+	}
 	appendAndMark(OpPut, []uint64{5}, []uint64{55})
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
@@ -402,9 +423,9 @@ func TestLargeBatchSplits(t *testing.T) {
 		t.Fatal(err)
 	}
 	var gotK, gotV []uint64
-	l2, err := Open(dir, Options{}, func(_ uint64, _ byte, k, v []uint64) error {
-		gotK = append(gotK, k...)
-		gotV = append(gotV, v...)
+	l2, err := Open(dir, Options{}, func(_ uint64, b *op.Batch) error {
+		gotK = append(gotK, b.Keys()...)
+		gotV = append(gotV, b.Vals()...)
 		return nil
 	})
 	if err != nil {
@@ -452,8 +473,8 @@ func TestConcurrentAppends(t *testing.T) {
 		t.Fatal(err)
 	}
 	seen := map[uint64]bool{}
-	l2, err := Open(dir, Options{}, func(_ uint64, _ byte, k, _ []uint64) error {
-		seen[k[0]] = true
+	l2, err := Open(dir, Options{}, func(_ uint64, b *op.Batch) error {
+		seen[b.Keys()[0]] = true
 		return nil
 	})
 	if err != nil {
@@ -493,24 +514,105 @@ func TestIntervalModeSyncsAndCloses(t *testing.T) {
 }
 
 // TestRecordEncoding pins the on-disk framing so a refactor cannot
-// silently change the format: a known record must produce known bytes.
+// silently change the format: a known record must produce known bytes,
+// and the streamed append path (writeRecordLocked) must produce the
+// exact bytes the in-memory helper does.
 func TestRecordEncoding(t *testing.T) {
-	got := appendRecord(nil, 7, OpPut, []uint64{0x1122334455667788}, []uint64{0x99})
-	if len(got) != recordHeaderSize+payloadHeaderSize+16 {
+	pairs := op.AppendPairsPayload(nil, []uint64{0x1122334455667788}, []uint64{0x99})
+	got := appendRecord(nil, 7, OpPut, pairs)
+	if len(got) != recordHeaderSize+payloadPrefixSize+4+16 {
 		t.Fatalf("record length %d", len(got))
 	}
 	// payloadLen field.
-	if want := payloadHeaderSize + 16; int(got[0])|int(got[1])<<8 != want {
+	if want := payloadPrefixSize + 4 + 16; int(got[0])|int(got[1])<<8 != want {
 		t.Fatalf("payloadLen = %d, want %d", int(got[0])|int(got[1])<<8, want)
 	}
-	// The payload must start with the LSN and op.
-	payload := got[recordHeaderSize:]
-	lsn, op, keys, vals, err := decodePayload(payload)
-	if err != nil || lsn != 7 || op != OpPut || keys[0] != 0x1122334455667788 || vals[0] != 0x99 {
-		t.Fatalf("decode = %d %#x %v %v %v", lsn, op, keys, vals, err)
+	// The payload must start with the LSN and op and decode back.
+	var b op.Batch
+	lsn, code, err := decodeRecordPayload(got[recordHeaderSize:], &b)
+	if err != nil || lsn != 7 || code != OpPut || b.Keys()[0] != 0x1122334455667788 || b.Vals()[0] != 0x99 {
+		t.Fatalf("decode = %d %#x %v %v %v", lsn, code, b.Keys(), b.Vals(), err)
 	}
-	if !bytes.Equal(appendRecord(nil, 7, OpPut, []uint64{0x1122334455667788}, []uint64{0x99}), got) {
+	if !bytes.Equal(appendRecord(nil, 7, OpPut, pairs), got) {
 		t.Fatal("encoding is not deterministic")
+	}
+
+	// The real append path writes the identical bytes: one record through
+	// a live log equals the helper's framing (the first record has LSN 1).
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendPut([]uint64{0x1122334455667788}, []uint64{0x99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, appendRecord(nil, 1, OpPut, pairs)) {
+		t.Fatalf("streamed record %x differs from framed record", onDisk)
+	}
+}
+
+// TestAppendBatchZeroCopyRoundTrip drives the zero-copy append path: a
+// pre-encoded payload (as the wire layer hands it over) must land as one
+// record whose payload bytes are exactly the input, and replay must
+// reproduce the batch — including a mixed record whose GET entries are
+// carried but ignored as mutations.
+func TestAppendBatchZeroCopyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixed op.Batch
+	mixed.Get(1)
+	mixed.Put(2, 22)
+	mixed.Del(3)
+	mixed.Put(4, 44)
+	payload := mixed.AppendPayload(nil)
+	lsn, err := l.AppendBatch(OpMixed, payload)
+	if err != nil || lsn != 1 {
+		t.Fatalf("AppendBatch = %d, %v", lsn, err)
+	}
+	pairs := op.AppendPairsPayload(nil, []uint64{9}, []uint64{90})
+	if lsn, err = l.AppendBatch(OpPut, pairs); err != nil || lsn != 2 {
+		t.Fatalf("AppendBatch(put) = %d, %v", lsn, err)
+	}
+	if _, err := l.AppendBatch(0x42, payload); err == nil {
+		t.Fatal("AppendBatch accepted an invalid code")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record's payload bytes on disk are the input bytes.
+	onDisk, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1 := appendRecord(nil, 1, OpMixed, payload)
+	rec2 := appendRecord(nil, 2, OpPut, pairs)
+	if !bytes.Equal(onDisk, append(rec1, rec2...)) {
+		t.Fatalf("on-disk bytes differ from the zero-copy framing")
+	}
+
+	var got []rec
+	l2, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 2 || got[0].op != OpMixed || got[1].op != OpPut {
+		t.Fatalf("replayed %+v", got)
+	}
+	if !equalU64(got[0].keys, []uint64{1, 2, 3, 4}) || !equalU64(got[0].values, []uint64{0, 22, 0, 44}) {
+		t.Fatalf("mixed record replayed as %+v", got[0])
 	}
 }
 
