@@ -127,6 +127,29 @@ func remoteErr(payload []byte) error {
 	return fmt.Errorf("client: server error: %s", payload)
 }
 
+// ErrReadOnly reports a mutation sent to a replica: the server applies
+// writes only from its primary until it is promoted. The caller should
+// retry against the primary (or promote this server).
+var ErrReadOnly = errors.New("client: server is a read-only replica")
+
+// ErrStale reports a read rejected by a replica that has not heard from
+// its primary within its staleness bound: the data it would serve may be
+// arbitrarily far behind.
+var ErrStale = errors.New("client: replica is stale beyond its staleness bound")
+
+// refusalErr maps the replica refusal statuses onto their sentinel
+// errors (nil for any other tag). Like StatusErr these arrive with the
+// stream aligned and do not kill the Conn.
+func refusalErr(tag byte) error {
+	switch tag {
+	case wire.StatusReadOnly:
+		return ErrReadOnly
+	case wire.StatusStale:
+		return ErrStale
+	}
+	return nil
+}
+
 // Get looks up key.
 func (c *Conn) Get(key uint64) (value uint64, found bool, err error) {
 	c.reqBuf = wire.AppendKey(c.reqBuf[:0], wire.OpGet, key)
@@ -147,6 +170,8 @@ func (c *Conn) Get(key uint64) (value uint64, found bool, err error) {
 		return 0, false, nil
 	case wire.StatusErr:
 		return 0, false, remoteErr(payload)
+	case wire.StatusReadOnly, wire.StatusStale:
+		return 0, false, refusalErr(tag)
 	}
 	return 0, false, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
 }
@@ -177,6 +202,8 @@ func (c *Conn) Del(key uint64) (found bool, err error) {
 		return false, nil
 	case wire.StatusErr:
 		return false, remoteErr(payload)
+	case wire.StatusReadOnly, wire.StatusStale:
+		return false, refusalErr(tag)
 	}
 	return false, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
 }
@@ -192,6 +219,8 @@ func (c *Conn) readAck() error {
 		return nil
 	case wire.StatusErr:
 		return remoteErr(payload)
+	case wire.StatusReadOnly, wire.StatusStale:
+		return refusalErr(tag)
 	}
 	return c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
 }
@@ -224,6 +253,8 @@ func (c *Conn) GetBatch(keys []uint64, out []uint64) ([]bool, error) {
 		return decodeFoundValues(c, payload, len(keys), out)
 	case wire.StatusErr:
 		return nil, remoteErr(payload)
+	case wire.StatusReadOnly, wire.StatusStale:
+		return nil, refusalErr(tag)
 	}
 	return nil, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
 }
@@ -264,8 +295,31 @@ func (c *Conn) DelBatch(keys []uint64) ([]bool, error) {
 		return decodeFound(c, payload, len(keys))
 	case wire.StatusErr:
 		return nil, remoteErr(payload)
+	case wire.StatusReadOnly, wire.StatusStale:
+		return nil, refusalErr(tag)
 	}
 	return nil, c.fail(fmt.Errorf("client: unexpected status 0x%02x", tag))
+}
+
+// Promote asks a replica server to become the primary: it detaches from
+// its old primary and starts accepting writes. Promoting a server that is
+// already a primary fails with a server error.
+func (c *Conn) Promote() error {
+	c.reqBuf = wire.AppendEmpty(c.reqBuf[:0], wire.OpPromote)
+	if err := c.writeAll(c.reqBuf); err != nil {
+		return err
+	}
+	return c.readAck()
+}
+
+// Hijack hands over the connection's transport and its buffered
+// reader/writer, leaving the Conn dead (every later call fails). The
+// repl package uses it to turn a dialed connection — DialConnRetry's
+// wait-for-recovery semantics included — into a replication stream after
+// sending the REPLSYNC handshake. No request may be in flight.
+func (c *Conn) Hijack() (net.Conn, *bufio.Reader, *bufio.Writer) {
+	c.err = errors.New("client: connection hijacked")
+	return c.c, c.br, c.bw
 }
 
 // Stats fetches the server's counters and the store's Stats snapshot.

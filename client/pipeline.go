@@ -234,10 +234,15 @@ func (p *Pipeline) readOne(pd pendingOp, results []Result) ([]Result, error) {
 	if err != nil {
 		return results, err
 	}
-	if tag == wire.StatusErr {
+	if tag == wire.StatusErr || tag == wire.StatusReadOnly || tag == wire.StatusStale {
 		// One errored response per request frame; batch frames fail as a
-		// unit, so fan the error out to every element.
-		err := remoteErr(payload)
+		// unit, so fan the error out to every element. The replica
+		// refusals land here too: a replica answers a coalesced pipeline
+		// per frame, serving the reads and refusing the mutations.
+		err := refusalErr(tag)
+		if err == nil {
+			err = remoteErr(payload)
+		}
 		for i := 0; i < pd.n; i++ {
 			results = append(results, Result{Err: err})
 		}

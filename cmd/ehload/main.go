@@ -21,6 +21,13 @@
 // SIGKILL mid-run, restarts it, and fails unless every acknowledged
 // write survived.
 //
+// With -failover-check, it verifies replication failover the same way:
+// it starts a primary (-primary-cmd, which must run -repl-sync) and a
+// follower (-follower-cmd), waits for the follower to attach, writes
+// acknowledged keys, kills the primary with SIGKILL mid-run, promotes
+// the follower over the wire, and fails unless every acknowledged write
+// is on the new primary.
+//
 // Usage:
 //
 //	ehload -addr :6380 -mix A -conns 4 -pipeline 32 -load 100000 -duration 10s
@@ -28,6 +35,10 @@
 //	ehload -mix F -batch mixed -duration 5s   # one MIXEDBATCH frame per round trip
 //	ehload -restart-check -addr 127.0.0.1:16390 -load 200000 -duration 2s \
 //	       -server-cmd "ehserver -addr 127.0.0.1:16390 -kind eh -wal-dir /tmp/wal -fsync always"
+//	ehload -failover-check -addr 127.0.0.1:16395 -follower-addr 127.0.0.1:16396 \
+//	       -load 200000 -duration 2s \
+//	       -primary-cmd "ehserver -addr 127.0.0.1:16395 -kind ht -wal-dir /tmp/p -repl-sync" \
+//	       -follower-cmd "ehserver -addr 127.0.0.1:16396 -kind ht -wal-dir /tmp/f -replica-of 127.0.0.1:16395"
 package main
 
 import (
@@ -85,6 +96,10 @@ func main() {
 	out := flag.String("out", "BENCH_server.json", "benchmark JSON output path (empty = none)")
 	restartCheck := flag.Bool("restart-check", false, "crash-recovery verification instead of a benchmark: start the server (-server-cmd), write acknowledged keys, kill -9 mid-run, restart, verify nothing acknowledged was lost")
 	serverCmd := flag.String("server-cmd", "", "server command line managed by -restart-check; must include -wal-dir (split on whitespace, no shell quoting)")
+	failoverCheck := flag.Bool("failover-check", false, "replication-failover verification instead of a benchmark: start a primary (-primary-cmd, which must run -repl-sync) and a follower (-follower-cmd), write acknowledged keys, kill -9 the primary mid-run, promote the follower, verify nothing acknowledged was lost")
+	primaryCmd := flag.String("primary-cmd", "", "primary command line managed by -failover-check; must include -wal-dir and -repl-sync (split on whitespace, no shell quoting)")
+	followerCmd := flag.String("follower-cmd", "", "follower command line managed by -failover-check; must include -replica-of")
+	followerAddr := flag.String("follower-addr", "", "follower server address for -failover-check (the primary's is -addr)")
 	flag.Parse()
 
 	if *restartCheck {
@@ -93,6 +108,19 @@ func main() {
 			maxKeys: *load, duration: *duration, seed: *seed,
 		}); err != nil {
 			log.Fatalf("restart-check: %v", err)
+		}
+		return
+	}
+	if *failoverCheck {
+		if *followerAddr == "" {
+			usageError("-failover-check requires -follower-addr")
+		}
+		if err := runFailoverCheck(failoverConfig{
+			primaryAddr: *addr, followerAddr: *followerAddr,
+			primaryCmd: *primaryCmd, followerCmd: *followerCmd,
+			maxKeys: *load, duration: *duration, seed: *seed, out: *out,
+		}); err != nil {
+			log.Fatalf("failover-check: %v", err)
 		}
 		return
 	}

@@ -12,6 +12,14 @@
 // WAL tail before the listener comes up. kill -9 loses nothing that was
 // acknowledged.
 //
+// A durable server is also a replication primary: replicas started with
+// -replica-of stream its WAL (full-syncing via snapshot when needed) and
+// serve reads; -repl-sync holds each write's acknowledgement until a
+// connected replica applied it, making failover lossless for every
+// acknowledged write. SIGUSR1 (or a client PROMOTE frame) promotes a
+// replica to primary. -chained adds a SHA-256 hash chain over the log
+// and the stream, so replicas and offline audits detect tampering.
+//
 // SIGINT/SIGTERM shut down gracefully: accepting stops, in-flight and
 // pipelined requests drain, the shortcut directory is given -waitsync to
 // catch up, a final snapshot is taken (-snapshot-on-exit), and the store
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/repl"
 	"vmshortcut/server"
 )
 
@@ -57,6 +66,15 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "take a snapshot (and compact the WAL) every N log records — one record is one coalesced batch (0 = only on shutdown)")
 	snapshotOnExit := flag.Bool("snapshot-on-exit", true, "take a final snapshot and compact the WAL during graceful shutdown")
 
+	// Replication: -replica-of makes this server a read replica of a
+	// primary; the replication-source side needs no flag beyond -wal-dir
+	// (any durable server serves REPLSYNC streams). SIGUSR1 or a client
+	// PROMOTE frame promotes a replica to primary at runtime.
+	replicaOf := flag.String("replica-of", "", "replicate from this primary (host:port); serves reads only until promoted (SIGUSR1 or a PROMOTE frame)")
+	stalenessBound := flag.Duration("staleness-bound", 0, "refuse reads with STALE after losing the primary for this long (0 = serve reads indefinitely; requires -replica-of)")
+	replSync := flag.Bool("repl-sync", false, "synchronous replication: acknowledge a write only after a connected replica applied it (requires -wal-dir)")
+	chained := flag.Bool("chained", false, "maintain a tamper-evidence SHA-256 hash chain over the WAL (requires -wal-dir); with -replica-of, verify the primary's stream per record")
+
 	// Store shape: every Open option. Zero/negative defaults mean "not
 	// set" and defer to the implementation's defaults.
 	kindName := flag.String("kind", "shortcut-eh", "index kind: shortcut-eh | eh | ht | hti | ch | radix")
@@ -77,6 +95,15 @@ func main() {
 	kind, err := parseKind(*kindName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *stalenessBound != 0 && *replicaOf == "" {
+		log.Fatal("-staleness-bound requires -replica-of: only a replica has a primary to be stale against")
+	}
+	if *replSync && *walDir == "" {
+		log.Fatal("-repl-sync requires -wal-dir: replication ships the write-ahead log")
+	}
+	if *chained && *walDir == "" && *replicaOf == "" {
+		log.Fatal("-chained requires -wal-dir (chain the local WAL) or -replica-of (verify the primary's stream)")
 	}
 
 	opts := []vmshortcut.Option{
@@ -118,6 +145,9 @@ func main() {
 			log.Fatal(err)
 		}
 		opts = append(opts, vmshortcut.WithWAL(*walDir), vmshortcut.WithFsync(mode))
+		if *chained {
+			opts = append(opts, vmshortcut.WithChainedWAL(true))
+		}
 		if *fsyncInterval > 0 {
 			opts = append(opts, vmshortcut.WithFsyncInterval(*fsyncInterval))
 		}
@@ -146,30 +176,77 @@ func main() {
 			store.Len(), *walDir, time.Since(openStart).Round(time.Millisecond), *fsync)
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Store:       store,
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
 		Logf:        log.Printf,
-	})
+	}
+
+	// Replication wiring. The Config fields are interfaces: assign only
+	// concrete non-nil values, or the server's nil checks pass vacuously.
+	var source *repl.Source
+	var follower *repl.Follower
+	if rep, ok := vmshortcut.AsReplicable(store); ok {
+		// Every durable server serves replication streams — including a
+		// replica, which after promotion is a full primary for the next
+		// tier of followers.
+		source = repl.NewSource(rep, repl.SourceConfig{Sync: *replSync, Logf: log.Printf})
+		scfg.Repl = source
+	}
+	if *replicaOf != "" {
+		follower, err = repl.StartFollower(repl.FollowerConfig{
+			Primary:   *replicaOf,
+			Store:     store,
+			BaseDir:   *walDir,
+			Staleness: *stalenessBound,
+			Chained:   *chained,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			store.Close()
+			log.Fatalf("replica: %v", err)
+		}
+		scfg.Replica = follower
+		log.Printf("ehserver: replicating from %s (staleness-bound=%v chained=%v)", *replicaOf, *stalenessBound, *chained)
+	}
+
+	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
 	serveErr := make(chan error, 1)
 	go func() {
 		log.Printf("ehserver: %s (shards=%d) listening on %s", kind, *shards, *addr)
 		serveErr <- srv.ListenAndServe(*addr)
 	}()
 
-	select {
-	case err := <-serveErr:
-		store.Close()
-		log.Fatalf("serve: %v", err)
-	case sig := <-sigs:
-		log.Printf("ehserver: %v — draining", sig)
+wait:
+	for {
+		select {
+		case err := <-serveErr:
+			store.Close()
+			log.Fatalf("serve: %v", err)
+		case sig := <-sigs:
+			if sig == syscall.SIGUSR1 {
+				if follower == nil {
+					log.Printf("ehserver: SIGUSR1 ignored: not a replica")
+					continue
+				}
+				// Promote drains the replication stream before returning;
+				// do it off the signal loop so shutdown stays responsive.
+				go func() {
+					lsn := follower.Promote()
+					log.Printf("ehserver: promoted to primary at LSN %d", lsn)
+				}()
+				continue
+			}
+			log.Printf("ehserver: %v — draining", sig)
+			break wait
+		}
 	}
 
 	// Graceful shutdown: drain connections, let asynchronous maintenance
@@ -180,6 +257,12 @@ func main() {
 		log.Printf("ehserver: drain incomplete: %v", err)
 	}
 	<-serveErr // Serve has returned once the listener died
+	if source != nil {
+		source.Close()
+	}
+	if follower != nil {
+		follower.Close()
+	}
 	if !store.WaitSync(*waitSync) {
 		log.Printf("ehserver: WaitSync(%v) timed out", *waitSync)
 	}

@@ -97,6 +97,14 @@ func WithWALSegmentBytes(n int64) Option {
 	}
 }
 
+// WithChainedWAL maintains a tamper-evidence hash chain over the WAL's
+// record sequence (see wal.Chain): every append extends it, recovery
+// recomputes it, Replicable.ChainHead publishes it, and wal.VerifyChain
+// audits the segment files against it offline.
+func WithChainedWAL(on bool) Option {
+	return func(o *storeOptions) { o.chainedWAL = on }
+}
+
 // Durable is the management surface of a store opened with WithWAL,
 // recovered through AsDurable.
 type Durable interface {
@@ -192,6 +200,7 @@ func openDurable(inner Store, o *storeOptions) (Store, error) {
 		Mode:         o.fsyncMode,
 		Interval:     o.fsyncInterval,
 		SegmentBytes: o.walSegmentBytes,
+		Chained:      o.chainedWAL,
 	}, replay)
 	if err != nil {
 		return fail(fmt.Errorf("vmshortcut: opening WAL: %w", err))

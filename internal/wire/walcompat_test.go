@@ -112,3 +112,74 @@ func TestWALRecordIsWirePayload(t *testing.T) {
 		t.Fatalf("segment has %d trailing bytes", len(blob)-offset)
 	}
 }
+
+// TestShippedRecordIsWirePayload extends the zero-re-encode contract
+// across the replication hop: a WAL record's payload, shipped in a
+// ReplRecord frame and decoded exactly as a follower decodes it, must
+// land in the follower's own log byte-identical to the primary's record
+// — no encoding pass anywhere from the primary's disk to the replica's.
+// This is what lets a replica's WAL be audited (and chain-verified)
+// against the primary's.
+func TestShippedRecordIsWirePayload(t *testing.T) {
+	// The primary-side record: a mixed batch as a client frame would
+	// produce it.
+	var m op.Batch
+	m.Get(5)
+	m.Put(6, 66)
+	m.Del(7)
+	code, primaryPayload := m.Payload()
+
+	// Ship it: primary side builds the frame straight from the record
+	// bytes; follower side decodes it back out.
+	frame := wire.AppendReplRecord(nil, 1, code, nil, primaryPayload)
+	tag := frame[4]
+	lsn, gotCode, hash, shipped, err := wire.DecodeReplRecord(tag, frame[wire.HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 || gotCode != code || hash != nil {
+		t.Fatalf("DecodeReplRecord = lsn %d code %#x hash %v", lsn, gotCode, hash)
+	}
+	if !bytes.Equal(shipped, primaryPayload) {
+		t.Fatal("shipped payload differs from the primary's record payload")
+	}
+
+	// Apply it the follower's way — DecodeBatch into the shared batch,
+	// then the batch's Payload is what a durable follower appends — and
+	// pin that the whole hop performed zero encoding passes.
+	encBefore := op.Encodings()
+	var b op.Batch
+	if err := wire.DecodeBatch(gotCode, shipped, &b); err != nil {
+		t.Fatal(err)
+	}
+	followerCode, followerPayload := b.Payload()
+	if got := op.Encodings(); got != encBefore {
+		t.Fatalf("replication hop performed %d encoding passes, want 0", got-encBefore)
+	}
+	if followerCode != code || !bytes.Equal(followerPayload, primaryPayload) {
+		t.Fatal("follower's log payload differs from the primary's record payload")
+	}
+
+	// And on disk: append to a real follower-side log and compare the
+	// raw record bytes.
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{Mode: wal.FsyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(followerCode, followerPayload); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "wal-0000000000000001.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(blob))
+	rec := blob[8 : 8+payloadLen]
+	if rec[8] != code || !bytes.Equal(rec[9:], primaryPayload) {
+		t.Fatal("follower's on-disk record differs from the primary's payload bytes")
+	}
+}

@@ -90,11 +90,16 @@ const (
 // carry: its worst-case entry (a PUT) is 17 payload bytes.
 const MaxMixedBatch = (MaxFrame - HeaderSize - 4) / 17
 
-// Response statuses.
+// Response statuses. ReadOnly and Stale are the replica's refusals: a
+// replica rejects mutations until promoted, and rejects reads while it
+// has not heard from its primary within its staleness bound. Both carry
+// an optional UTF-8 message like StatusErr.
 const (
 	StatusOK byte = 0x00 + iota
 	StatusNotFound
 	StatusErr
+	StatusReadOnly
+	StatusStale
 )
 
 // StatsReply is the JSON payload of a successful OpStats response: the
@@ -102,11 +107,23 @@ const (
 // an explicit durability section so remote clients (and the ehload /
 // ehstore outputs) can read the WAL's state without knowing the Stats
 // struct's field names.
+// Forward compatibility is part of the contract: the payload is decoded
+// with encoding/json defaults, which ignore unknown fields, so an old
+// client reading a newer server's reply (extra sections, extra counters)
+// sees everything it knows about and skips the rest — version skew
+// between ehload/ehstore and the server is expected during rollouts.
+// Fields must therefore never be removed or renamed, only added.
 type StatsReply struct {
 	Server ServerCounters   `json:"server"`
 	Store  vmshortcut.Stats `json:"store"`
 	// Durability mirrors the store's WAL counters (zero without WithWAL).
 	Durability DurabilityCounters `json:"durability"`
+	// Role is "primary" or "replica" ("" from servers predating
+	// replication, which readers must treat as primary).
+	Role string `json:"role,omitempty"`
+	// Replication is present when the server replicates in either
+	// direction (see repl.go).
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // DurabilityCounters is the durability state of the backing store: how
@@ -146,6 +163,11 @@ type ServerCounters struct {
 	CoalescedOps     uint64 `json:"coalesced_ops"`
 	// Errors counts StatusErr responses sent.
 	Errors uint64 `json:"errors"`
+	// ReadOnlyRejects and StaleRejects count replica refusals: mutations
+	// rejected pending promotion, and reads rejected past the staleness
+	// bound.
+	ReadOnlyRejects uint64 `json:"read_only_rejects,omitempty"`
+	StaleRejects    uint64 `json:"stale_rejects,omitempty"`
 }
 
 // appendHeader appends a frame header for a payload of n bytes (tag

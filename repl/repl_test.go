@@ -1,0 +1,565 @@
+// End-to-end replication tests: real TCP servers, real stores, real WAL
+// directories — primary and replica in one process so the failover test
+// can run under the race detector.
+package repl_test
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmshortcut"
+	"vmshortcut/client"
+	"vmshortcut/internal/op"
+	"vmshortcut/internal/wire"
+	"vmshortcut/repl"
+	"vmshortcut/server"
+	"vmshortcut/wal"
+)
+
+// node is one served store: a primary or a replica, with its replication
+// halves attached.
+type node struct {
+	store    vmshortcut.Store
+	srv      *server.Server
+	source   *repl.Source
+	follower *repl.Follower
+	addr     string
+	dir      string
+}
+
+// startNode opens a store and serves it on a loopback port. dir != ""
+// makes it durable; primaryOf wires a Source (with syncMode); replicaOf
+// wires a Follower. Heartbeats are fast so staleness tests stay quick.
+func startNode(t *testing.T, dir string, syncMode bool, replicaOf string, fcfg repl.FollowerConfig, storeOpts ...vmshortcut.Option) *node {
+	t.Helper()
+	opts := append([]vmshortcut.Option{vmshortcut.WithConcurrency(true)}, storeOpts...)
+	if dir != "" {
+		opts = append(opts, vmshortcut.WithWAL(dir), vmshortcut.WithFsync(vmshortcut.FsyncOff))
+		if fcfg.Chained {
+			opts = append(opts, vmshortcut.WithChainedWAL(true))
+		}
+	}
+	st, err := vmshortcut.Open(vmshortcut.KindHT, opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	n := &node{store: st, dir: dir}
+	cfg := server.Config{Store: st, Logf: t.Logf}
+	if rep, ok := vmshortcut.AsReplicable(st); ok {
+		n.source = repl.NewSource(rep, repl.SourceConfig{
+			Sync:              syncMode,
+			HeartbeatInterval: 20 * time.Millisecond,
+			Logf:              t.Logf,
+		})
+		cfg.Repl = n.source
+	}
+	if replicaOf != "" {
+		fcfg.Primary = replicaOf
+		fcfg.Store = st
+		fcfg.BaseDir = dir
+		fcfg.Logf = t.Logf
+		f, err := repl.StartFollower(fcfg)
+		if err != nil {
+			st.Close()
+			t.Fatalf("StartFollower: %v", err)
+		}
+		n.follower = f
+		cfg.Replica = f
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	n.srv = srv
+	n.addr = ln.Addr().String()
+	t.Cleanup(func() { n.kill() })
+	return n
+}
+
+// kill tears the node down hard, idempotently: listener and connections
+// die first (the network is gone), then replication, then the store.
+func (n *node) kill() {
+	n.srv.Close()
+	if n.follower != nil {
+		n.follower.Close()
+	}
+	if n.source != nil {
+		n.source.Close()
+	}
+	n.store.Close()
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitCaughtUp waits until the replica has applied the primary's whole
+// log.
+func waitCaughtUp(t *testing.T, primary, replica *node) {
+	t.Helper()
+	rep, _ := vmshortcut.AsReplicable(primary.store)
+	waitFor(t, "replica catch-up", func() bool {
+		return replica.follower.Counters().AppliedLSN >= rep.LastLSN()
+	})
+}
+
+func mustDial(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.DialConnRetry(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestReplicaServesReadsRejectsWrites(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{})
+	pc := mustDial(t, primary.addr)
+	for k := uint64(1); k <= 200; k++ {
+		if err := pc.Put(k, k*10); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+
+	replica := startNode(t, "", false, primary.addr, repl.FollowerConfig{})
+	waitCaughtUp(t, primary, replica)
+
+	rc := mustDial(t, replica.addr)
+	for _, k := range []uint64{1, 77, 200} {
+		v, found, err := rc.Get(k)
+		if err != nil || !found || v != k*10 {
+			t.Fatalf("replica Get(%d) = %d, %v, %v; want %d, true", k, v, found, err, k*10)
+		}
+	}
+	if _, found, err := rc.Get(9999); err != nil || found {
+		t.Fatalf("replica Get(absent) = %v, %v", found, err)
+	}
+
+	// Every mutation shape is refused with ErrReadOnly — and the
+	// connection survives the refusal.
+	if err := rc.Put(5, 5); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("replica Put err = %v, want ErrReadOnly", err)
+	}
+	if _, err := rc.Del(5); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("replica Del err = %v, want ErrReadOnly", err)
+	}
+	if err := rc.PutBatch([]uint64{1, 2}, []uint64{1, 2}); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("replica PutBatch err = %v, want ErrReadOnly", err)
+	}
+	if _, err := rc.DelBatch([]uint64{1, 2}); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("replica DelBatch err = %v, want ErrReadOnly", err)
+	}
+	if v, found, err := rc.Get(1); err != nil || !found || v != 10 {
+		t.Fatalf("Get(1) after refusals = %d, %v, %v; the connection should survive", v, found, err)
+	}
+
+	// A pipelined mix answers per request frame: reads served, writes
+	// refused, order preserved.
+	p := rc.Pipeline()
+	p.Get(1)
+	p.Put(42, 42)
+	p.Get(77)
+	res, err := p.Flush(nil)
+	if err != nil {
+		t.Fatalf("pipeline Flush: %v", err)
+	}
+	if res[0].Err != nil || !res[0].Found || res[0].Value != 10 {
+		t.Fatalf("pipelined Get(1) = %+v", res[0])
+	}
+	if !errors.Is(res[1].Err, client.ErrReadOnly) {
+		t.Fatalf("pipelined Put err = %v, want ErrReadOnly", res[1].Err)
+	}
+	if res[2].Err != nil || !res[2].Found || res[2].Value != 770 {
+		t.Fatalf("pipelined Get(77) = %+v", res[2])
+	}
+
+	// The primary still takes writes, and they flow through.
+	if err := pc.Put(777, 7770); err != nil {
+		t.Fatalf("primary Put: %v", err)
+	}
+	waitCaughtUp(t, primary, replica)
+	if v, found, err := rc.Get(777); err != nil || !found || v != 7770 {
+		t.Fatalf("replicated Get(777) = %d, %v, %v", v, found, err)
+	}
+
+	// Roles in STATS.
+	ps, err := pc.Stats()
+	if err != nil {
+		t.Fatalf("primary Stats: %v", err)
+	}
+	if ps.Role != "primary" || ps.Replication == nil || ps.Replication.Primary == nil ||
+		ps.Replication.Primary.Followers != 1 {
+		t.Fatalf("primary stats role=%q replication=%+v; want primary with 1 follower", ps.Role, ps.Replication)
+	}
+	rs, err := rc.Stats()
+	if err != nil {
+		t.Fatalf("replica Stats: %v", err)
+	}
+	if rs.Role != "replica" || rs.Replication == nil || rs.Replication.Replica == nil ||
+		!rs.Replication.Replica.Connected {
+		t.Fatalf("replica stats role=%q replication=%+v; want connected replica", rs.Role, rs.Replication)
+	}
+}
+
+func TestFullSyncAfterCompaction(t *testing.T) {
+	// Small segments so compaction can actually drop the log's prefix;
+	// with one big segment the whole log stays tailable and no follower
+	// ever needs a snapshot.
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{},
+		vmshortcut.WithWALSegmentBytes(512))
+	pc := mustDial(t, primary.addr)
+	for k := uint64(1); k <= 100; k++ {
+		if err := pc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot and compact: the log's prefix is gone, so a from-zero
+	// follower MUST take the snapshot path.
+	d, _ := vmshortcut.AsDurable(primary.store)
+	if err := d.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := d.CompactWAL(); err != nil {
+		t.Fatalf("CompactWAL: %v", err)
+	}
+	for k := uint64(101); k <= 150; k++ {
+		if err := pc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replica := startNode(t, t.TempDir(), false, primary.addr, repl.FollowerConfig{})
+	waitCaughtUp(t, primary, replica)
+	if fs := replica.follower.Counters().FullSyncs; fs != 1 {
+		t.Fatalf("FullSyncs = %d, want 1", fs)
+	}
+	rc := mustDial(t, replica.addr)
+	for _, k := range []uint64{1, 100, 101, 150} {
+		if v, found, err := rc.Get(k); err != nil || !found || v != k {
+			t.Fatalf("replica Get(%d) = %d, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+func TestDurableReplicaRestartResumes(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{})
+	pc := mustDial(t, primary.addr)
+	for k := uint64(1); k <= 50; k++ {
+		if err := pc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rdir := t.TempDir()
+	replica := startNode(t, rdir, false, primary.addr, repl.FollowerConfig{})
+	waitCaughtUp(t, primary, replica)
+	applied := replica.follower.Counters().AppliedLSN
+	replica.kill()
+
+	// Writes continue while the replica is down.
+	for k := uint64(51); k <= 90; k++ {
+		if err := pc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The restarted replica resumes from its local WAL position — no
+	// full sync, and the handshake position maps back into the primary's
+	// LSN space via the REPLBASE metadata.
+	replica2 := startNode(t, rdir, false, primary.addr, repl.FollowerConfig{})
+	waitCaughtUp(t, primary, replica2)
+	c := replica2.follower.Counters()
+	if c.FullSyncs != 0 {
+		t.Fatalf("restarted replica FullSyncs = %d, want 0 (should resume)", c.FullSyncs)
+	}
+	if c.AppliedLSN <= applied {
+		t.Fatalf("restarted replica AppliedLSN = %d, want > %d", c.AppliedLSN, applied)
+	}
+	rc := mustDial(t, replica2.addr)
+	for _, k := range []uint64{1, 50, 51, 90} {
+		if v, found, err := rc.Get(k); err != nil || !found || v != k {
+			t.Fatalf("replica Get(%d) = %d, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+// TestFailoverLosesNoAckedWrite is the subsystem's reason to exist:
+// under synchronous replication, writers hammer the primary from
+// several connections, the primary dies mid-stream without warning, the
+// replica is promoted — and every write any client saw acknowledged is
+// on the new primary.
+func TestFailoverLosesNoAckedWrite(t *testing.T) {
+	primary := startNode(t, t.TempDir(), true /* sync */, "", repl.FollowerConfig{})
+	replica := startNode(t, t.TempDir(), false, primary.addr, repl.FollowerConfig{})
+
+	// Sync-mode soundness gate: until a follower is attached, the
+	// primary acknowledges without replication (degraded mode), and
+	// those writes carry no failover guarantee.
+	waitFor(t, "follower attach", func() bool {
+		return primary.source.Counters().Followers >= 1
+	})
+
+	const writers = 4
+	var (
+		mu    sync.Mutex
+		acked []uint64
+	)
+	var wg sync.WaitGroup
+	stopWriters := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.DialConnRetry(primary.addr, 2*time.Second)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stopWriters:
+					return
+				default:
+				}
+				key := uint64(w)<<32 | i
+				if err := c.Put(key, key+1); err != nil {
+					return // the primary died under us; unacked, uncounted
+				}
+				mu.Lock()
+				acked = append(acked, key)
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Let the writers build up real traffic, then kill the primary
+	// abruptly — connections and all, no drain.
+	waitFor(t, "some acked writes", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acked) >= 500
+	})
+	primary.kill()
+	close(stopWriters)
+	wg.Wait()
+
+	// Before promotion the replica still refuses writes.
+	rc := mustDial(t, replica.addr)
+	if err := rc.Put(1, 1); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("pre-promote Put err = %v, want ErrReadOnly", err)
+	}
+
+	// Promote over the wire (the same frame ehload's failover check
+	// uses), then verify: every acknowledged write must be present.
+	if err := rc.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	mu.Lock()
+	keys := append([]uint64(nil), acked...)
+	mu.Unlock()
+	t.Logf("verifying %d acked writes after failover", len(keys))
+	for _, k := range keys {
+		v, found, err := rc.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%d) after promote: %v", k, err)
+		}
+		if !found || v != k+1 {
+			t.Fatalf("ACKED WRITE LOST: key %d (found=%v v=%d)", k, found, v)
+		}
+	}
+	// And the new primary takes writes.
+	if err := rc.Put(424242, 1); err != nil {
+		t.Fatalf("post-promote Put: %v", err)
+	}
+	if s, err := rc.Stats(); err != nil || s.Role != "primary" {
+		t.Fatalf("post-promote Stats role = %q, %v; want primary", s.Role, err)
+	}
+}
+
+func TestStalenessGate(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{})
+	pc := mustDial(t, primary.addr)
+	if err := pc.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	replica := startNode(t, "", false, primary.addr, repl.FollowerConfig{
+		Staleness: 250 * time.Millisecond,
+	})
+	waitCaughtUp(t, primary, replica)
+
+	rc := mustDial(t, replica.addr)
+	if v, found, err := rc.Get(1); err != nil || !found || v != 10 {
+		t.Fatalf("fresh replica Get = %d, %v, %v", v, found, err)
+	}
+
+	// Primary vanishes; once the staleness bound passes with no
+	// heartbeat, reads flip to ErrStale (writes stay ErrReadOnly).
+	primary.kill()
+	waitFor(t, "staleness bound to pass", func() bool {
+		_, _, err := rc.Get(1)
+		return errors.Is(err, client.ErrStale)
+	})
+	if err := rc.Put(2, 2); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("stale replica Put err = %v, want ErrReadOnly", err)
+	}
+	if _, err := rc.GetBatch([]uint64{1}, make([]uint64, 1)); !errors.Is(err, client.ErrStale) {
+		t.Fatalf("stale replica GetBatch err = %v, want ErrStale", err)
+	}
+
+	// Promotion clears staleness: the replica is its own authority now.
+	if err := rc.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if v, found, err := rc.Get(1); err != nil || !found || v != 10 {
+		t.Fatalf("post-promote Get = %d, %v, %v", v, found, err)
+	}
+}
+
+func TestChainedStreamReplicates(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{Chained: true})
+	pc := mustDial(t, primary.addr)
+	for k := uint64(1); k <= 100; k++ {
+		if err := pc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replica := startNode(t, "", false, primary.addr, repl.FollowerConfig{Chained: true})
+	waitCaughtUp(t, primary, replica)
+	if err := replica.follower.Err(); err != nil {
+		t.Fatalf("chained stream halted: %v", err)
+	}
+	rc := mustDial(t, replica.addr)
+	for _, k := range []uint64{1, 50, 100} {
+		if v, found, err := rc.Get(k); err != nil || !found || v != k {
+			t.Fatalf("Get(%d) = %d, %v, %v", k, v, found, err)
+		}
+	}
+	// The primary's stats publish the chain head.
+	s, err := pc.Stats()
+	if err != nil || s.Replication == nil || s.Replication.Primary == nil {
+		t.Fatalf("Stats: %v, %+v", err, s.Replication)
+	}
+	if s.Replication.Primary.ChainHead == "" {
+		t.Fatal("chained primary published no chain head")
+	}
+}
+
+// TestChainedStreamDetectsTamper runs a follower against a fake primary
+// that ships one valid record and one whose chain digest belongs to a
+// different payload — as a man-in-the-middle altering a shipped write
+// would produce. The follower must apply the first, halt fatally on the
+// second, and never apply the altered bytes.
+func TestChainedStreamDetectsTamper(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// Two put-batch records as a primary would ship them.
+	payloadFor := func(key, val uint64) (byte, []byte) {
+		var b op.Batch
+		b.Put(key, val)
+		code, p := b.Payload()
+		return code, append([]byte(nil), p...)
+	}
+	served := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			served <- err
+			return
+		}
+		defer c.Close()
+		var buf []byte
+		tag, payload, _, err := wire.ReadReplFrame(c, buf)
+		if err != nil || tag != wire.OpReplSync {
+			served <- fmt.Errorf("handshake: tag 0x%02x, %v", tag, err)
+			return
+		}
+		from, flags, err := wire.DecodeReplSync(payload)
+		if err != nil || flags&wire.ReplFlagChained == 0 {
+			served <- fmt.Errorf("handshake: from=%d flags=0x%02x, %v", from, flags, err)
+			return
+		}
+		chain := wal.NewChain(from)
+		var out []byte
+		// Record 1: honest.
+		code, p1 := payloadFor(1, 10)
+		sum, _ := chain.Extend(from+1, code, p1)
+		out = wire.AppendReplRecord(out, from+1, code, &sum, p1)
+		// Record 2: the shipped bytes say Put(2, 666), but the digest was
+		// computed over the original Put(2, 20) — an in-flight alteration.
+		code2, honest := payloadFor(2, 20)
+		sum2, _ := chain.Extend(from+2, code2, honest)
+		_, altered := payloadFor(2, 666)
+		out = wire.AppendReplRecord(out, from+2, code2, &sum2, altered)
+		if _, err := c.Write(out); err != nil {
+			served <- err
+			return
+		}
+		// Hold the connection open: the follower must halt on its own
+		// verdict, not on EOF.
+		ack := make([]byte, 64)
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		for {
+			if _, err := c.Read(ack); err != nil {
+				served <- nil
+				return
+			}
+		}
+	}()
+
+	st, err := vmshortcut.Open(vmshortcut.KindHT, vmshortcut.WithConcurrency(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Primary: ln.Addr().String(),
+		Store:   st,
+		Chained: true,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	waitFor(t, "tamper verdict", func() bool { return f.Err() != nil })
+	if got := f.Err().Error(); !strings.Contains(got, "chain digest mismatch") {
+		t.Fatalf("fatal error = %q, want a chain digest mismatch", got)
+	}
+	// The honest record applied; the altered one did not.
+	var out [1]uint64
+	if oks := st.LookupBatch([]uint64{1}, out[:]); !oks[0] || out[0] != 10 {
+		t.Fatalf("honest record not applied: %v %d", oks[0], out[0])
+	}
+	if oks := st.LookupBatch([]uint64{2}, out[:]); oks[0] {
+		t.Fatal("altered record was applied")
+	}
+	if c := f.Counters(); c.RecordsApplied != 1 {
+		t.Fatalf("RecordsApplied = %d, want 1", c.RecordsApplied)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("fake primary: %v", err)
+	}
+}

@@ -85,6 +85,64 @@ type Config struct {
 
 	// Logf receives accept/connection errors; nil discards them.
 	Logf func(format string, args ...any)
+
+	// Repl, when non-nil, makes this server a replication primary: a
+	// connection that sends REPLSYNC is handed over to Repl.ServeConn and
+	// becomes a record stream, and — when Repl.SyncMode reports true —
+	// every mutation's acknowledgement is held until a connected follower
+	// acknowledged it (Repl.WaitShipped). Implemented by repl.Source.
+	//
+	// Assign only a concrete non-nil value: a typed-nil interface here
+	// would pass the nil checks and panic on first use.
+	Repl ReplSource
+
+	// Replica, when non-nil, makes this server a read replica: mutations
+	// are refused with StatusReadOnly until Replica.WritesAllowed (a
+	// promoted replica serves writes), reads are refused with StatusStale
+	// while Replica.Stale (the replica lost its primary beyond its
+	// staleness bound), and an OpPromote frame triggers
+	// Replica.Promote. Implemented by repl.Follower.
+	Replica Replica
+}
+
+// ReplSource is the primary side of replication as the server sees it:
+// a stream handler for follower connections plus the synchronous-
+// replication write gate. Implemented by repl.Source; declared here so
+// the server does not depend on the repl package.
+type ReplSource interface {
+	// ServeConn runs a replication stream on a connection whose REPLSYNC
+	// handshake requested records after fromLSN. The server's request
+	// loop has exited; ServeConn owns the connection's traffic until it
+	// returns, but must not close the connection (the server does).
+	ServeConn(c net.Conn, br *bufio.Reader, bw *bufio.Writer, fromLSN uint64, flags byte) error
+	// SyncMode reports synchronous replication; when true the server
+	// calls WaitShipped after each mutation and before its response.
+	SyncMode() bool
+	// WaitShipped blocks until a connected follower acknowledged lsn,
+	// degrading per its own policy; it must not block unboundedly.
+	WaitShipped(lsn uint64) bool
+	// LastLSN is the log position to wait for after a mutation.
+	LastLSN() uint64
+	// Counters snapshots the primary-side stats section.
+	Counters() *wire.PrimaryReplCounters
+}
+
+// Replica is the follower side of replication as the server sees it:
+// the gates that turn a server into a read replica, and promotion.
+// Implemented by repl.Follower; declared here so the server does not
+// depend on the repl package.
+type Replica interface {
+	// WritesAllowed reports whether mutations may be served; false until
+	// the replica is promoted.
+	WritesAllowed() bool
+	// Stale reports whether reads must be refused because the primary
+	// has been silent beyond the configured staleness bound.
+	Stale() bool
+	// Promote stops replication and returns the last applied primary
+	// LSN; after it returns, WritesAllowed must report true.
+	Promote() uint64
+	// Counters snapshots the replica-side stats section.
+	Counters() *wire.ReplicaReplCounters
 }
 
 // Server serves the wire protocol from a Store. Create with New, start
@@ -108,6 +166,45 @@ type Server struct {
 	coalescedBatches atomic.Uint64
 	coalescedOps     atomic.Uint64
 	errors           atomic.Uint64
+	readOnlyRejects  atomic.Uint64
+	staleRejects     atomic.Uint64
+}
+
+// gateState is what the replica gates allow a request to do right now.
+type gateState int
+
+const (
+	// gateOpen serves everything: not a replica, or a promoted one.
+	gateOpen gateState = iota
+	// gateReadOnly serves reads and refuses mutations (StatusReadOnly).
+	gateReadOnly
+	// gateStale refuses reads too (StatusStale): the primary has been
+	// silent beyond the replica's staleness bound, so even reads could
+	// be arbitrarily old. Mutations still answer StatusReadOnly — the
+	// more actionable refusal.
+	gateStale
+)
+
+// gate reports what the current request may do on this server.
+func (s *Server) gate() gateState {
+	rp := s.cfg.Replica
+	if rp == nil || rp.WritesAllowed() {
+		return gateOpen
+	}
+	if rp.Stale() {
+		return gateStale
+	}
+	return gateReadOnly
+}
+
+// waitShipped is the synchronous-replication write gate: after a durable
+// mutation, hold its acknowledgement until a connected follower also has
+// it. The wait degrades (per the source's policy) rather than stalling
+// the write path forever.
+func (s *Server) waitShipped() {
+	if rs := s.cfg.Repl; rs != nil && rs.SyncMode() {
+		rs.WaitShipped(rs.LastLSN())
+	}
 }
 
 // New creates a Server for cfg.
@@ -260,6 +357,8 @@ func (s *Server) Counters() wire.ServerCounters {
 		CoalescedBatches: s.coalescedBatches.Load(),
 		CoalescedOps:     s.coalescedOps.Load(),
 		Errors:           s.errors.Load(),
+		ReadOnlyRejects:  s.readOnlyRejects.Load(),
+		StaleRejects:     s.staleRejects.Load(),
 	}
 }
 
@@ -276,6 +375,10 @@ type connState struct {
 	batch   op.Batch
 	res     op.Results
 	resp    []byte
+	// gets/gres are the read-only gate's side batch: the GET entries of a
+	// gathered batch that mixes reads with refused mutations.
+	gets op.Batch
+	gres op.Results
 	// drainBroken is set when Shutdown's deadline poke interrupted the
 	// coalescer mid-frame: the gathered complete requests are still
 	// answered, but the stream is no longer frame-aligned, so the
@@ -334,6 +437,14 @@ func (s *Server) serveConn(c net.Conn) {
 			err = st.batchFrame(tag, payload)
 		case wire.OpStats:
 			err = st.statsReply()
+		case wire.OpReplSync:
+			// The connection leaves the request/response regime for good:
+			// replStream runs it as a replication stream until it ends,
+			// and serveConn's defer closes it.
+			st.replStream(payload)
+			return
+		case wire.OpPromote:
+			err = st.promoteReply()
 		default:
 			err = fmt.Errorf("unknown opcode 0x%02x", tag)
 		}
@@ -406,6 +517,9 @@ func (st *connState) singles(tag byte, payload []byte) error {
 		st.srv.coalescedBatches.Add(1)
 		st.srv.coalescedOps.Add(uint64(n))
 	}
+	if g := st.srv.gate(); g == gateStale || (g == gateReadOnly && st.batch.Mutations() > 0) {
+		return st.gatedSingles(g)
+	}
 	err := st.srv.store.ApplyBatch(&st.batch, &st.res)
 	if err != nil {
 		// Unit failure: nothing in the batch may be acknowledged (see the
@@ -415,6 +529,9 @@ func (st *connState) singles(tag byte, payload []byte) error {
 			st.resp = wire.AppendError(st.resp, err.Error())
 		}
 		return nil
+	}
+	if st.batch.Mutations() > 0 {
+		st.srv.waitShipped()
 	}
 	for i, kind := range st.batch.Kinds() {
 		switch kind {
@@ -433,6 +550,56 @@ func (st *connState) singles(tag byte, payload []byte) error {
 				st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
 			}
 		}
+	}
+	return nil
+}
+
+// gatedSingles answers a gathered singles batch on an unpromoted
+// replica. Under the read-only gate, the GET entries are served through
+// a side reads-only batch — reads are what replicas are for — and each
+// mutation answers StatusReadOnly individually, preserving response
+// order; under the stale gate the reads are refused too (StatusStale).
+func (st *connState) gatedSingles(g gateState) error {
+	if g == gateStale {
+		for _, kind := range st.batch.Kinds() {
+			if kind == op.Get {
+				st.srv.staleRejects.Add(1)
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusStale)
+			} else {
+				st.srv.readOnlyRejects.Add(1)
+				st.resp = wire.AppendEmpty(st.resp, wire.StatusReadOnly)
+			}
+		}
+		return nil
+	}
+	st.gets.Reset()
+	keys := st.batch.Keys()
+	for i, kind := range st.batch.Kinds() {
+		if kind == op.Get {
+			st.gets.Get(keys[i])
+		}
+	}
+	var gerr error
+	if st.gets.Len() > 0 {
+		gerr = st.srv.store.ApplyBatch(&st.gets, &st.gres)
+	}
+	gi := 0
+	for _, kind := range st.batch.Kinds() {
+		if kind != op.Get {
+			st.srv.readOnlyRejects.Add(1)
+			st.resp = wire.AppendEmpty(st.resp, wire.StatusReadOnly)
+			continue
+		}
+		switch {
+		case gerr != nil:
+			st.srv.errors.Add(1)
+			st.resp = wire.AppendError(st.resp, gerr.Error())
+		case st.gres.Found[gi]:
+			st.resp = wire.AppendValue(st.resp, st.gres.Vals[gi])
+		default:
+			st.resp = wire.AppendEmpty(st.resp, wire.StatusNotFound)
+		}
+		gi++
 	}
 	return nil
 }
@@ -501,10 +668,29 @@ func (st *connState) batchFrame(tag byte, payload []byte) error {
 	}
 	n := st.batch.Len()
 	st.srv.ops.Add(uint64(n))
+	if g := st.srv.gate(); g != gateOpen {
+		// Batch frames fail as a unit (one response per frame), so the
+		// refusal is whole-frame: any mutation makes the frame read-only-
+		// refused; a pure-read frame serves under the read-only gate and
+		// is stale-refused under the stale gate.
+		if st.batch.Mutations() > 0 {
+			st.srv.readOnlyRejects.Add(1)
+			st.resp = wire.AppendEmpty(st.resp, wire.StatusReadOnly)
+			return nil
+		}
+		if g == gateStale {
+			st.srv.staleRejects.Add(1)
+			st.resp = wire.AppendEmpty(st.resp, wire.StatusStale)
+			return nil
+		}
+	}
 	if err := st.srv.store.ApplyBatch(&st.batch, &st.res); err != nil {
 		st.srv.errors.Add(1)
 		st.resp = wire.AppendError(st.resp, err.Error())
 		return nil
+	}
+	if st.batch.Mutations() > 0 {
+		st.srv.waitShipped()
 	}
 	switch tag {
 	case wire.OpGetBatch:
@@ -519,6 +705,46 @@ func (st *connState) batchFrame(tag byte, payload []byte) error {
 	return nil
 }
 
+// replStream hands a REPLSYNC connection over to the replication
+// source. The caller (serveConn) returns right after: the connection is
+// a record stream from here until it dies, and serveConn's defer closes
+// it like any other connection.
+func (st *connState) replStream(payload []byte) {
+	s := st.srv
+	s.ops.Add(1)
+	from, flags, err := wire.DecodeReplSync(payload)
+	if err == nil && s.cfg.Repl == nil {
+		err = errors.New("replication is not enabled on this server")
+	}
+	if err != nil {
+		s.errors.Add(1)
+		st.bw.Write(wire.AppendError(st.resp[:0], err.Error()))
+		st.bw.Flush()
+		return
+	}
+	s.logf("server: conn %s: replication stream from LSN %d (flags 0x%02x)", st.c.RemoteAddr(), from, flags)
+	if err := s.cfg.Repl.ServeConn(st.c, st.br, st.bw, from, flags); err != nil && !isClosedErr(err) {
+		s.logf("server: repl stream %s: %v", st.c.RemoteAddr(), err)
+	}
+}
+
+// promoteReply answers OpPromote: the replica stops replicating and
+// starts accepting writes. Idempotent — promoting a promoted replica
+// acknowledges again; a server that was never a replica refuses.
+func (st *connState) promoteReply() error {
+	st.srv.ops.Add(1)
+	rp := st.srv.cfg.Replica
+	if rp == nil {
+		st.srv.errors.Add(1)
+		st.resp = wire.AppendError(st.resp, "this server is not a replica")
+		return nil
+	}
+	lsn := rp.Promote()
+	st.srv.logf("server: promoted to primary at LSN %d (requested by %s)", lsn, st.c.RemoteAddr())
+	st.resp = wire.AppendEmpty(st.resp, wire.StatusOK)
+	return nil
+}
+
 // statsReply answers OpStats with the JSON StatsReply.
 func (st *connState) statsReply() error {
 	st.srv.ops.Add(1)
@@ -527,6 +753,20 @@ func (st *connState) statsReply() error {
 		Server:     st.srv.Counters(),
 		Store:      storeStats,
 		Durability: wire.DurabilityFrom(storeStats),
+	}
+	if rs, rp := st.srv.cfg.Repl, st.srv.cfg.Replica; rs != nil || rp != nil {
+		repl := &wire.ReplicationStats{}
+		reply.Role = "primary"
+		if rs != nil {
+			repl.Primary = rs.Counters()
+		}
+		if rp != nil {
+			repl.Replica = rp.Counters()
+			if !rp.WritesAllowed() {
+				reply.Role = "replica"
+			}
+		}
+		reply.Replication = repl
 	}
 	body, err := json.Marshal(reply)
 	if err != nil {

@@ -235,6 +235,7 @@ type storeOptions struct {
 	fsyncInterval   time.Duration
 	snapshotEvery   int
 	walSegmentBytes int64
+	chainedWAL      bool
 }
 
 // Option configures Open. Options that do not apply to the chosen kind are

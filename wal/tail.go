@@ -1,0 +1,333 @@
+// Tail subscription: the replication primary's feed. Tail streams every
+// record after a starting position to a callback — first catching up from
+// the segment files, then following live appends via a notification
+// channel — without buffering records in memory or holding the log lock
+// while reading. The design leans on two append-only facts: bytes written
+// to a segment never change, and a record is wholly on disk before the
+// log publishes its LSN (the tailer flushes the segment writer under the
+// log lock and snapshots lastLSN in the same critical section, then reads
+// the files outside any lock, stopping at the snapshot — so it can never
+// observe a partially-written record).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCompacted is returned by Tail when the requested position has been
+// compacted away: the records the caller still needs exist nowhere in the
+// log, so it must full-sync from a snapshot instead.
+var ErrCompacted = errors.New("wal: tail position compacted away")
+
+// TailRecord is one record delivered by Tail: the sequence number, the
+// batch code, and the batch payload exactly as it sits on disk (and
+// exactly as it arrived on the wire — the zero-re-encode invariant). The
+// payload aliases a buffer reused between records: the callback must
+// consume or copy it before returning.
+type TailRecord struct {
+	LSN     uint64
+	Code    byte
+	Payload []byte
+}
+
+// TailFunc receives records from Tail in LSN order. Returning an error
+// stops the tail and surfaces the error from Tail.
+type TailFunc func(r TailRecord) error
+
+// Tail delivers every record with LSN > from to fn, in order, then blocks
+// following the log: each new append is delivered as it becomes readable
+// (before any fsync — shipping does not wait on the sync policy). It
+// returns nil when stop closes, ErrClosed once the log closes (after
+// delivering every record appended before Close began), ErrCompacted when
+// record from+1 no longer exists, and fn's error if fn fails. Multiple
+// Tails may run concurrently with each other and with appenders.
+func (l *Log) Tail(from uint64, stop <-chan struct{}, fn TailFunc) error {
+	l.mu.Lock()
+	last, closed := l.lastLSN, l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if from > last {
+		return fmt.Errorf("wal: tail from LSN %d but the log ends at %d", from, last)
+	}
+	l.tailers.Add(1)
+	defer l.tailers.Add(-1)
+	t := tailer{l: l, next: from + 1}
+	defer t.closeFile()
+	for {
+		target, err := t.sync()
+		if err != nil {
+			return err
+		}
+		if target >= t.next {
+			if err := t.deliver(target, fn); err != nil {
+				return err
+			}
+			continue // more may have arrived while delivering
+		}
+		// Caught up. Grab the wake channel BEFORE re-checking the
+		// position: an append between the check and the select would
+		// otherwise be a missed wakeup.
+		ch := l.wakeChan()
+		if l.LastLSN() >= t.next {
+			continue
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return nil
+		case <-l.stopc:
+			// Close begins by signalling stopc; drain what was appended
+			// before it, then report closed. Appends racing with Close
+			// itself have no delivery guarantee.
+			if target, err := t.sync(); err == nil && target >= t.next {
+				if err := t.deliver(target, fn); err != nil {
+					return err
+				}
+			}
+			return ErrClosed
+		}
+	}
+}
+
+// tailer is one Tail call's cursor: the next LSN owed to the callback and
+// the open segment it is reading from.
+type tailer struct {
+	l        *Log
+	next     uint64
+	f        *os.File
+	br       *bufio.Reader
+	segFirst uint64 // firstLSN of the open segment
+	buf      []byte // payload scratch, reused across records
+}
+
+// sync flushes the log's segment writer and snapshots the delivery
+// target, both under the log lock: every record with LSN ≤ the returned
+// target is fully on disk before this returns. It also re-checks that the
+// cursor has not been compacted out from under us.
+func (t *tailer) sync() (uint64, error) {
+	l := t.l
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
+	if !l.closed {
+		if err := l.bw.Flush(); err != nil {
+			l.err = err
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	target := l.lastLSN
+	oldest := l.segs[0].firstLSN
+	l.mu.Unlock()
+	if t.next < oldest {
+		return 0, ErrCompacted
+	}
+	return target, nil
+}
+
+// deliver reads records from the segment files and feeds [next, target]
+// to fn. Records below next (the head of a segment entered mid-way on
+// resume) are skipped; a clean EOF below target means the segment was
+// sealed by rotation and the cursor moves to its successor.
+func (t *tailer) deliver(target uint64, fn TailFunc) error {
+	for t.next <= target {
+		if t.f == nil {
+			if err := t.openSegment(); err != nil {
+				return err
+			}
+		}
+		lsn, code, payload, err := t.readRecord()
+		if err == io.EOF {
+			prev := t.segFirst
+			t.closeFile()
+			if err := t.openSegment(); err != nil {
+				return err
+			}
+			if t.segFirst == prev {
+				return fmt.Errorf("%w: record %d missing from segment starting at LSN %d",
+					ErrCorrupt, t.next, prev)
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if lsn < t.next {
+			continue
+		}
+		if lsn != t.next {
+			return fmt.Errorf("%w: tail read LSN %d, expected %d", ErrCorrupt, lsn, t.next)
+		}
+		if err := fn(TailRecord{LSN: lsn, Code: code, Payload: payload}); err != nil {
+			return err
+		}
+		t.next = lsn + 1
+	}
+	return nil
+}
+
+// openSegment opens the segment that contains (or will contain) record
+// next. A segment file deleted between the lookup and the open was
+// compacted, which implies next was too.
+func (t *tailer) openSegment() error {
+	l := t.l
+	l.mu.Lock()
+	var seg segment
+	found := false
+	for i := len(l.segs) - 1; i >= 0; i-- {
+		if l.segs[i].firstLSN <= t.next {
+			seg = l.segs[i]
+			found = true
+			break
+		}
+	}
+	l.mu.Unlock()
+	if !found {
+		return ErrCompacted
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrCompacted
+		}
+		return fmt.Errorf("wal: tail opening %s: %w", seg.path, err)
+	}
+	t.f = f
+	t.segFirst = seg.firstLSN
+	if t.br == nil {
+		t.br = bufio.NewReaderSize(f, 256<<10)
+	} else {
+		t.br.Reset(f)
+	}
+	return nil
+}
+
+// readRecord reads one record at the cursor, verifying its CRC. It
+// returns io.EOF at a clean segment end; any other shortfall is
+// corruption, because deliver never reads past a position sync proved to
+// be fully on disk. The payload aliases the tailer's scratch buffer.
+func (t *tailer) readRecord() (lsn uint64, code byte, payload []byte, err error) {
+	var hdr [recordHeaderSize]byte
+	n, err := io.ReadFull(t.br, hdr[:])
+	if err == io.EOF && n == 0 {
+		return 0, 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: tail: partial record header in segment at LSN %d", ErrCorrupt, t.segFirst)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if payloadLen < minPayload || payloadLen > maxPayload {
+		return 0, 0, nil, fmt.Errorf("%w: tail: payload length %d out of range", ErrCorrupt, payloadLen)
+	}
+	if cap(t.buf) < payloadLen {
+		t.buf = make([]byte, payloadLen)
+	}
+	t.buf = t.buf[:payloadLen]
+	if _, err := io.ReadFull(t.br, t.buf); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: tail: partial record payload", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(t.buf) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return 0, 0, nil, fmt.Errorf("%w: tail: CRC mismatch at LSN %d", ErrCorrupt, binary.LittleEndian.Uint64(t.buf))
+	}
+	lsn = binary.LittleEndian.Uint64(t.buf)
+	code = t.buf[8]
+	switch code {
+	case OpPut, OpDel, OpMixed:
+	default:
+		return 0, 0, nil, fmt.Errorf("%w: tail: unknown opcode 0x%02x", ErrCorrupt, code)
+	}
+	return lsn, code, t.buf[payloadPrefixSize:], nil
+}
+
+// closeFile releases the open segment file, if any.
+func (t *tailer) closeFile() {
+	if t.f != nil {
+		t.f.Close()
+		t.f = nil
+	}
+}
+
+// wakeChan returns the channel the next append will close.
+func (l *Log) wakeChan() <-chan struct{} {
+	l.wakeMu.Lock()
+	ch := l.wakeC
+	l.wakeMu.Unlock()
+	return ch
+}
+
+// wakeTailers signals waiting tailers that the log grew. The tailer count
+// keeps the no-subscriber hot path to one atomic load.
+func (l *Log) wakeTailers() {
+	if l.tailers.Load() == 0 {
+		return
+	}
+	l.wakeMu.Lock()
+	close(l.wakeC)
+	l.wakeC = make(chan struct{})
+	l.wakeMu.Unlock()
+}
+
+// scanRecords is the auditor-side strict segment scan used by
+// VerifyChain: unlike replay it treats every shortfall — including a torn
+// tail — as corruption, and repairs nothing. It returns how many records
+// the segment holds. filepath.Base keeps messages stable across dirs.
+func scanRecords(path string, fn func(lsn uint64, code byte, payload []byte) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	var (
+		hdr     [recordHeaderSize]byte
+		payload []byte
+		count   int
+	)
+	base := filepath.Base(path)
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF && n == 0 {
+			return count, nil
+		}
+		if err != nil {
+			return count, fmt.Errorf("%w: %s: torn record header", ErrCorrupt, base)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(hdr[:4]))
+		if payloadLen < minPayload || payloadLen > maxPayload {
+			return count, fmt.Errorf("%w: %s: payload length %d out of range", ErrCorrupt, base, payloadLen)
+		}
+		if cap(payload) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return count, fmt.Errorf("%w: %s: torn record payload", ErrCorrupt, base)
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+			return count, fmt.Errorf("%w: %s: CRC mismatch", ErrCorrupt, base)
+		}
+		lsn := binary.LittleEndian.Uint64(payload)
+		code := payload[8]
+		switch code {
+		case OpPut, OpDel, OpMixed:
+		default:
+			return count, fmt.Errorf("%w: %s: unknown opcode 0x%02x", ErrCorrupt, base, code)
+		}
+		if err := fn(lsn, code, payload[payloadPrefixSize:]); err != nil {
+			return count, err
+		}
+		count++
+	}
+}

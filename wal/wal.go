@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmshortcut/internal/op"
@@ -91,6 +92,11 @@ type Options struct {
 	// SegmentBytes rotates the active segment when it would exceed this
 	// size. Default 64 MiB.
 	SegmentBytes int64
+	// Chained maintains a running tamper-evidence digest (see Chain) over
+	// the record sequence: Open recomputes it across the replayed records
+	// and every append extends it. ChainHead exposes the current head for
+	// publication; VerifyChain audits the segment files against it.
+	Chained bool
 }
 
 func (o *Options) fill() {
@@ -148,6 +154,18 @@ type Log struct {
 	err     error     // sticky I/O error; the log is dead once set
 	closed  bool
 
+	// Chained-hash state (Options.Chained), under mu. The chain tracks
+	// lastLSN exactly: every appended record extends it.
+	chain       Chain
+	chainAnchor uint64
+
+	// Tail-subscription wakeup (see tail.go). Appenders close-and-replace
+	// wakeC after publishing a new lastLSN; the counter lets the
+	// no-subscriber hot path skip the channel churn.
+	tailers atomic.Int32
+	wakeMu  sync.Mutex
+	wakeC   chan struct{}
+
 	// Group-commit state. One appender at a time is the sync leader: it
 	// flushes under mu, then fsyncs OUTSIDE all locks — so other
 	// appenders keep appending during the fsync — and publishes the
@@ -178,6 +196,24 @@ func parseSegName(name string) (uint64, bool) {
 	return lsn, true
 }
 
+// listSegments returns dir's segment files in LSN order. Shared by Open
+// and the offline auditor (VerifyChain), which must agree on what the
+// log's on-disk contents are.
+func listSegments(dir string) ([]segment, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range names {
+		if lsn, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), firstLSN: lsn})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
 // SyncDir fsyncs a directory so entry creation, removal, and renames
 // inside it survive a crash. The log uses it around segment lifecycle;
 // the snapshot layer shares it for publishing snapshot renames.
@@ -204,20 +240,21 @@ func Open(dir string, opts Options, replay ReplayFunc) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
-	names, err := os.ReadDir(dir)
+	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+		return nil, err
 	}
-	var segs []segment
-	for _, e := range names {
-		if lsn, ok := parseSegName(e.Name()); ok {
-			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), firstLSN: lsn})
-		}
-	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
 
-	l := &Log{dir: dir, opts: opts, stopc: make(chan struct{}), done: make(chan struct{})}
+	l := &Log{dir: dir, opts: opts, stopc: make(chan struct{}), done: make(chan struct{}), wakeC: make(chan struct{})}
 	l.syncC = sync.NewCond(&l.syncMu)
+	if opts.Chained {
+		// Anchor the chain just below the oldest record on disk; replay
+		// extends it record by record.
+		if len(segs) > 0 {
+			l.chainAnchor = segs[0].firstLSN - 1
+		}
+		l.chain = NewChain(l.chainAnchor)
+	}
 	for i := range segs {
 		// LSNs must run contiguously across segment boundaries: rotation
 		// names the next segment lastLSN+1, so a gap means a whole
@@ -251,6 +288,13 @@ func Open(dir string, opts Options, replay ReplayFunc) (*Log, error) {
 	}
 	l.segs = segs
 	l.synced = l.lastLSN // everything replayed is on disk by definition
+	if opts.Chained && l.chain.LSN() != l.lastLSN {
+		// A named-but-empty segment bumped lastLSN past the last replayed
+		// record: the chain cannot span records that no longer exist, so
+		// it re-anchors at the log's position.
+		l.chainAnchor = l.lastLSN
+		l.chain = NewChain(l.lastLSN)
+	}
 
 	if len(l.segs) == 0 {
 		if err := l.openSegmentLocked(l.lastLSN + 1); err != nil {
@@ -326,12 +370,17 @@ func (l *Log) replaySegment(seg *segment, final bool, replay ReplayFunc) (int64,
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
 			return torn("CRC mismatch")
 		}
-		lsn, _, err := decodeRecordPayload(payload, &batch)
+		lsn, code, err := decodeRecordPayload(payload, &batch)
 		if err != nil {
 			return torn(err.Error())
 		}
 		if lsn != expect {
 			return torn(fmt.Sprintf("LSN %d, expected %d", lsn, expect))
+		}
+		if l.opts.Chained {
+			if _, err := l.chain.Extend(lsn, code, payload[payloadPrefixSize:]); err != nil {
+				return 0, 0, err
+			}
 		}
 		if replay != nil {
 			if err := replay(lsn, &batch); err != nil {
@@ -436,7 +485,11 @@ func (l *Log) AppendBatch(code byte, payload []byte) (uint64, error) {
 		return 0, err
 	}
 	l.lastLSN = lsn
+	if l.opts.Chained {
+		l.chain.Extend(lsn, code, payload) // cannot gap: lsn tracks the chain position
+	}
 	l.mu.Unlock()
+	l.wakeTailers()
 	return lsn, l.maybeSync(lsn)
 }
 
@@ -471,8 +524,12 @@ func (l *Log) append(code byte, keys, values []uint64) (uint64, error) {
 			return 0, err
 		}
 		l.lastLSN = lsn
+		if l.opts.Chained {
+			l.chain.Extend(lsn, code, l.pbuf)
+		}
 	}
 	l.mu.Unlock()
+	l.wakeTailers()
 	return lsn, l.maybeSync(lsn)
 }
 
@@ -647,6 +704,19 @@ func (l *Log) LastLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.lastLSN
+}
+
+// ChainHead returns the live tamper-evidence chain: its anchor (the
+// position just below the oldest record it covers), the newest record it
+// covers (always the log's last LSN), and the head digest. ok is false
+// when the log was opened without Options.Chained.
+func (l *Log) ChainHead() (anchor, lsn uint64, head [ChainHashSize]byte, ok bool) {
+	if !l.opts.Chained {
+		return 0, 0, head, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chainAnchor, l.chain.LSN(), l.chain.Sum(), true
 }
 
 // OldestLSN returns the lowest sequence number the log can still
