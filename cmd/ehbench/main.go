@@ -1,0 +1,237 @@
+// Command ehbench is the reproducible experiment grid runner: it reads a
+// declarative experiments.json (mixes × distributions × batch modes ×
+// fsync modes × shard counts × GOMAXPROCS × replication), launches a
+// fresh in-process ehserver per measured run, drives it with the same
+// verified YCSB machinery as ehload (internal/bench), repeats every cell
+// N times with a warmup, and writes the artifacts the paper workflow
+// needs under bench_runs/<stamp>/: per-run JSON records, a per-run CSV,
+// and a grouped summary.json with mean/std/min/max per cell.
+//
+// Modes:
+//
+//	ehbench                                  # run ./experiments.json, analyze, print the table
+//	ehbench -grid grid.json -out bench_runs  # explicit grid and output root
+//	ehbench -repeats 1 -duration 200ms -load 2000 -max-cells 2   # CI-sized override
+//	ehbench -analyze bench_runs/<stamp>      # (re)summarize an existing run directory
+//	ehbench -history BENCH_history.json ...  # append the summary to the perf trajectory
+//	ehbench -compare old.json new.json       # regression gate: non-zero exit past -threshold
+//
+// The regression gate joins cells on their grid key and fails (exit 1)
+// when a cell's mean throughput dropped more than -threshold; -advisory
+// reports but always exits 0, for CI runners whose absolute numbers are
+// not comparable to the committed baseline's machine. -compare accepts
+// either summary.json files or BENCH_history.json trajectories (the
+// newest entry is compared).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vmshortcut/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	gridPath := flag.String("grid", "experiments.json", "experiment grid definition")
+	out := flag.String("out", bench.DefaultRunsRoot, "output root; artifacts land in <out>/<stamp>/")
+	stamp := flag.String("stamp", "", "run directory name (default: current time, 20060102_150405)")
+	history := flag.String("history", "", "append the run's summary to this BENCH_history.json trajectory")
+	label := flag.String("label", "", "label recorded with the history entry (e.g. the PR number)")
+	analyze := flag.Bool("analyze", false, "analyze an existing run directory (positional arg) instead of running the grid")
+	compare := flag.Bool("compare", false, "regression gate: compare two summaries/trajectories (positional args: old new)")
+	threshold := flag.Float64("threshold", 0.15, "relative mean-throughput drop that fails -compare (0.15 = 15%)")
+	advisory := flag.Bool("advisory", false, "with -compare: report regressions but exit 0")
+
+	// Grid overrides, so CI can run a committed grid at smoke size
+	// without a second experiments.json. 0 (or empty) keeps the grid's
+	// own values.
+	repeats := flag.Int("repeats", 0, "override the grid's repeats")
+	duration := flag.Duration("duration", 0, "override every cell's measured duration")
+	warmup := flag.Duration("warmup", -1, "override every cell's warmup (-1 = keep the grid's)")
+	load := flag.Int("load", 0, "override every cell's preloaded keyspace size")
+	conns := flag.Int("conns", 0, "override every cell's connection count")
+	pipeline := flag.Int("pipeline", 0, "override every cell's pipeline depth")
+	maxCells := flag.Int("max-cells", 0, "run only the first N cells of the grid (0 = all)")
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			usageError("-compare needs exactly two paths (old new), got %d", flag.NArg())
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *threshold, *advisory)
+	case *analyze:
+		if flag.NArg() != 1 {
+			usageError("-analyze needs exactly one run directory, got %d", flag.NArg())
+		}
+		runAnalyze(flag.Arg(0), *history, *label)
+	default:
+		if flag.NArg() != 0 {
+			usageError("unexpected arguments %v (did you mean -analyze or -compare?)", flag.Args())
+		}
+		runGrid(gridConfig{
+			gridPath: *gridPath, out: *out, stamp: *stamp,
+			history: *history, label: *label,
+			repeats: *repeats, duration: *duration, warmup: *warmup,
+			load: *load, conns: *conns, pipeline: *pipeline, maxCells: *maxCells,
+		})
+	}
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ehbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+type gridConfig struct {
+	gridPath, out, stamp, history, label string
+	repeats                              int
+	duration, warmup                     time.Duration
+	load, conns, pipeline, maxCells      int
+}
+
+// applyOverrides rewrites the grid in place with the CI-sized knobs, so
+// the copy persisted into the run directory reflects what actually ran.
+func (c gridConfig) applyOverrides(g *bench.Grid) {
+	if c.repeats > 0 {
+		g.Repeats = c.repeats
+	}
+	for i := range g.Experiments {
+		a := &g.Experiments[i].Axes
+		if c.duration > 0 {
+			a.Duration = bench.Duration(c.duration)
+		}
+		if c.warmup >= 0 {
+			a.Warmup = bench.Duration(c.warmup)
+		}
+		if c.load > 0 {
+			a.Load = c.load
+		}
+		if c.conns > 0 {
+			a.Conns = c.conns
+		}
+		if c.pipeline > 0 {
+			a.Pipeline = c.pipeline
+		}
+	}
+	if c.duration > 0 {
+		g.Defaults.Duration = bench.Duration(c.duration)
+	}
+	if c.warmup >= 0 {
+		g.Defaults.Warmup = bench.Duration(c.warmup)
+	}
+	if c.load > 0 {
+		g.Defaults.Load = c.load
+	}
+	if c.conns > 0 {
+		g.Defaults.Conns = c.conns
+	}
+	if c.pipeline > 0 {
+		g.Defaults.Pipeline = c.pipeline
+	}
+}
+
+func runGrid(c gridConfig) {
+	g, err := bench.LoadGrid(c.gridPath)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	c.applyOverrides(g)
+	cells, err := g.Cells()
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	if c.maxCells > 0 && len(cells) > c.maxCells {
+		log.Printf("ehbench: -max-cells %d: running %d of %d cells", c.maxCells, c.maxCells, len(cells))
+		cells = cells[:c.maxCells]
+	}
+	stamp := c.stamp
+	if stamp == "" {
+		stamp = time.Now().Format("20060102_150405")
+	}
+	dir := filepath.Join(c.out, stamp)
+	log.Printf("ehbench: %d cell(s) × %d repeat(s) from %s -> %s", len(cells), g.Repeats, c.gridPath, dir)
+
+	results := make([]*bench.CellResult, 0, len(cells))
+	start := time.Now()
+	for i, cell := range cells {
+		log.Printf("[%d/%d] %s", i+1, len(cells), cell.Key)
+		res, err := bench.RunCell(cell, log.Printf)
+		if err != nil {
+			log.Fatalf("ehbench: %v", err)
+		}
+		results = append(results, res)
+	}
+	sum := bench.Summarize(stamp, results)
+	if err := bench.WriteRunDir(dir, g, results, sum); err != nil {
+		log.Fatalf("ehbench: writing %s: %v", dir, err)
+	}
+	// Analyze immediately: one invocation yields every artifact.
+	if _, err := bench.Analyze(dir); err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	sum.WriteMarkdown(os.Stdout)
+	log.Printf("ehbench: wrote %s (%d runs) in %s", dir,
+		len(cells)*g.Repeats, time.Since(start).Round(time.Second))
+	appendHistory(c.history, sum, c.label)
+	var errs uint64
+	for _, cs := range sum.Cells {
+		errs += cs.Errors
+	}
+	if errs > 0 {
+		log.Fatalf("ehbench: %d verification errors across the grid", errs)
+	}
+}
+
+func runAnalyze(dir, history, label string) {
+	sum, err := bench.Analyze(dir)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	sum.WriteMarkdown(os.Stdout)
+	log.Printf("ehbench: rewrote %s and %s under %s",
+		bench.SummaryName, bench.AnalysisName, dir)
+	appendHistory(history, sum, label)
+}
+
+func appendHistory(path string, sum *bench.Summary, label string) {
+	if path == "" {
+		return
+	}
+	if err := bench.AppendHistory(path, sum.Entry(label)); err != nil {
+		log.Fatalf("ehbench: appending %s: %v", path, err)
+	}
+	log.Printf("ehbench: appended entry %s to %s", sum.Stamp, path)
+}
+
+func runCompare(oldPath, newPath string, threshold float64, advisory bool) {
+	base, err := bench.LoadComparable(oldPath)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	cur, err := bench.LoadComparable(newPath)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	cmp, err := bench.Compare(base, cur, threshold)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
+	}
+	fmt.Printf("baseline %s (%s) vs %s (%s), threshold %.0f%%\n",
+		base.Stamp, base.Go, cur.Stamp, cur.Go, threshold*100)
+	fmt.Print(cmp.String())
+	if cmp.Failed() {
+		if advisory {
+			fmt.Println("advisory mode: regressions reported, exit 0")
+			return
+		}
+		os.Exit(1)
+	}
+	fmt.Println("regression gate: PASS")
+}

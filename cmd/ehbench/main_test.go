@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildEhbench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ehbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ehbench: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// summaryJSON fabricates a minimal summary.json with one cell at the
+// given mean throughput.
+func summaryJSON(t *testing.T, dir, name string, tput float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	blob, _ := json.Marshal(map[string]any{
+		"stamp": name, "go": "go-test", "num_cpu": 1,
+		"cells": []map[string]any{{
+			"key":                    "e/mixA",
+			"throughput_ops_per_sec": map[string]float64{"mean": tput},
+			"p99_ns":                 map[string]float64{"mean": 1000},
+		}},
+	})
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareExitCodes pins the regression gate's CLI contract: exit 0
+// on self-compare, exit 1 past the threshold, exit 0 again under
+// -advisory, exit 2 on misuse.
+func TestCompareExitCodes(t *testing.T) {
+	bin := buildEhbench(t)
+	dir := t.TempDir()
+	base := summaryJSON(t, dir, "base.json", 1000)
+	slow := summaryJSON(t, dir, "slow.json", 700) // -30%
+
+	run := func(args ...string) (int, string) {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("ehbench %v: %v\n%s", args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	if code, out := run("-compare", base, base); code != 0 || !strings.Contains(out, "PASS") {
+		t.Fatalf("self-compare: exit %d\n%s", code, out)
+	}
+	if code, out := run("-compare", "-threshold", "0.15", base, slow); code != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("30%% drop at 15%% threshold: exit %d, want 1\n%s", code, out)
+	}
+	if code, _ := run("-compare", "-threshold", "0.5", base, slow); code != 0 {
+		t.Fatalf("30%% drop at 50%% threshold: exit %d, want 0", code)
+	}
+	if code, out := run("-compare", "-advisory", base, slow); code != 0 || !strings.Contains(out, "advisory") {
+		t.Fatalf("advisory mode: exit %d, want 0\n%s", code, out)
+	}
+	if code, _ := run("-compare", base); code != 2 {
+		t.Fatalf("-compare with one arg: exit %d, want usage error 2", code)
+	}
+	if code, _ := run("-analyze"); code != 2 {
+		t.Fatalf("-analyze with no dir: exit %d, want usage error 2", code)
+	}
+	if code, _ := run("unexpected-positional"); code != 2 {
+		t.Fatalf("stray positional: exit %d, want usage error 2", code)
+	}
+}

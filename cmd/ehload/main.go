@@ -3,7 +3,8 @@
 // (A/B/C/D/F, zipfian or uniform) over N client connections with deep
 // pipelining, verifying every response, and reports throughput plus an
 // HDR latency histogram (p50/p95/p99) both on stdout and as
-// BENCH_server.json.
+// BENCH_server.json. The driver itself lives in internal/bench, shared
+// with cmd/ehbench's experiment grid.
 //
 // Latency is recorded per pipelined round trip: one Flush of -pipeline
 // operations is one sample, which is the unit of work the protocol (and
@@ -49,38 +50,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"vmshortcut"
-	"vmshortcut/client"
-	"vmshortcut/internal/harness"
-	"vmshortcut/internal/wire"
+	"vmshortcut/internal/bench"
 	"vmshortcut/internal/workload"
 )
-
-// Batch modes: how each worker turns its generated ops into wire frames.
-const (
-	batchNone  = "none"  // pipelined single-op frames (the server coalesces)
-	batchKind  = "kind"  // same-kind runs as native GETBATCH/PUTBATCH frames
-	batchMixed = "mixed" // each round trip as ONE MIXEDBATCH frame
-)
-
-type config struct {
-	addr      string
-	mix       workload.Mix
-	dist      string
-	conns     int
-	pipeline  int
-	batch     int    // batch size in kind mode; 0 otherwise
-	batchMode string // batchNone | batchKind | batchMixed
-	load      int
-	duration  time.Duration
-	ops       int
-	seed      uint64
-	out       string
-}
 
 func main() {
 	addr := flag.String("addr", "localhost:6380", "server address")
@@ -90,6 +64,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 32, "operations in flight per connection round trip")
 	batch := flag.String("batch", "0", "native batch frames: N gathers same-kind runs into batch frames of up to N ops; 'mixed' submits each round trip as one MIXEDBATCH frame; 0 = pipelined single-op frames")
 	load := flag.Int("load", 100_000, "keyspace entries preloaded before the measured run")
+	warmup := flag.Duration("warmup", 0, "drive the workload for this long after the preload and discard the results, so the measured run starts warm")
 	duration := flag.Duration("duration", 10*time.Second, "measured run length")
 	ops := flag.Int("ops", 0, "fixed op budget per connection instead of -duration (0 = use -duration)")
 	seed := flag.Uint64("seed", 42, "keyspace and workload seed")
@@ -150,40 +125,43 @@ func main() {
 	if *ops == 0 && *duration <= 0 {
 		usageError("-duration must be positive when -ops is 0 (the run would never stop)")
 	}
-	batchMode, batchSize := batchNone, 0
+	if *warmup < 0 {
+		usageError("-warmup must be non-negative")
+	}
+	batchMode, batchSize := bench.BatchNone, 0
 	switch strings.ToLower(*batch) {
-	case "", "0", batchNone:
-	case batchMixed:
-		batchMode = batchMixed
+	case "", "0", bench.BatchNone:
+	case bench.BatchMixed:
+		batchMode = bench.BatchMixed
 	default:
 		n, err := strconv.Atoi(*batch)
 		if err != nil || n < 0 {
 			usageError("-batch must be a non-negative size or 'mixed', got %q", *batch)
 		}
 		if n > 0 {
-			batchMode, batchSize = batchKind, n
+			batchMode, batchSize = bench.BatchKind, n
 		}
 	}
-	cfg := config{
-		addr: *addr, mix: mix, dist: distName(mix), conns: *conns,
-		pipeline: *pipeline, batch: batchSize, batchMode: batchMode, load: *load,
-		duration: *duration, ops: *ops, seed: *seed, out: *out,
+	cfg := bench.Config{
+		Addr: *addr, Mix: mix, Conns: *conns,
+		Pipeline: *pipeline, BatchSize: batchSize, BatchMode: batchMode, Load: *load,
+		Warmup: *warmup, Duration: *duration, Ops: *ops, Seed: *seed,
 	}
 
-	report, err := run(cfg)
+	report, err := bench.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	printSummary(report)
-	if cfg.out != "" {
+	report.WriteSummary(os.Stdout)
+	if *out != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := os.WriteFile(cfg.out, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", cfg.out)
+		fmt.Printf("wrote %s\n", *out)
 	}
 	if report.Errors > 0 {
 		log.Fatalf("%d errors during the run", report.Errors)
@@ -197,335 +175,4 @@ func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "ehload: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)
-}
-
-func distName(mix workload.Mix) string {
-	if mix.Zipf {
-		return "zipfian"
-	}
-	return "uniform"
-}
-
-// report is the BENCH_server.json schema.
-type report struct {
-	Bench    string `json:"bench"`
-	Addr     string `json:"addr"`
-	Mix      string `json:"mix"`
-	Dist     string `json:"dist"`
-	Conns    int    `json:"conns"`
-	Pipeline int    `json:"pipeline"`
-	// BatchMode is how ops became frames: none | kind | mixed. Batch is
-	// the kind-mode batch size; it predates BatchMode (it used to be the
-	// only batch field and read 0 ambiguously) and is kept one release
-	// for consumers that still parse it.
-	BatchMode  string  `json:"batch_mode"`
-	Batch      int     `json:"batch"`
-	Loaded     int     `json:"loaded"`
-	Seed       uint64  `json:"seed"`
-	DurationS  float64 `json:"duration_seconds"`
-	Ops        uint64  `json:"ops"`
-	Errors     uint64  `json:"errors"`
-	Throughput float64 `json:"throughput_ops_per_sec"`
-	LoadS      float64 `json:"load_seconds"`
-	LoadRate   float64 `json:"load_ops_per_sec"`
-
-	// Latency of one pipelined round trip (Pipeline ops per sample),
-	// nanoseconds.
-	Latency latencyNS `json:"latency_ns"`
-
-	// Operations by YCSB kind (an RMW counts once here but is two wire
-	// ops).
-	OpCounts map[string]uint64 `json:"op_counts"`
-
-	Server wire.ServerCounters `json:"server"`
-	Store  vmshortcut.Stats    `json:"store"`
-	// Durability is the server store's WAL state (zero without -wal-dir).
-	Durability wire.DurabilityCounters `json:"durability"`
-}
-
-type latencyNS struct {
-	Samples uint64  `json:"samples"`
-	Mean    float64 `json:"mean"`
-	Min     uint64  `json:"min"`
-	P50     uint64  `json:"p50"`
-	P95     uint64  `json:"p95"`
-	P99     uint64  `json:"p99"`
-	Max     uint64  `json:"max"`
-}
-
-// workerResult is one connection's tally.
-type workerResult struct {
-	ops      uint64
-	errors   uint64
-	opCounts [4]uint64 // by workload.OpKind
-	hist     harness.HDR
-}
-
-func run(cfg config) (*report, error) {
-	// Preload [0, load) across the connections, through native batch
-	// frames — PutBatch is the bulk-load path.
-	loadStart := time.Now()
-	if err := preload(cfg); err != nil {
-		return nil, fmt.Errorf("preload: %w", err)
-	}
-	loadDur := time.Since(loadStart)
-
-	results := make([]*workerResult, cfg.conns)
-	errs := make([]error, cfg.conns)
-	var stop atomic.Bool
-	if cfg.ops == 0 {
-		time.AfterFunc(cfg.duration, func() { stop.Store(true) })
-	}
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.conns; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			results[w], errs[w] = worker(cfg, w, &stop)
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	rep := &report{
-		Bench: "server", Addr: cfg.addr, Mix: cfg.mix.Name, Dist: cfg.dist,
-		Conns: cfg.conns, Pipeline: cfg.pipeline,
-		BatchMode: cfg.batchMode, Batch: cfg.batch,
-		Loaded: cfg.load, Seed: cfg.seed,
-		DurationS: elapsed.Seconds(),
-		LoadS:     loadDur.Seconds(),
-		OpCounts:  map[string]uint64{},
-	}
-	if s := loadDur.Seconds(); s > 0 {
-		rep.LoadRate = float64(cfg.load) / s
-	}
-	var hist harness.HDR
-	for _, r := range results {
-		rep.Ops += r.ops
-		rep.Errors += r.errors
-		hist.Merge(&r.hist)
-		for kind, n := range r.opCounts {
-			rep.OpCounts[opName(workload.OpKind(kind))] += n
-		}
-	}
-	rep.Throughput = float64(rep.Ops) / elapsed.Seconds()
-	rep.Latency = latencyNS{
-		Samples: hist.Count(),
-		Mean:    hist.Mean(),
-		Min:     hist.Min(),
-		P50:     hist.Percentile(50),
-		P95:     hist.Percentile(95),
-		P99:     hist.Percentile(99),
-		Max:     hist.Max(),
-	}
-
-	// Final server/store snapshot for the report.
-	c, err := client.DialConn(cfg.addr)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
-	st, err := c.Stats()
-	if err != nil {
-		return nil, err
-	}
-	rep.Server = st.Server
-	rep.Store = st.Store
-	rep.Durability = st.Durability
-	return rep, nil
-}
-
-func opName(k workload.OpKind) string {
-	switch k {
-	case workload.OpRead:
-		return "read"
-	case workload.OpUpdate:
-		return "update"
-	case workload.OpInsert:
-		return "insert"
-	default:
-		return "rmw"
-	}
-}
-
-// preload bulk-loads keys [0, load) over cfg.conns parallel connections.
-func preload(cfg config) error {
-	const chunk = 4096
-	errs := make([]error, cfg.conns)
-	harness.ParallelChunks(cfg.load, cfg.conns, func(w, lo, hi int) {
-		c, err := client.DialConn(cfg.addr)
-		if err != nil {
-			errs[w] = err
-			return
-		}
-		defer c.Close()
-		keys := make([]uint64, 0, chunk)
-		vals := make([]uint64, 0, chunk)
-		harness.Chunks(hi-lo, chunk, func(clo, chi int) {
-			if errs[w] != nil {
-				return
-			}
-			keys, vals = keys[:0], vals[:0]
-			for i := lo + clo; i < lo+chi; i++ {
-				keys = append(keys, workload.Key(cfg.seed, uint64(i)))
-				vals = append(vals, uint64(i))
-			}
-			errs[w] = c.PutBatch(keys, vals)
-		})
-	})
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// expected tracks what one queued wire op must return for the run to be
-// error-free.
-type expected struct {
-	read bool   // a GET whose value must equal idx
-	idx  uint64 // global key index
-}
-
-// worker drives one connection until the stop flag (or its op budget) is
-// reached. Each worker owns a disjoint insert range: its generator's
-// fresh local indexes are strided across workers, so no worker ever reads
-// a key another worker is concurrently inserting.
-func worker(cfg config, w int, stop *atomic.Bool) (*workerResult, error) {
-	c, err := client.DialConn(cfg.addr)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
-
-	res := &workerResult{}
-	gen := workload.NewYCSB(cfg.seed+uint64(w)*0x9E3779B9, cfg.mix, cfg.load)
-	global := func(local uint64) uint64 {
-		if local < uint64(cfg.load) {
-			return local
-		}
-		return uint64(cfg.load) + (local-uint64(cfg.load))*uint64(cfg.conns) + uint64(w)
-	}
-
-	p := c.Pipeline()
-	var exp []expected
-	var mixed client.MixedBatch
-	var batchKeys, batchVals []uint64
-	var batchRead bool
-	flushBatch := func() {
-		if cfg.batchMode == batchMixed {
-			// The whole round trip is one MIXEDBATCH frame: one decode,
-			// one store call, one WAL record server-side.
-			p.Mixed(&mixed)
-			mixed.Reset()
-			return
-		}
-		if len(batchKeys) == 0 {
-			return
-		}
-		if batchRead {
-			p.GetBatch(batchKeys)
-		} else {
-			p.PutBatch(batchKeys, batchVals)
-		}
-		batchKeys = batchKeys[:0]
-		batchVals = batchVals[:0]
-	}
-	queue := func(read bool, idx uint64) {
-		key := workload.Key(cfg.seed, idx)
-		switch {
-		case cfg.batchMode == batchMixed:
-			if read {
-				mixed.Get(key)
-			} else {
-				mixed.Put(key, idx)
-			}
-		case cfg.batch > 0:
-			if len(batchKeys) > 0 && (batchRead != read || len(batchKeys) >= cfg.batch) {
-				flushBatch()
-			}
-			batchRead = read
-			batchKeys = append(batchKeys, key)
-			if !read {
-				batchVals = append(batchVals, idx)
-			}
-		case read:
-			p.Get(key)
-		default:
-			p.Put(key, idx)
-		}
-		exp = append(exp, expected{read: read, idx: idx})
-	}
-
-	budget := cfg.ops
-	var results []client.Result
-	for !stop.Load() && (cfg.ops == 0 || budget > 0) {
-		exp = exp[:0]
-		for i := 0; i < cfg.pipeline; i++ {
-			op := gen.Next()
-			res.opCounts[op.Kind]++
-			idx := global(op.KeyIndex)
-			switch op.Kind {
-			case workload.OpRead:
-				queue(true, idx)
-			case workload.OpUpdate, workload.OpInsert:
-				queue(false, idx)
-			case workload.OpReadModifyWrite:
-				queue(true, idx)
-				queue(false, idx)
-			}
-		}
-		flushBatch()
-
-		start := time.Now()
-		results, err = p.Flush(results[:0])
-		if err != nil {
-			return nil, fmt.Errorf("conn %d: %w", w, err)
-		}
-		res.hist.Record(uint64(time.Since(start).Nanoseconds()))
-		res.ops += uint64(len(results))
-		budget -= len(results)
-		for i, r := range results {
-			e := exp[i]
-			switch {
-			case r.Err != nil:
-				res.errors++
-			case e.read && (!r.Found || r.Value != e.idx):
-				res.errors++
-			case !e.read && !r.Found:
-				res.errors++
-			}
-		}
-	}
-	return res, nil
-}
-
-func printSummary(r *report) {
-	batch := r.BatchMode
-	if r.BatchMode == batchKind {
-		batch = fmt.Sprintf("%s(%d)", batchKind, r.Batch)
-	}
-	fmt.Printf("mix %s (%s)  conns=%d pipeline=%d batch=%s  loaded=%d\n",
-		r.Mix, r.Dist, r.Conns, r.Pipeline, batch, r.Loaded)
-	fmt.Printf("load: %d entries in %.2fs (%.0f ops/s)\n", r.Loaded, r.LoadS, r.LoadRate)
-	fmt.Printf("run:  %d ops in %.2fs = %.0f ops/s, %d errors\n",
-		r.Ops, r.DurationS, r.Throughput, r.Errors)
-	fmt.Printf("latency per round trip (%d ops deep): p50 %s  p95 %s  p99 %s  max %s\n",
-		r.Pipeline,
-		time.Duration(r.Latency.P50), time.Duration(r.Latency.P95),
-		time.Duration(r.Latency.P99), time.Duration(r.Latency.Max))
-	fmt.Printf("server: %d coalesced batches carrying %d ops; store batches I/L/D %d/%d/%d\n",
-		r.Server.CoalescedBatches, r.Server.CoalescedOps,
-		r.Store.InsertBatches, r.Store.LookupBatches, r.Store.DeleteBatches)
-	if d := r.Durability; d.WALRecords > 0 {
-		fmt.Printf("durability: %d WAL records, %d fsyncs, durable LSN %d, snapshot LSN %d\n",
-			d.WALRecords, d.WALSyncs, d.DurableLSN, d.SnapshotLSN)
-	}
 }

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"vmshortcut/internal/experiments"
@@ -262,12 +263,19 @@ func (r runner) fig8() error {
 	return nil
 }
 
-// shards sweeps shard counts on the concurrent sharded store — not a
-// paper figure (the prototype is single-writer); it measures how far the
-// WithShards fan-out scales batched mutation past the single-lock wrapper.
+// shards sweeps the procs×shards grid on the concurrent sharded store —
+// not a paper figure (the prototype is single-writer); it measures how
+// far the WithShards fan-out scales batched mutation past the
+// single-lock wrapper, and whether the scaling holds as scheduler
+// parallelism grows. On a single-CPU box the procs axis collapses to
+// one value and the table reduces to the plain shard sweep.
 func (r runner) shards() error {
+	var procs []int
+	for n := 1; n <= runtime.NumCPU(); n *= 2 {
+		procs = append(procs, n)
+	}
 	rows, err := experiments.ShardScale(experiments.ShardScaleConfig{
-		Entries: r.entries / 2, Seed: r.seed,
+		Entries: r.entries / 2, Seed: r.seed, Procs: procs,
 	})
 	if err != nil {
 		return err

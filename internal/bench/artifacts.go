@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Artifact names inside a bench_runs/<stamp>/ directory.
+const (
+	RunsDirName     = "runs"             // per-run RunRecord JSONs
+	RunsCSVName     = "runs.csv"         // one CSV row per run
+	SummaryName     = "summary.json"     // grouped mean/std per cell
+	GridCopyName    = "experiments.json" // the grid actually executed, post-overrides
+	AnalysisName    = "analysis.md"      // paper-ready markdown table
+	DefaultRunsRoot = "bench_runs"
+)
+
+// WriteRunDir persists a completed grid execution: the resolved grid,
+// every per-run record, the per-run CSV, and the grouped summary.
+func WriteRunDir(dir string, g *Grid, results []*CellResult, sum *Summary) error {
+	if err := os.MkdirAll(filepath.Join(dir, RunsDirName), 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, GridCopyName), g); err != nil {
+		return err
+	}
+	for _, cr := range results {
+		for _, run := range cr.Runs {
+			name := fmt.Sprintf("%s-run%d.json", cr.Cell.FileStem(), run.Repeat)
+			if err := writeJSON(filepath.Join(dir, RunsDirName, name), run); err != nil {
+				return err
+			}
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, RunsCSVName))
+	if err != nil {
+		return err
+	}
+	if err := WriteRunsCSV(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, SummaryName), sum)
+}
+
+// ReadRunDir loads the per-run records back out of a run directory,
+// regrouped by cell — the analyzer's input. The grouping key is the cell
+// key, so records survive being moved or pruned.
+func ReadRunDir(dir string) ([]*CellResult, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, RunsDirName, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("bench: no run records under %s/%s", dir, RunsDirName)
+	}
+	sort.Strings(paths)
+	byKey := map[string]*CellResult{}
+	var order []string
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var run RunRecord
+		if err := json.Unmarshal(b, &run); err != nil {
+			return nil, fmt.Errorf("bench: parsing %s: %w", p, err)
+		}
+		if run.Report == nil {
+			return nil, fmt.Errorf("bench: %s carries no report", p)
+		}
+		cr, ok := byKey[run.Cell.Key]
+		if !ok {
+			cr = &CellResult{Cell: run.Cell}
+			byKey[run.Cell.Key] = cr
+			order = append(order, run.Cell.Key)
+		}
+		cr.Runs = append(cr.Runs, &run)
+	}
+	results := make([]*CellResult, 0, len(order))
+	for _, key := range order {
+		results = append(results, byKey[key])
+	}
+	return results, nil
+}
+
+// Analyze rebuilds the grouped summary from a run directory's per-run
+// records, rewrites summary.json, and writes the markdown table. It
+// returns the summary so the caller can append it to the history
+// trajectory.
+func Analyze(dir string) (*Summary, error) {
+	results, err := ReadRunDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	sum := Summarize(filepath.Base(dir), results)
+	if err := writeJSON(filepath.Join(dir, SummaryName), sum); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, AnalysisName))
+	if err != nil {
+		return nil, err
+	}
+	sum.WriteMarkdown(f)
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

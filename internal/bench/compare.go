@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Regression is one cell whose throughput fell past the threshold.
+type Regression struct {
+	Key      string  `json:"key"`
+	Old, New float64 `json:"-"`
+	// Change is the relative throughput change, negative for a drop
+	// (-0.25 = 25% slower).
+	Change float64 `json:"change"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: throughput %.0f -> %.0f ops/s (%+.1f%%)",
+		r.Key, r.Old, r.New, r.Change*100)
+}
+
+// Comparison is the regression gate's verdict over two summaries.
+type Comparison struct {
+	// Regressions are cells whose mean throughput dropped more than the
+	// threshold — the gate fails on any.
+	Regressions []Regression
+	// Notes are non-fatal observations: p99 inflations past the
+	// threshold, cells present on only one side.
+	Notes []string
+	// Matched counts cells compared on both sides.
+	Matched int
+}
+
+// Failed reports whether the gate should exit non-zero.
+func (c *Comparison) Failed() bool { return len(c.Regressions) > 0 }
+
+func (c *Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared %d cell(s): %d regression(s)\n", c.Matched, len(c.Regressions))
+	for _, r := range c.Regressions {
+		fmt.Fprintf(&b, "  REGRESSION %s\n", r)
+	}
+	for _, n := range c.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Compare checks cur against base cell by cell (joined on the cell
+// key): a mean-throughput drop beyond threshold (e.g. 0.15 = 15%) is a
+// regression; a p99 inflation beyond it is a note. Cells on one side
+// only are noted, never fatal — grids are allowed to grow and shrink.
+func Compare(base, cur *Summary, threshold float64) (*Comparison, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("bench: threshold must be in (0, 1), got %g", threshold)
+	}
+	oldByKey := map[string]CellSummary{}
+	for _, c := range base.Cells {
+		oldByKey[c.Key] = c
+	}
+	cmp := &Comparison{}
+	for _, nc := range cur.Cells {
+		oc, ok := oldByKey[nc.Key]
+		if !ok {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf("%s: new cell, no baseline", nc.Key))
+			continue
+		}
+		delete(oldByKey, nc.Key)
+		cmp.Matched++
+		if oc.Throughput.Mean <= 0 {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf("%s: baseline throughput is zero, skipped", nc.Key))
+			continue
+		}
+		change := nc.Throughput.Mean/oc.Throughput.Mean - 1
+		if change < -threshold {
+			cmp.Regressions = append(cmp.Regressions, Regression{
+				Key: nc.Key, Old: oc.Throughput.Mean, New: nc.Throughput.Mean, Change: change,
+			})
+		}
+		if oc.P99.Mean > 0 && nc.P99.Mean/oc.P99.Mean-1 > threshold {
+			cmp.Notes = append(cmp.Notes, fmt.Sprintf("%s: p99 %.0fns -> %.0fns (%+.1f%%)",
+				nc.Key, oc.P99.Mean, nc.P99.Mean, (nc.P99.Mean/oc.P99.Mean-1)*100))
+		}
+	}
+	for key := range oldByKey {
+		cmp.Notes = append(cmp.Notes, fmt.Sprintf("%s: baseline cell missing from the new run", key))
+	}
+	if cmp.Matched == 0 {
+		return nil, fmt.Errorf("bench: no cell key appears in both summaries — nothing to compare")
+	}
+	return cmp, nil
+}
+
+// LoadComparable reads a summary for the regression gate from either a
+// summary.json (one object with "cells") or a BENCH_history.json (an
+// array of entries — the newest is used).
+func LoadComparable(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimLeftFunc(string(b), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if strings.HasPrefix(trimmed, "[") {
+		var hist []HistoryEntry
+		if err := json.Unmarshal(b, &hist); err != nil {
+			return nil, fmt.Errorf("bench: parsing history %s: %w", path, err)
+		}
+		if len(hist) == 0 {
+			return nil, fmt.Errorf("bench: %s is an empty trajectory", path)
+		}
+		e := hist[len(hist)-1]
+		return &Summary{Stamp: e.Stamp, Go: e.Go, NumCPU: e.NumCPU, Cells: e.Cells}, nil
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("bench: parsing summary %s: %w", path, err)
+	}
+	if len(s.Cells) == 0 {
+		return nil, fmt.Errorf("bench: %s summarizes no cells", path)
+	}
+	return &s, nil
+}

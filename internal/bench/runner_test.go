@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// microCell is a sub-second cell against a real in-process server.
+func microCell(t *testing.T, name string, mutate func(*Cell)) Cell {
+	t.Helper()
+	c := Cell{
+		Experiment: name, Kind: "shortcut-eh", Mix: "A", Batch: BatchNone,
+		Fsync: FsyncNone, Shards: 2, Load: 500, Conns: 2, Pipeline: 8,
+		Duration: Duration(80 * time.Millisecond), Warmup: Duration(20 * time.Millisecond),
+		Seed: 42, Repeats: 2,
+	}
+	if mutate != nil {
+		mutate(&c)
+	}
+	c.Key = c.Experiment + "/micro"
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRunCellEndToEnd drives one memory-only cell and one replicated
+// durable cell through the full artifact pipeline: run → write dir →
+// read back → analyze → history append. This is the in-repo version of
+// CI's bench-smoke job.
+func TestRunCellEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real servers")
+	}
+	cells := []Cell{
+		microCell(t, "plain", nil),
+		microCell(t, "repl", func(c *Cell) {
+			c.Fsync = "off"
+			c.Batch = BatchMixed
+			c.Repl = true
+		}),
+	}
+	var results []*CellResult
+	for _, c := range cells {
+		res, err := RunCell(c, t.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Runs) != c.Repeats {
+			t.Fatalf("cell %s: %d runs, want %d", c.Key, len(res.Runs), c.Repeats)
+		}
+		for _, run := range res.Runs {
+			r := run.Report
+			if r.Ops == 0 || r.Errors != 0 || r.Throughput <= 0 {
+				t.Fatalf("cell %s run %d: ops=%d errors=%d tput=%f",
+					c.Key, run.Repeat, r.Ops, r.Errors, r.Throughput)
+			}
+			if r.Latency.P50 == 0 || r.Latency.P99 < r.Latency.P50 {
+				t.Fatalf("cell %s run %d: implausible latency %+v", c.Key, run.Repeat, r.Latency)
+			}
+			if c.Fsync != FsyncNone && r.Durability.WALRecords == 0 {
+				t.Fatalf("cell %s run %d: durable cell logged no WAL records", c.Key, run.Repeat)
+			}
+			if c.Repl && run.Follower == nil {
+				t.Fatalf("cell %s run %d: replication cell has no follower counters", c.Key, run.Repeat)
+			}
+			if c.Repl && run.Follower.RecordsApplied == 0 && run.Follower.FullSyncs == 0 {
+				t.Fatalf("cell %s run %d: follower neither applied records nor synced: %+v",
+					c.Key, run.Repeat, run.Follower)
+			}
+		}
+		results = append(results, res)
+	}
+
+	dir := filepath.Join(t.TempDir(), "20990101_000000")
+	g := &Grid{Repeats: 2, Experiments: []Experiment{{Name: "plain"}, {Name: "repl"}}}
+	sum := Summarize("20990101_000000", results)
+	if err := WriteRunDir(dir, g, results, sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{RunsCSVName, SummaryName, GridCopyName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, RunsCSVName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(csv), "\n"); lines != 1+4 {
+		t.Fatalf("runs.csv has %d lines, want header + 4 runs", lines)
+	}
+
+	// The analyzer must reconstruct the same grouped summary from the
+	// per-run records alone.
+	asum, err := Analyze(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asum.Cells) != 2 {
+		t.Fatalf("analyze found %d cells, want 2", len(asum.Cells))
+	}
+	for i, cs := range asum.Cells {
+		if cs.Repeats != 2 {
+			t.Fatalf("analyzed cell %s: %d repeats, want 2", cs.Key, cs.Repeats)
+		}
+		if cs.Throughput.Mean <= 0 || cs.Throughput.Min > cs.Throughput.Max {
+			t.Fatalf("analyzed cell %s: bad throughput stat %+v", cs.Key, cs.Throughput)
+		}
+		if cs.Key != sum.Cells[i].Key || cs.Throughput != sum.Cells[i].Throughput {
+			t.Fatalf("analyze disagrees with the live summary at %s", cs.Key)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, AnalysisName)); err != nil {
+		t.Fatalf("missing %s: %v", AnalysisName, err)
+	}
+
+	// History append + self-compare: the committed-baseline flow.
+	hist := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if err := AppendHistory(hist, asum.Entry("test")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadComparable(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(base, asum, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Fatalf("self-compare of a fresh run failed: %s", cmp)
+	}
+	entries, err := ReadHistory(hist)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("history: %v entries, err %v", len(entries), err)
+	}
+}

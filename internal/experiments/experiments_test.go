@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -426,6 +427,9 @@ func TestShardScaleTinyRuns(t *testing.T) {
 		if r.InsertMPS <= 0 || r.LookupMPS <= 0 {
 			t.Fatalf("non-positive throughput: %+v", r)
 		}
+		if r.Procs != runtime.GOMAXPROCS(0) {
+			t.Fatalf("default sweep should run at the current GOMAXPROCS: %+v", r)
+		}
 	}
 	var sb strings.Builder
 	ShardScaleRender(rows).Render(&sb)
@@ -433,5 +437,41 @@ func TestShardScaleTinyRuns(t *testing.T) {
 		if !strings.Contains(sb.String(), want) {
 			t.Fatalf("rendered table missing %q:\n%s", want, sb.String())
 		}
+	}
+	if strings.Contains(sb.String(), "procs") {
+		t.Fatalf("single-procs sweep should omit the procs column:\n%s", sb.String())
+	}
+}
+
+// TestShardScaleProcsGrid crosses the GOMAXPROCS axis with shard counts
+// — the library-level twin of cmd/ehbench's scaling sweep — and checks
+// the sweep restores the scheduler setting it mutated.
+func TestShardScaleProcsGrid(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	rows, err := ShardScale(ShardScaleConfig{
+		Entries: 30000, Shards: []int{1, 2}, Procs: []int{1, 2}, Workers: 2, Batch: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS not restored: %d -> %d", before, after)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("procs×shards grid has %d rows, want 4: %+v", len(rows), rows)
+	}
+	want := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	for i, r := range rows {
+		if r.Procs != want[i][0] || r.Shards != want[i][1] {
+			t.Fatalf("row %d = procs %d shards %d, want %v", i, r.Procs, r.Shards, want[i])
+		}
+		if r.InsertMPS <= 0 || r.LookupMPS <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+	}
+	var sb strings.Builder
+	ShardScaleRender(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "procs") {
+		t.Fatalf("multi-procs sweep must render the procs column:\n%s", sb.String())
 	}
 }

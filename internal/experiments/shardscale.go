@@ -23,7 +23,14 @@ type ShardScaleConfig struct {
 	// to GOMAXPROCS. Shard count 1 is the WithConcurrency single-lock
 	// baseline every other row is normalized against.
 	Shards []int
+	// Procs lists GOMAXPROCS settings to sweep; each value is crossed
+	// with every shard count, the same procs×shards grid cmd/ehbench
+	// sweeps at the service level. 0 keeps the runtime's current
+	// setting. Default {0} — a plain shard sweep.
+	Procs []int
 	// Workers is the number of driving goroutines. Default GOMAXPROCS.
+	// Fixed once for the whole sweep, so rows differ only in the axis
+	// under test, not in offered load.
 	Workers int
 	// Batch is the InsertBatch/LookupBatch chunk size per worker.
 	// Default 1024.
@@ -41,6 +48,9 @@ func (c *ShardScaleConfig) fill() {
 			c.Shards = append(c.Shards, n)
 		}
 	}
+	if len(c.Procs) == 0 {
+		c.Procs = []int{0}
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -52,24 +62,38 @@ func (c *ShardScaleConfig) fill() {
 	}
 }
 
-// ShardScaleRow is one shard count's measurement.
+// ShardScaleRow is one (procs, shards) cell's measurement.
 type ShardScaleRow struct {
+	Procs     int // effective GOMAXPROCS the cell ran under
 	Shards    int
 	InsertMPS float64 // million inserts per second, all workers combined
 	LookupMPS float64 // million lookups per second, all workers combined
 }
 
-// ShardScale sweeps shard counts and measures multi-goroutine batched
-// insert and lookup throughput on the sharded Shortcut-EH store.
+// ShardScale sweeps the procs×shards grid and measures multi-goroutine
+// batched insert and lookup throughput on the sharded Shortcut-EH store.
+// GOMAXPROCS is restored to its entry value before returning.
 func ShardScale(cfg ShardScaleConfig) ([]ShardScaleRow, error) {
 	cfg.fill()
-	rows := make([]ShardScaleRow, 0, len(cfg.Shards))
-	for _, shards := range cfg.Shards {
-		row, err := shardScaleOne(cfg, shards)
-		if err != nil {
-			return nil, fmt.Errorf("shards=%d: %w", shards, err)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	rows := make([]ShardScaleRow, 0, len(cfg.Procs)*len(cfg.Shards))
+	for _, procs := range cfg.Procs {
+		effective := procs
+		if procs > 0 {
+			runtime.GOMAXPROCS(procs)
+		} else {
+			runtime.GOMAXPROCS(prev)
+			effective = prev
 		}
-		rows = append(rows, row)
+		for _, shards := range cfg.Shards {
+			row, err := shardScaleOne(cfg, shards)
+			if err != nil {
+				return nil, fmt.Errorf("procs=%d shards=%d: %w", effective, shards, err)
+			}
+			row.Procs = effective
+			rows = append(rows, row)
+		}
 	}
 	return rows, nil
 }
@@ -147,21 +171,33 @@ func shardScaleOne(cfg ShardScaleConfig, shards int) (ShardScaleRow, error) {
 }
 
 // ShardScaleRender formats the sweep with each row's speedup over the
-// shards=1 single-lock baseline.
+// first row — the shards=1 single-lock baseline at the first procs
+// setting. The procs column appears only when the sweep varied it.
 func ShardScaleRender(rows []ShardScaleRow) *harness.Table {
 	tbl := harness.NewTable("Shard scaling: parallel batched ops vs the single-lock store")
+	multiProcs := false
+	for _, r := range rows {
+		if r.Procs != rows[0].Procs {
+			multiProcs = true
+		}
+	}
 	var baseIns, baseLk float64
 	for i, r := range rows {
 		if i == 0 {
 			baseIns, baseLk = r.InsertMPS, r.LookupMPS
 		}
-		tbl.AddRow(
+		cells := make([]string, 0, 14)
+		if multiProcs {
+			cells = append(cells, "procs", fmt.Sprintf("%d", r.Procs))
+		}
+		cells = append(cells,
 			"shards", fmt.Sprintf("%d", r.Shards),
 			"insert M/s", fmt.Sprintf("%.2f", r.InsertMPS),
 			"insert speedup", harness.Ratio(r.InsertMPS, baseIns),
 			"lookup M/s", fmt.Sprintf("%.2f", r.LookupMPS),
 			"lookup speedup", harness.Ratio(r.LookupMPS, baseLk),
 		)
+		tbl.AddRow(cells...)
 	}
 	return tbl
 }

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHDRNoSamples pins the empty histogram as a total function: every
+// accessor returns zero and no percentile panics, because the benchmark
+// summarizer calls them unconditionally on cells that recorded nothing
+// (e.g. a mix with no reads).
+func TestHDRNoSamples(t *testing.T) {
+	var h HDR
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty HDR not zero-valued: count=%d min=%d max=%d mean=%v",
+			h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, p := range []float64{-5, 0, 50, 95, 99, 100, 200} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty HDR p%v = %d, want 0", p, got)
+		}
+	}
+	// Merging an empty histogram into an empty histogram stays empty.
+	var other HDR
+	h.Merge(&other)
+	if h.Count() != 0 {
+		t.Fatal("merging two empty HDRs fabricated samples")
+	}
+}
+
+// TestHDRSingleSample pins that with one sample every percentile is that
+// sample exactly — the clamp to the observed max must override bucket
+// upper bounds, so a lone 999ns outlier reports p50=p99=999, not the
+// bucket edge above it.
+func TestHDRSingleSample(t *testing.T) {
+	for _, v := range []uint64{0, 1, 31, 32, 999, 1 << 40, math.MaxUint64} {
+		var h HDR
+		h.Record(v)
+		if h.Count() != 1 || h.Min() != v || h.Max() != v {
+			t.Fatalf("v=%d: count/min/max = %d/%d/%d", v, h.Count(), h.Min(), h.Max())
+		}
+		if mean := h.Mean(); mean != float64(v) {
+			t.Fatalf("v=%d: mean = %v", v, mean)
+		}
+		for _, p := range []float64{0, 50, 95, 99, 100} {
+			if got := h.Percentile(p); got != v {
+				t.Fatalf("v=%d: p%v = %d, want the sample itself", v, p, got)
+			}
+		}
+	}
+}
+
+// TestHDRMaxBoundBucket walks the very top of the uint64 range: the last
+// sub-buckets must index in range, bound their values, and never report
+// a percentile above MaxUint64 or below the recorded value's bucket.
+func TestHDRMaxBoundBucket(t *testing.T) {
+	top := []uint64{
+		math.MaxUint64,
+		math.MaxUint64 - 1,
+		1 << 63,
+		1<<63 - 1,
+		1<<63 + 1<<58, // interior sub-bucket of the top group
+	}
+	for _, v := range top {
+		idx := hdrIndex(v)
+		if idx < 0 || idx >= hdrSize {
+			t.Fatalf("hdrIndex(%d) = %d out of [0,%d)", v, idx, hdrSize)
+		}
+		if u := hdrUpper(idx); u < v {
+			t.Fatalf("hdrUpper(%d) = %d < value %d", idx, u, v)
+		}
+	}
+	var h HDR
+	for _, v := range top {
+		h.Record(v)
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Percentile(100); got != math.MaxUint64 {
+		t.Fatalf("p100 = %d, want MaxUint64", got)
+	}
+	if got := h.Percentile(50); got < 1<<63-1 || got > math.MaxUint64 {
+		t.Fatalf("p50 = %d outside the recorded range", got)
+	}
+}
+
+// TestHDRPercentileMonotonicity pins p50 ≤ p95 ≤ p99 ≤ p100 = max over
+// assorted shapes — uniform, bimodal, constant, heavy one-bucket with an
+// outlier — since the summary table and the regression gate both assume
+// the quantiles are ordered.
+func TestHDRPercentileMonotonicity(t *testing.T) {
+	shapes := map[string]func(h *HDR){
+		"uniform": func(h *HDR) {
+			for i := uint64(1); i <= 5000; i++ {
+				h.Record(i)
+			}
+		},
+		"bimodal": func(h *HDR) {
+			for i := 0; i < 900; i++ {
+				h.Record(100)
+			}
+			for i := 0; i < 100; i++ {
+				h.Record(1 << 30)
+			}
+		},
+		"constant": func(h *HDR) {
+			for i := 0; i < 1000; i++ {
+				h.Record(777)
+			}
+		},
+		"outlier": func(h *HDR) {
+			for i := 0; i < 9999; i++ {
+				h.Record(50)
+			}
+			h.Record(math.MaxUint64)
+		},
+		"lcg": func(h *HDR) {
+			x := uint64(12345)
+			for i := 0; i < 10000; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Record(x >> (x % 50)) // spread across many decades
+			}
+		},
+	}
+	for name, fill := range shapes {
+		var h HDR
+		fill(&h)
+		ps := []float64{0, 25, 50, 90, 95, 99, 99.9, 100}
+		prev := uint64(0)
+		for _, p := range ps {
+			got := h.Percentile(p)
+			if got < prev {
+				t.Fatalf("%s: p%v = %d < p(previous) = %d; quantiles must be ordered", name, p, got, prev)
+			}
+			if got > h.Max() {
+				t.Fatalf("%s: p%v = %d above max %d", name, p, got, h.Max())
+			}
+			if got < h.Min() {
+				t.Fatalf("%s: p%v = %d below min %d", name, p, got, h.Min())
+			}
+			prev = got
+		}
+		if h.Percentile(100) != h.Max() {
+			t.Fatalf("%s: p100 = %d, want max %d", name, h.Percentile(100), h.Max())
+		}
+	}
+}

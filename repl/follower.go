@@ -57,6 +57,11 @@ type Follower struct {
 	cfg FollowerConfig
 	rep vmshortcut.Replicable // nil for in-memory stores
 
+	// now is the staleness clock; nil means time.Now. Tests inject a
+	// fake so the READ→STALE transition is deterministic, without
+	// sleeping out a real staleness bound.
+	now func() time.Time
+
 	// applied is the primary-log LSN the local store reflects; base maps
 	// local WAL positions to primary positions (primary = base + local)
 	// and is only touched by the session goroutine after startup.
@@ -215,7 +220,16 @@ func (f *Follower) Err() error {
 	return f.fatalErr
 }
 
-func (f *Follower) touch() { f.lastContact.Store(time.Now().UnixNano()) }
+// clock returns the follower's time source (the real clock unless a
+// test injected one).
+func (f *Follower) clock() time.Time {
+	if f.now != nil {
+		return f.now()
+	}
+	return time.Now()
+}
+
+func (f *Follower) touch() { f.lastContact.Store(f.clock().UnixNano()) }
 
 // WritesAllowed implements the server's Replica gate: false until
 // promoted.
@@ -233,7 +247,7 @@ func (f *Follower) Stale() bool {
 	if last == 0 {
 		return true // never heard from the primary yet
 	}
-	return time.Since(time.Unix(0, last)) > bound
+	return f.clock().Sub(time.Unix(0, last)) > bound
 }
 
 // Promote makes the replica a primary: replication stops, the applied
@@ -276,7 +290,7 @@ func (f *Follower) Counters() *wire.ReplicaReplCounters {
 	}
 	lastMS := int64(-1)
 	if lc := f.lastContact.Load(); lc > 0 {
-		lastMS = time.Since(time.Unix(0, lc)).Milliseconds()
+		lastMS = f.clock().Sub(time.Unix(0, lc)).Milliseconds()
 	}
 	return &wire.ReplicaReplCounters{
 		PrimaryAddr:      f.cfg.Primary,

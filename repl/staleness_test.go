@@ -1,0 +1,141 @@
+// Deterministic staleness-bound coverage: a fake clock injected into the
+// follower drives the READ→STALE transition after primary loss without a
+// single real sleep, and pins that renewed contact (a reconnected
+// session's first frame — every stream frame calls touch) clears STALE.
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"vmshortcut/internal/wire"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// newStalenessFollower builds a follower with the staleness machinery
+// wired to a fake clock, bypassing the network: Stale is a pure function
+// of lastContact, the bound, and promotion, all of which the replication
+// session drives through touch()/Promote().
+func newStalenessFollower(bound time.Duration, clk *fakeClock) *Follower {
+	return &Follower{
+		cfg:   FollowerConfig{Primary: "test:0", Staleness: bound},
+		now:   clk.now,
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+func TestStalenessTransitions(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	const bound = 250 * time.Millisecond
+	f := newStalenessFollower(bound, clk)
+
+	// Before any contact the follower has nothing trustworthy to serve.
+	if !f.Stale() {
+		t.Fatal("a follower that never heard from its primary must be stale")
+	}
+
+	// First frame arrives: reads are fresh.
+	f.touch()
+	if f.Stale() {
+		t.Fatal("stale immediately after contact")
+	}
+
+	// Time passes with the primary alive (frames keep arriving): never
+	// stale, even across many bounds' worth of wall time.
+	for i := 0; i < 10; i++ {
+		clk.advance(bound / 2)
+		f.touch()
+		if f.Stale() {
+			t.Fatalf("stale at step %d despite steady contact", i)
+		}
+	}
+
+	// Primary dies: silence up to the bound is still servable …
+	clk.advance(bound)
+	if f.Stale() {
+		t.Fatal("stale at exactly the bound; the bound itself is still fresh")
+	}
+	// … one tick past it is not. This is the READ→STALE transition the
+	// server surfaces as StatusStale.
+	clk.advance(1)
+	if !f.Stale() {
+		t.Fatal("not stale past the bound after primary loss")
+	}
+
+	// Counters must agree with the gate while stale.
+	c := f.Counters()
+	if !c.Stale || c.StalenessBoundMS != bound.Milliseconds() {
+		t.Fatalf("counters disagree with Stale(): %+v", c)
+	}
+	if want := (bound + 1).Milliseconds(); c.LastContactMS != want {
+		t.Fatalf("LastContactMS = %d, want %d", c.LastContactMS, want)
+	}
+
+	// The primary comes back: the reconnected session's first frame
+	// clears STALE immediately.
+	f.touch()
+	if f.Stale() {
+		t.Fatal("reconnect did not clear STALE")
+	}
+	if c := f.Counters(); c.Stale || c.LastContactMS != 0 {
+		t.Fatalf("counters not reset after reconnect: %+v", c)
+	}
+
+	// Losing the primary again re-trips the bound — staleness is not
+	// one-shot.
+	clk.advance(bound + 1)
+	if !f.Stale() {
+		t.Fatal("second primary loss did not re-trip staleness")
+	}
+}
+
+func TestStalenessPromotionAndNoBound(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+
+	// A promoted replica is the primary: never stale, no matter how long
+	// ago the old primary was heard from.
+	f := newStalenessFollower(100*time.Millisecond, clk)
+	f.touch()
+	clk.advance(time.Hour)
+	if !f.Stale() {
+		t.Fatal("precondition: un-promoted follower should be stale")
+	}
+	f.promoted.Store(true)
+	if f.Stale() {
+		t.Fatal("a promoted replica must never refuse reads as stale")
+	}
+
+	// Without a bound, reads are served indefinitely — even having never
+	// heard from the primary.
+	g := newStalenessFollower(0, clk)
+	if g.Stale() {
+		t.Fatal("boundless follower reported stale before contact")
+	}
+	g.touch()
+	clk.advance(1000 * time.Hour)
+	if g.Stale() {
+		t.Fatal("boundless follower reported stale after silence")
+	}
+}
+
+// TestStalenessCountersAreWireVisible pins that the gate state tests
+// above drive the exact struct served to STATS clients, so an operator
+// diagnosing STALE refusals sees the same numbers the gate used.
+func TestStalenessCountersAreWireVisible(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	f := newStalenessFollower(50*time.Millisecond, clk)
+	f.touch()
+	clk.advance(51 * time.Millisecond)
+	var c *wire.ReplicaReplCounters = f.Counters()
+	if !c.Stale {
+		t.Fatalf("wire counters missed the stale transition: %+v", c)
+	}
+}
