@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -53,6 +54,7 @@ import (
 	"time"
 
 	"vmshortcut/internal/bench"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/workload"
 )
 
@@ -69,6 +71,8 @@ func main() {
 	ops := flag.Int("ops", 0, "fixed op budget per connection instead of -duration (0 = use -duration)")
 	seed := flag.Uint64("seed", 42, "keyspace and workload seed")
 	out := flag.String("out", "BENCH_server.json", "benchmark JSON output path (empty = none)")
+	adminAddr := flag.String("admin-addr", "", "server admin HTTP address (its -admin flag); scrapes /metrics around the measured run and embeds the server-side stage breakdown in the report")
+	statsDelta := flag.Bool("stats-delta", false, "print the server-side delta for the measured window (ops, coalesced batches, rejects, per-stage latency); requires -admin-addr")
 	restartCheck := flag.Bool("restart-check", false, "crash-recovery verification instead of a benchmark: start the server (-server-cmd), write acknowledged keys, kill -9 mid-run, restart, verify nothing acknowledged was lost")
 	serverCmd := flag.String("server-cmd", "", "server command line managed by -restart-check; must include -wal-dir (split on whitespace, no shell quoting)")
 	failoverCheck := flag.Bool("failover-check", false, "replication-failover verification instead of a benchmark: start a primary (-primary-cmd, which must run -repl-sync) and a follower (-follower-cmd), write acknowledged keys, kill -9 the primary mid-run, promote the follower, verify nothing acknowledged was lost")
@@ -128,6 +132,9 @@ func main() {
 	if *warmup < 0 {
 		usageError("-warmup must be non-negative")
 	}
+	if *statsDelta && *adminAddr == "" {
+		usageError("-stats-delta requires -admin-addr: the delta comes from /metrics scrapes")
+	}
 	batchMode, batchSize := bench.BatchNone, 0
 	switch strings.ToLower(*batch) {
 	case "", "0", bench.BatchNone:
@@ -146,6 +153,7 @@ func main() {
 		Addr: *addr, Mix: mix, Conns: *conns,
 		Pipeline: *pipeline, BatchSize: batchSize, BatchMode: batchMode, Load: *load,
 		Warmup: *warmup, Duration: *duration, Ops: *ops, Seed: *seed,
+		AdminAddr: *adminAddr,
 	}
 
 	report, err := bench.Run(cfg)
@@ -153,6 +161,9 @@ func main() {
 		log.Fatal(err)
 	}
 	report.WriteSummary(os.Stdout)
+	if *statsDelta {
+		writeStatsDelta(os.Stdout, report.ServerDelta)
+	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -165,6 +176,27 @@ func main() {
 	}
 	if report.Errors > 0 {
 		log.Fatalf("%d errors during the run", report.Errors)
+	}
+}
+
+// writeStatsDelta prints the -stats-delta block: the server's own view
+// of exactly the measured window, from /metrics scrapes bracketing it.
+func writeStatsDelta(w io.Writer, sd *bench.ServerDelta) {
+	if sd == nil {
+		fmt.Fprintln(w, "stats-delta: no server delta (scrape failed?)")
+		return
+	}
+	fmt.Fprintln(w, "server delta (measured window):")
+	fmt.Fprintf(w, "  ops=%d frames=%d coalesced_batches=%d coalesced_ops=%d errors=%d rejects=%d slow_ops=%d\n",
+		sd.Ops, sd.Frames, sd.CoalescedBatches, sd.CoalescedOps, sd.Errors, sd.Rejects, sd.SlowOps)
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		sw, ok := sd.Stages[s.String()]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  stage %-13s count=%-9d mean %-10s p50 %-10s p99 %s\n",
+			s, sw.Count, time.Duration(sw.MeanNS).Round(time.Nanosecond),
+			time.Duration(sw.P50NS), time.Duration(sw.P99NS))
 	}
 }
 

@@ -37,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/internal/obs"
 	"vmshortcut/repl"
 	"vmshortcut/server"
 )
@@ -55,6 +58,12 @@ func main() {
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max ops per coalesced store batch call")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before connections are closed forcibly")
 	waitSync := flag.Duration("waitsync", 10*time.Second, "how long shutdown waits for asynchronous maintenance (the Shortcut-EH mapper) to catch up")
+
+	// Observability: the admin listener is a second, HTTP port — metrics
+	// scraping and profiling never contend with the binary protocol, and
+	// /readyz keeps answering (503) while the main listener drains.
+	adminAddr := flag.String("admin", "", "admin HTTP listen address serving /metrics, /statsz, /healthz, /readyz and /debug/pprof (empty = no admin listener)")
+	slowOp := flag.Duration("slow-op", 10*time.Millisecond, "log batches whose server-side time exceeds this, with a per-stage breakdown (0 = disabled)")
 
 	// Durability: a WAL directory makes the store restart-safe — Open
 	// recovers the keyspace from the newest snapshot plus the log tail
@@ -106,6 +115,11 @@ func main() {
 		log.Fatal("-chained requires -wal-dir (chain the local WAL) or -replica-of (verify the primary's stream)")
 	}
 
+	// Metrics exist even without -admin: the STATS frame's obs section and
+	// the slow-op log want them, and pre-registered counters cost nothing
+	// until recorded into.
+	metrics := server.NewMetrics(obs.NewRegistry())
+
 	opts := []vmshortcut.Option{
 		vmshortcut.WithShards(*shards),
 		// The server runs one goroutine per connection; shards=1 still
@@ -144,7 +158,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, vmshortcut.WithWAL(*walDir), vmshortcut.WithFsync(mode))
+		opts = append(opts, vmshortcut.WithWAL(*walDir), vmshortcut.WithFsync(mode),
+			// fsync latency is recorded by the WAL itself (a group commit
+			// serves many batches; per-batch attribution would be a lie).
+			vmshortcut.WithFsyncHist(metrics.Pipeline().Hist(obs.StageWALFsync)))
 		if *chained {
 			opts = append(opts, vmshortcut.WithChainedWAL(true))
 		}
@@ -181,6 +198,8 @@ func main() {
 		BatchWindow: *batchWindow,
 		MaxBatch:    *maxBatch,
 		Logf:        log.Printf,
+		Metrics:     metrics,
+		SlowOp:      *slowOp,
 	}
 
 	// Replication wiring. The Config fields are interfaces: assign only
@@ -214,6 +233,20 @@ func main() {
 	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The admin listener outlives the drain on purpose: /readyz flips to
+	// 503 the moment shutdown starts (load balancers stop routing), while
+	// /metrics stays scrapable until the store is about to close.
+	var adminLn net.Listener
+	if *adminAddr != "" {
+		adminLn, err = net.Listen("tcp", *adminAddr)
+		if err != nil {
+			store.Close()
+			log.Fatalf("admin listen: %v", err)
+		}
+		go http.Serve(adminLn, srv.AdminHandler())
+		log.Printf("ehserver: admin HTTP on %s (/metrics /statsz /healthz /readyz /debug/pprof)", adminLn.Addr())
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -257,6 +290,9 @@ wait:
 		log.Printf("ehserver: drain incomplete: %v", err)
 	}
 	<-serveErr // Serve has returned once the listener died
+	if adminLn != nil {
+		adminLn.Close()
+	}
 	if source != nil {
 		source.Close()
 	}

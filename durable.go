@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/op"
 	"vmshortcut/persist"
 	"vmshortcut/wal"
@@ -103,6 +104,14 @@ func WithWALSegmentBytes(n int64) Option {
 // audits the segment files against it offline.
 func WithChainedWAL(on bool) Option {
 	return func(o *storeOptions) { o.chainedWAL = on }
+}
+
+// WithFsyncHist records the duration of every WAL fsync syscall into h —
+// the observability layer's eh_stage_wal_fsync_ns histogram. Fsyncs are
+// timed globally rather than per batch because one group-commit leader's
+// sync covers many batches. Nil (the default) disables recording.
+func WithFsyncHist(h *obs.Hist) Option {
+	return func(o *storeOptions) { o.fsyncHist = h }
 }
 
 // Durable is the management surface of a store opened with WithWAL,
@@ -201,6 +210,7 @@ func openDurable(inner Store, o *storeOptions) (Store, error) {
 		Interval:     o.fsyncInterval,
 		SegmentBytes: o.walSegmentBytes,
 		Chained:      o.chainedWAL,
+		FsyncHist:    o.fsyncHist,
 	}, replay)
 	if err != nil {
 		return fail(fmt.Errorf("vmshortcut: opening WAL: %w", err))
@@ -363,13 +373,29 @@ func (d *durableStore) ApplyBatch(b *op.Batch, res *op.Results) error {
 	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	// Split the batch's trace at the apply/append boundary: StageApply is
+	// the in-memory store mutation, StageWALAppend is the log append
+	// including any group-commit wait for the fsync covering this record.
+	tr := b.Trace()
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	if err := d.inner.ApplyBatch(b, res); err != nil {
 		return err
+	}
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageApply, now.Sub(t0))
+		t0 = now
 	}
 	code, payload := b.Payload()
 	lsn, err := d.log.AppendBatch(code, payload)
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		tr.Add(obs.StageWALAppend, time.Since(t0))
 	}
 	d.maybeSnapshot(lsn) // under the read lock; see InsertBatch
 	return nil

@@ -20,6 +20,7 @@ import (
 
 	"vmshortcut/client"
 	"vmshortcut/internal/harness"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/workload"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 	Duration time.Duration
 	Ops      int // fixed op budget per connection instead of Duration (0 = use Duration)
 	Seed     uint64
+	// AdminAddr is the server's admin HTTP address. When set, the driver
+	// scrapes /metrics immediately before and after the measured drive and
+	// reports the server-side window delta (counters and per-stage latency
+	// percentiles) alongside the client-side numbers.
+	AdminAddr string
 }
 
 // DistName is the distribution label runs are reported under.
@@ -111,9 +117,29 @@ func Run(cfg Config) (*Report, error) {
 		warmupDur = time.Since(warmupStart)
 	}
 
+	// Bracket exactly the measured drive with /metrics scrapes: the delta
+	// is the server's view of the same window the client-side histogram
+	// covers, with the preload and warmup already behind both snapshots.
+	var scrapeBefore *obs.Scrape
+	if cfg.AdminAddr != "" {
+		var err error
+		if scrapeBefore, err = scrapeMetrics(cfg.AdminAddr); err != nil {
+			return nil, err
+		}
+	}
+
 	results, elapsed, err := drive(cfg)
 	if err != nil {
 		return nil, err
+	}
+
+	var serverDelta *ServerDelta
+	if scrapeBefore != nil {
+		scrapeAfter, err := scrapeMetrics(cfg.AdminAddr)
+		if err != nil {
+			return nil, err
+		}
+		serverDelta = newServerDelta(scrapeBefore, scrapeAfter)
 	}
 
 	rep := &Report{
@@ -163,6 +189,7 @@ func Run(cfg Config) (*Report, error) {
 	rep.Store = st.Store
 	rep.Durability = st.Durability
 	rep.Replication = st.Replication
+	rep.ServerDelta = serverDelta
 	return rep, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/wire"
 )
 
@@ -50,6 +51,10 @@ type Report struct {
 	// Replication is the server's replication section, present when the
 	// served store replicates in either direction.
 	Replication *wire.ReplicationStats `json:"replication,omitempty"`
+	// ServerDelta is the server-side view of exactly the measured window
+	// (counters and per-stage latency percentiles from /metrics scrapes
+	// bracketing the drive), present when Config.AdminAddr was set.
+	ServerDelta *ServerDelta `json:"server_delta,omitempty"`
 }
 
 // LatencyNS is the report's latency block, nanoseconds.
@@ -90,5 +95,16 @@ func (r *Report) WriteSummary(w io.Writer) {
 	if d := r.Durability; d.WALRecords > 0 {
 		fmt.Fprintf(w, "durability: %d WAL records, %d fsyncs, durable LSN %d, snapshot LSN %d\n",
 			d.WALRecords, d.WALSyncs, d.DurableLSN, d.SnapshotLSN)
+	}
+	if sd := r.ServerDelta; sd != nil {
+		fmt.Fprintf(w, "server window: %d ops, %d frames, %d coalesced batches, %d rejects, %d slow\n",
+			sd.Ops, sd.Frames, sd.CoalescedBatches, sd.Rejects, sd.SlowOps)
+		fmt.Fprintf(w, "server stage p99:")
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			if sw, ok := sd.Stages[s.String()]; ok {
+				fmt.Fprintf(w, "  %s %s", s, time.Duration(sw.P99NS))
+			}
+		}
+		fmt.Fprintln(w)
 	}
 }

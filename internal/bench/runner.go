@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/wire"
 	"vmshortcut/repl"
 	"vmshortcut/server"
@@ -67,18 +69,25 @@ func RunCell(cell Cell, logf func(format string, args ...any)) (*CellResult, err
 	return res, nil
 }
 
-// node is one in-process server: store, listener, serving loop, and the
-// replication source when the store is durable.
+// node is one in-process server: store, listener, serving loop, the
+// replication source when the store is durable, and an admin HTTP
+// listener on a loopback port for the driver's /metrics scrapes.
 type node struct {
-	store  vmshortcut.Store
-	srv    *server.Server
-	source *repl.Source
-	addr   string
-	done   chan error
-	walDir string
+	store     vmshortcut.Store
+	srv       *server.Server
+	source    *repl.Source
+	addr      string
+	adminLn   net.Listener
+	adminAddr string
+	done      chan error
+	walDir    string
 }
 
 func startNode(cell Cell, walDir string) (*node, error) {
+	// Every node carries metrics: the grid's reports embed the server-side
+	// stage breakdown, and the instrumentation is allocation-free so the
+	// measured numbers are the instrumented numbers — same as production.
+	metrics := server.NewMetrics(obs.NewRegistry())
 	opts := []vmshortcut.Option{
 		vmshortcut.WithShards(cell.Shards),
 		vmshortcut.WithConcurrency(true),
@@ -88,7 +97,8 @@ func startNode(cell Cell, walDir string) (*node, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts = append(opts, vmshortcut.WithWAL(walDir), vmshortcut.WithFsync(mode))
+		opts = append(opts, vmshortcut.WithWAL(walDir), vmshortcut.WithFsync(mode),
+			vmshortcut.WithFsyncHist(metrics.Pipeline().Hist(obs.StageWALFsync)))
 	}
 	kind, err := vmshortcut.ParseKind(cell.Kind)
 	if err != nil {
@@ -99,7 +109,7 @@ func startNode(cell Cell, walDir string) (*node, error) {
 		return nil, err
 	}
 	n := &node{store: store, walDir: walDir, done: make(chan error, 1)}
-	scfg := server.Config{Store: store}
+	scfg := server.Config{Store: store, Metrics: metrics}
 	if rep, ok := vmshortcut.AsReplicable(store); ok {
 		n.source = repl.NewSource(rep, repl.SourceConfig{})
 		scfg.Repl = n.source
@@ -116,6 +126,14 @@ func startNode(cell Cell, walDir string) (*node, error) {
 		return nil, err
 	}
 	n.addr = ln.Addr().String()
+	n.adminLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		store.Close()
+		return nil, err
+	}
+	n.adminAddr = n.adminLn.Addr().String()
+	go http.Serve(n.adminLn, srv.AdminHandler())
 	go func() { n.done <- srv.Serve(ln) }()
 	return n, nil
 }
@@ -128,6 +146,9 @@ func (n *node) stop() error {
 	defer cancel()
 	err := n.srv.Shutdown(ctx)
 	<-n.done
+	if n.adminLn != nil {
+		n.adminLn.Close()
+	}
 	if n.source != nil {
 		n.source.Close()
 	}
@@ -196,6 +217,7 @@ func runOnce(cell Cell, repeat int) (rec *RunRecord, err error) {
 		return nil, err
 	}
 	cfg.Addr = n.addr
+	cfg.AdminAddr = n.adminAddr
 	report, err := Run(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistConcurrentRecordSnapshot hammers one striped histogram from
+// many goroutines while a reader keeps snapshotting — the exact pattern
+// /metrics scraping creates against a loaded server. Run under -race in
+// CI; here we also pin that no recorded sample is lost once writers
+// stop.
+func TestHistConcurrentRecordSnapshot(t *testing.T) {
+	var h Hist
+	const writers = 8
+	const perWriter = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count() > writers*perWriter {
+				t.Error("snapshot fabricated samples")
+				return
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(seed uint64) {
+			defer ww.Done()
+			x := seed*2654435761 + 1
+			for i := 0; i < perWriter; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				h.Record(x % 1e9)
+			}
+		}(uint64(w))
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count() != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", final.Count(), writers*perWriter)
+	}
+	if h.Count() != writers*perWriter {
+		t.Fatalf("Count() = %d, want %d", h.Count(), writers*perWriter)
+	}
+	if final.Min() > final.Percentile(50) || final.Percentile(50) > final.Max() {
+		t.Fatalf("disordered snapshot: min %d p50 %d max %d",
+			final.Min(), final.Percentile(50), final.Max())
+	}
+}
+
+// TestHistNil pins that a nil *Hist accepts records and snapshots as
+// no-ops, so instrumentation points never need nil checks.
+func TestHistNil(t *testing.T) {
+	var h *Hist
+	h.Record(42)
+	h.RecordDur(5 * time.Millisecond)
+	h.RecordSince(time.Now())
+	if h.Count() != 0 {
+		t.Fatal("nil hist counted")
+	}
+	if s := h.Snapshot(); s.Count() != 0 {
+		t.Fatal("nil hist snapshot non-empty")
+	}
+}
+
+// TestHistMatchesHDR pins that the striped histogram and the
+// single-writer HDR agree exactly when fed the same samples — striping
+// must not change any statistic.
+func TestHistMatchesHDR(t *testing.T) {
+	var striped Hist
+	var plain HDR
+	x := uint64(7)
+	for i := 0; i < 50000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		v := x % (1 << 30)
+		striped.Record(v)
+		plain.Record(v)
+	}
+	s := striped.Snapshot()
+	if s.Count() != plain.Count() || s.Sum() != plain.Sum() {
+		t.Fatalf("count/sum: %d/%d vs %d/%d", s.Count(), s.Sum(), plain.Count(), plain.Sum())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 99.9, 100} {
+		// Snapshot min/max are bucket uppers, so compare percentiles
+		// through the bucket lens: plain's clamp can only differ at the
+		// extremes by the bucket-resolution ~3%.
+		sp, pp := s.Percentile(p), plain.Percentile(p)
+		if sp < pp || float64(sp-pp) > 0.04*float64(pp)+1 {
+			t.Fatalf("p%v: striped %d vs plain %d", p, sp, pp)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition format: HELP/TYPE
+// headers per base name, labeled counter series, gauge rendering, and
+// the cumulative histogram with populated-bucket-only le bounds, +Inf,
+// _sum, and _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("eh_ops_total", "Operations applied.")
+	r.Counter(`eh_frames_total{op="get"}`, "Frames by opcode.")
+	puts := r.Counter(`eh_frames_total{op="put"}`, "")
+	r.GaugeFunc("eh_conns_active", "Active connections.", func() float64 { return 3 })
+	h := r.Hist("eh_stage_demo_ns", "Demo stage latency.")
+
+	ops.Add(41)
+	ops.Inc()
+	puts.Add(7)
+	h.Record(10) // exact bucket: le="10"
+	h.Record(10)
+	h.Record(100) // bucket upper 101
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP eh_ops_total Operations applied.
+# TYPE eh_ops_total counter
+eh_ops_total 42
+# HELP eh_frames_total Frames by opcode.
+# TYPE eh_frames_total counter
+eh_frames_total{op="get"} 0
+eh_frames_total{op="put"} 7
+# HELP eh_conns_active Active connections.
+# TYPE eh_conns_active gauge
+eh_conns_active 3
+# HELP eh_stage_demo_ns Demo stage latency.
+# TYPE eh_stage_demo_ns histogram
+eh_stage_demo_ns_bucket{le="10"} 2
+eh_stage_demo_ns_bucket{le="101"} 3
+eh_stage_demo_ns_bucket{le="+Inf"} 3
+eh_stage_demo_ns_sum 120
+eh_stage_demo_ns_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestScrapeRoundTrip renders a registry, parses it back, and checks
+// values and histogram percentiles survive; then takes a second scrape
+// after more traffic and checks the windowed Delta reflects only the
+// window.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	ops := r.Counter("eh_ops_total", "ops")
+	h := r.Hist("eh_stage_demo_ns", "demo")
+
+	ops.Add(100)
+	for i := uint64(1); i <= 1000; i++ {
+		h.Record(i) // 1..1000
+	}
+	var buf1 bytes.Buffer
+	if err := r.WritePrometheus(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	before, err := ParseMetrics(strings.NewReader(buf1.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Values["eh_ops_total"] != 100 {
+		t.Fatalf("ops = %v", before.Values["eh_ops_total"])
+	}
+	bh, ok := before.Hists["eh_stage_demo_ns"]
+	if !ok {
+		t.Fatal("histogram not scraped")
+	}
+	if bh.Count != 1000 {
+		t.Fatalf("scraped count = %d", bh.Count)
+	}
+	live := h.Snapshot()
+	for _, p := range []float64{50, 95, 99} {
+		if got, want := bh.Percentile(p), live.Percentile(p); got != want {
+			t.Fatalf("p%v: scraped %d, live %d", p, got, want)
+		}
+	}
+
+	// Second window: much slower samples (fewer than the fast mode, so
+	// the cumulative p50 stays fast while the window p50 is slow), plus
+	// more ops.
+	ops.Add(50)
+	for i := uint64(0); i < 900; i++ {
+		h.Record(1e6 + i*1000) // ~1ms..1.9ms
+	}
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseMetrics(strings.NewReader(buf2.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ValueDelta(after, before, "eh_ops_total"); d != 50 {
+		t.Fatalf("ops delta = %v", d)
+	}
+	win := after.Hists["eh_stage_demo_ns"].Delta(bh)
+	if win.Count != 900 {
+		t.Fatalf("window count = %d", win.Count)
+	}
+	// The window holds only the slow samples: p50 must be ≥1ms even
+	// though the cumulative histogram's p50 is still in the fast mode.
+	if p50 := win.Percentile(50); p50 < 1e6 {
+		t.Fatalf("window p50 = %d, polluted by pre-window samples", p50)
+	}
+	if p50 := after.Hists["eh_stage_demo_ns"].Percentile(50); p50 >= 1e6 {
+		t.Fatalf("cumulative p50 = %d, want fast mode", p50)
+	}
+	if win.Mean() < 1e6 {
+		t.Fatalf("window mean = %v", win.Mean())
+	}
+}
+
+// TestTraceBreakdown pins the slow-op log's stage rendering and the
+// skip-unset contract.
+func TestTraceBreakdown(t *testing.T) {
+	var tr Trace
+	tr.Set(StageDecode, 1500*time.Nanosecond)
+	tr.Add(StageApply, time.Millisecond)
+	tr.Add(StageApply, time.Millisecond)
+	tr.Set(StageTotal, 3*time.Millisecond)
+	got := tr.Breakdown()
+	want := "frame_decode=1.5µs shard_apply=2ms batch_total=3ms"
+	if got != want {
+		t.Fatalf("breakdown = %q, want %q", got, want)
+	}
+	var nilTr *Trace
+	nilTr.Set(StageDecode, time.Second) // must not panic
+	if nilTr.Breakdown() != "" || nilTr.Get(StageDecode) != 0 {
+		t.Fatal("nil trace not inert")
+	}
+}
+
+// TestLimiter pins the token-bucket behavior and suppressed counting.
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(1, 2) // 1/s, burst 2
+	now := time.Unix(1000, 0)
+	ok1, _ := l.Allow(now)
+	ok2, _ := l.Allow(now)
+	ok3, _ := l.Allow(now)
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("burst: %v %v %v", ok1, ok2, ok3)
+	}
+	// After 1.5s one token refilled; the next Allow reports the one
+	// suppressed event.
+	ok4, sup := l.Allow(now.Add(1500 * time.Millisecond))
+	if !ok4 || sup != 1 {
+		t.Fatalf("refill: ok=%v suppressed=%d", ok4, sup)
+	}
+	if FormatSuppressed(0) != "" || FormatSuppressed(3) != " (+3 suppressed)" {
+		t.Fatal("FormatSuppressed format")
+	}
+}
+
+// TestPipelineRecordTrace pins that RecordTrace skips unset stages and
+// never records the global fsync stage per batch.
+func TestPipelineRecordTrace(t *testing.T) {
+	r := NewRegistry()
+	p := NewPipeline(r)
+	var tr Trace
+	tr.Set(StageDecode, 100)
+	tr.Set(StageApply, 200)
+	tr.Set(StageWALFsync, 999) // must be ignored
+	tr.Set(StageTotal, 400)
+	p.RecordTrace(&tr)
+	if n := p.Hist(StageDecode).Count(); n != 1 {
+		t.Fatalf("decode count %d", n)
+	}
+	if n := p.Hist(StageCoalesce).Count(); n != 0 {
+		t.Fatalf("unset stage recorded: %d", n)
+	}
+	if n := p.Hist(StageWALFsync).Count(); n != 0 {
+		t.Fatalf("fsync recorded per batch: %d", n)
+	}
+	if n := p.Hist(StageTotal).Count(); n != 1 {
+		t.Fatalf("total count %d", n)
+	}
+	var nilP *Pipeline
+	nilP.RecordTrace(&tr) // must not panic
+	nilP.Record(StageDecode, 1)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapedHist is one histogram reconstructed from Prometheus text
+// exposition: cumulative counts keyed by "le" bound. Because the server
+// emits full-resolution HDR bucket bounds, subtracting two scrapes
+// (Delta) yields windowed percentiles at the same ~3% accuracy as the
+// live histogram.
+type ScrapedHist struct {
+	Buckets map[uint64]uint64 // le bound (ns) -> cumulative count
+	Count   uint64
+	Sum     uint64
+}
+
+// Scrape is one parsed /metrics response: scalar series by full name
+// (labels included) and histograms by base name.
+type Scrape struct {
+	Values map[string]float64
+	Hists  map[string]ScrapedHist
+}
+
+// ParseMetrics parses Prometheus text exposition as produced by
+// Registry.WritePrometheus. It tolerates unknown series and comment
+// lines, so it can scrape future servers.
+func ParseMetrics(r io.Reader) (*Scrape, error) {
+	out := &Scrape{
+		Values: make(map[string]float64),
+		Hists:  make(map[string]ScrapedHist),
+	}
+	type scalar struct {
+		name string
+		val  float64
+	}
+	var scalars []scalar
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: malformed metrics line %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		// Histogram bucket line: <base>_bucket{le="<bound>"} <cum>
+		if i := strings.Index(series, "_bucket{le=\""); i >= 0 && strings.HasSuffix(series, "\"}") {
+			base := series[:i]
+			bound := series[i+len("_bucket{le=\"") : len(series)-2]
+			cum, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: bad bucket count in %q: %v", line, err)
+			}
+			h := out.Hists[base]
+			if h.Buckets == nil {
+				h.Buckets = make(map[uint64]uint64)
+			}
+			if bound != "+Inf" {
+				le, err := strconv.ParseUint(bound, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: bad le bound in %q: %v", line, err)
+				}
+				h.Buckets[le] = cum
+			}
+			out.Hists[base] = h
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %v", line, err)
+		}
+		scalars = append(scalars, scalar{series, val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Assign _sum/_count to their histograms now that all bucket series
+	// are known; everything else is a scalar value.
+	for _, s := range scalars {
+		if base, ok := strings.CutSuffix(s.name, "_sum"); ok {
+			if h, isHist := out.Hists[base]; isHist {
+				h.Sum = uint64(s.val)
+				out.Hists[base] = h
+				continue
+			}
+		}
+		if base, ok := strings.CutSuffix(s.name, "_count"); ok {
+			if h, isHist := out.Hists[base]; isHist {
+				h.Count = uint64(s.val)
+				out.Hists[base] = h
+				continue
+			}
+		}
+		out.Values[s.name] = s.val
+	}
+	return out, nil
+}
+
+// cumAt evaluates the cumulative count at bound x: the value at the
+// greatest populated bound ≤ x (cumulative counts form a step function
+// increasing only at populated bounds).
+func (h ScrapedHist) cumAt(x uint64, sorted []uint64) uint64 {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > x })
+	if i == 0 {
+		return 0
+	}
+	return h.Buckets[sorted[i-1]]
+}
+
+func (h ScrapedHist) sortedBounds() []uint64 {
+	bounds := make([]uint64, 0, len(h.Buckets))
+	for le := range h.Buckets {
+		bounds = append(bounds, le)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	return bounds
+}
+
+// Delta returns the histogram of the window between two scrapes of the
+// same (monotonic) histogram: after.Delta(before). Bucket counts in a
+// live histogram never decrease, so every populated bound in before is
+// populated in after, and the windowed cumulative at each bound is a
+// plain subtraction.
+func (h ScrapedHist) Delta(before ScrapedHist) ScrapedHist {
+	out := ScrapedHist{Buckets: make(map[uint64]uint64)}
+	beforeBounds := before.sortedBounds()
+	for le, cum := range h.Buckets {
+		b := before.cumAt(le, beforeBounds)
+		if cum > b {
+			out.Buckets[le] = cum - b
+		}
+	}
+	if h.Count > before.Count {
+		out.Count = h.Count - before.Count
+	}
+	if h.Sum > before.Sum {
+		out.Sum = h.Sum - before.Sum
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile bound of the scraped window.
+func (h ScrapedHist) Percentile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := uint64(p / 100 * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	bounds := h.sortedBounds()
+	for _, le := range bounds {
+		if h.Buckets[le] > rank {
+			return le
+		}
+	}
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
+// Mean returns the mean of the scraped window.
+func (h ScrapedHist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// ValueDelta returns after minus before for a scalar series, clamped at
+// zero (gauges can move backwards; a windowed delta of a counter
+// cannot).
+func ValueDelta(after, before *Scrape, name string) float64 {
+	d := after.Values[name] - before.Values[name]
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace accumulates one batch's per-stage durations as it moves through
+// the pipeline. It lives on the connection state (one per connection,
+// reset per batch), is filled by plain stores — no atomics, a batch is
+// handled by one goroutine at a time — and is folded into the Pipeline
+// histograms when the batch finishes. A nil *Trace is valid and records
+// nothing, so the durable layer can time stages unconditionally.
+type Trace struct {
+	ns  [NumStages]uint64
+	set [NumStages]bool
+}
+
+// Reset clears the trace for the next batch.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	*t = Trace{}
+}
+
+// Set records a stage's duration, replacing any previous value.
+func (t *Trace) Set(s Stage, d time.Duration) {
+	if t == nil || s < 0 || s >= NumStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.ns[s] = uint64(d)
+	t.set[s] = true
+}
+
+// Add accumulates into a stage (a coalesced batch can decode several
+// frames; their decode times sum).
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t == nil || s < 0 || s >= NumStages {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.ns[s] += uint64(d)
+	t.set[s] = true
+}
+
+// Get returns a stage's accumulated nanoseconds (0 if never set).
+func (t *Trace) Get(s Stage) uint64 {
+	if t == nil || s < 0 || s >= NumStages {
+		return 0
+	}
+	return t.ns[s]
+}
+
+// Breakdown renders the set stages as "stage=dur stage=dur ..." for the
+// slow-op log. Only called on the slow path; allocates freely.
+func (t *Trace) Breakdown() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for s := Stage(0); s < NumStages; s++ {
+		if !t.set[s] {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(stageNames[s])
+		b.WriteByte('=')
+		b.WriteString(time.Duration(t.ns[s]).String())
+	}
+	return b.String()
+}
+
+// Limiter is a token-bucket rate limiter for the slow-op log: at most
+// burst events immediately, refilling at rate events per second. It is
+// only consulted after a batch already exceeded the slow-op threshold,
+// so a mutex is fine.
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	tokens  float64
+	last    time.Time
+	dropped uint64
+}
+
+// NewLimiter returns a limiter allowing rate events/second with the
+// given burst.
+func NewLimiter(rate, burst float64) *Limiter {
+	return &Limiter{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow consumes a token if available. When it returns true it also
+// returns the number of events dropped since the last allowed one, so
+// the log line can carry "(+N suppressed)".
+func (l *Limiter) Allow(now time.Time) (ok bool, suppressed uint64) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.dropped++
+		return false, 0
+	}
+	l.tokens--
+	suppressed = l.dropped
+	l.dropped = 0
+	return true, suppressed
+}
+
+// FormatSuppressed renders the "(+N suppressed)" suffix, empty when N=0.
+func FormatSuppressed(n uint64) string {
+	if n == 0 {
+		return ""
+	}
+	return " (+" + strconv.FormatUint(n, 10) + " suppressed)"
+}

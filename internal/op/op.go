@@ -35,6 +35,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
+
+	"vmshortcut/internal/obs"
 )
 
 // Kind is the operation type of one batch entry. The numeric values are
@@ -106,7 +108,21 @@ type Batch struct {
 	rawCode byte
 
 	enc []byte // arena reused by Payload when no raw bytes exist
+
+	// trace, when set, collects per-stage timings as the batch moves
+	// through the pipeline (the durable layer fills apply and WAL-append
+	// stages). Connection infrastructure, not batch content: Reset keeps
+	// it, since the server installs it once per connection.
+	trace *obs.Trace
 }
+
+// SetTrace installs a per-stage timing collector carried by the batch
+// through the pipeline. Layers that see only the batch (durability)
+// record their stage durations into it; nil disables collection.
+func (b *Batch) SetTrace(t *obs.Trace) { b.trace = t }
+
+// Trace returns the installed timing collector, or nil.
+func (b *Batch) Trace() *obs.Trace { return b.trace }
 
 // Reset empties the batch, retaining its storage for reuse.
 func (b *Batch) Reset() {

@@ -141,6 +141,15 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 			"replica": {"primary_addr": "h:1", "applied_lsn": 5, "lag_histogram": [1,2,3]},
 			"consensus": {"term": 7}
 		},
+		"obs": {
+			"stages": {
+				"shard_apply": {"count": 4, "p99_ns": 900, "p999_ns": 1200},
+				"gpu_offload": {"count": 1, "p99_ns": 5}
+			},
+			"frames_by_op": {"get": 2, "teleport": 1},
+			"slow_ops": 3,
+			"trace_spans": 12
+		},
 		"sharding": {"shards": 16}
 	}`
 	var r StatsReply
@@ -155,6 +164,21 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 	}
 	if r.Replication.Replica.PrimaryAddr != "h:1" || r.Replication.Replica.AppliedLSN != 5 {
 		t.Fatalf("replica counters lost: %+v", r.Replication.Replica)
+	}
+	// The obs section rides the same contract: stage maps keep keys this
+	// binary has never heard of, and summaries tolerate extra percentile
+	// fields.
+	if r.Obs == nil || r.Obs.SlowOps != 3 {
+		t.Fatalf("obs section lost: %+v", r.Obs)
+	}
+	if got := r.Obs.Stages["shard_apply"]; got.Count != 4 || got.P99NS != 900 {
+		t.Fatalf("known stage summary lost: %+v", got)
+	}
+	if got := r.Obs.Stages["gpu_offload"]; got.Count != 1 {
+		t.Fatalf("unknown stage key dropped: %+v", r.Obs.Stages)
+	}
+	if r.Obs.Frames["teleport"] != 1 {
+		t.Fatalf("unknown frame opcode dropped: %+v", r.Obs.Frames)
 	}
 
 	// An "old" server: no role, no replication.
@@ -174,7 +198,7 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, banned := range []string{"role", "replication", "read_only_rejects", "stale_rejects"} {
+	for _, banned := range []string{"role", "replication", "read_only_rejects", "stale_rejects", "obs"} {
 		if strings.Contains(string(blob), banned) {
 			t.Fatalf("zero-value reply leaks %q: %s", banned, blob)
 		}

@@ -124,6 +124,36 @@ type StatsReply struct {
 	// Replication is present when the server replicates in either
 	// direction (see repl.go).
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Obs is the observability section: per-stage latency summaries and
+	// per-opcode frame counts, present when the server runs with metrics
+	// enabled. Like every other section it only ever gains fields;
+	// readers must ignore stages they do not know.
+	Obs *ObsStats `json:"obs,omitempty"`
+}
+
+// ObsStats is the observability section of StatsReply: summarized
+// per-stage latency histograms keyed by stage name (frame_decode,
+// coalesce_wait, shard_apply, wal_append, wal_fsync, repl_sync_ack,
+// reply_write, batch_total — the set may grow), request frame counts by
+// opcode name, and the slow-op count. Defined here rather than in
+// internal/obs so the wire package stays dependency-free; the server
+// fills it from its live histograms.
+type ObsStats struct {
+	Stages  map[string]HistSummary `json:"stages,omitempty"`
+	Frames  map[string]uint64      `json:"frames_by_op,omitempty"`
+	SlowOps uint64                 `json:"slow_ops"`
+}
+
+// HistSummary is one latency histogram summarized for JSON transport.
+// All durations are nanoseconds; percentiles carry the source
+// histogram's ~3% bucket resolution.
+type HistSummary struct {
+	Count  uint64  `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  uint64  `json:"p50_ns"`
+	P95NS  uint64  `json:"p95_ns"`
+	P99NS  uint64  `json:"p99_ns"`
+	MaxNS  uint64  `json:"max_ns"`
 }
 
 // DurabilityCounters is the durability state of the backing store: how

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"vmshortcut"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/op"
 	"vmshortcut/internal/wire"
 )
@@ -103,6 +104,20 @@ type Config struct {
 	// staleness bound), and an OpPromote frame triggers
 	// Replica.Promote. Implemented by repl.Follower.
 	Replica Replica
+
+	// Metrics, when non-nil, enables the observability layer: per-stage
+	// latency histograms, per-opcode frame counters, and render-time
+	// bindings for the server's own counters in the Metrics' registry
+	// (served by the admin listener's /metrics and /statsz). The request
+	// path records into pre-registered series with atomic adds only — no
+	// allocation per op. Nil disables all instrumentation at zero cost.
+	Metrics *Metrics
+
+	// SlowOp is the slow-op log threshold: a batch whose end-to-end
+	// server time (StageTotal) meets or exceeds it emits one structured
+	// log line with the per-stage breakdown, rate-limited (and counted in
+	// eh_slow_ops_total, unlimited). 0 disables. Requires Metrics.
+	SlowOp time.Duration
 }
 
 // ReplSource is the primary side of replication as the server sees it:
@@ -148,8 +163,9 @@ type Replica interface {
 // Server serves the wire protocol from a Store. Create with New, start
 // with Serve or ListenAndServe, stop with Shutdown (graceful) or Close.
 type Server struct {
-	cfg   Config
-	store vmshortcut.Store
+	cfg     Config
+	store   vmshortcut.Store
+	metrics *Metrics
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -207,6 +223,23 @@ func (s *Server) waitShipped() {
 	}
 }
 
+// timedWaitShipped is waitShipped with the wait recorded as
+// StageReplAck when instrumentation is on and the gate actually engages.
+func (st *connState) timedWaitShipped() {
+	rs := st.srv.cfg.Repl
+	if rs == nil || !rs.SyncMode() {
+		return
+	}
+	var t0 time.Time
+	if st.instr {
+		t0 = time.Now()
+	}
+	rs.WaitShipped(rs.LastLSN())
+	if st.instr {
+		st.trace.Set(obs.StageReplAck, time.Since(t0))
+	}
+}
+
 // New creates a Server for cfg.
 func New(cfg Config) (*Server, error) {
 	if cfg.Store == nil {
@@ -221,7 +254,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch > wire.MaxMixedBatch {
 		cfg.MaxBatch = wire.MaxMixedBatch
 	}
-	return &Server{cfg: cfg, store: cfg.Store, conns: map[net.Conn]struct{}{}}, nil
+	s := &Server{cfg: cfg, store: cfg.Store, metrics: cfg.Metrics, conns: map[net.Conn]struct{}{}}
+	if s.metrics != nil {
+		s.metrics.bindServer(s)
+	}
+	return s, nil
+}
+
+// Ready reports whether the server should receive traffic: false while
+// draining, and false on a replica whose reads are stale-gated (the
+// primary has been silent past the staleness bound). This is what the
+// admin listener's /readyz serves.
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && s.gate() != gateStale
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -347,19 +392,32 @@ func (s *Server) closeConns() {
 	}
 }
 
-// Counters snapshots the serving-layer counters.
+// Counters snapshots the serving-layer counters into a struct in one
+// pass of atomic loads.
+//
+// Consistency contract: each field is individually exact and monotonic
+// (every load is atomic, and every counter only increases; ActiveConns
+// is the one gauge and may go down), but the struct is NOT a consistent
+// cross-field cut — the counters are read one after another while
+// traffic continues, so related fields can disagree transiently. A
+// snapshot taken mid-batch may, for example, show CoalescedOps already
+// including a batch whose Ops increment it does not yet include, or
+// Frames ahead of Ops. Consumers that derive rates must difference two
+// snapshots field-by-field (sound, because each field is monotonic) and
+// must not assume cross-field identities like CoalescedOps ≤ Ops hold
+// exactly at any instant.
 func (s *Server) Counters() wire.ServerCounters {
-	return wire.ServerCounters{
-		ActiveConns:      uint64(s.activeConns.Load()),
-		TotalConns:       s.totalConns.Load(),
-		Ops:              s.ops.Load(),
-		Frames:           s.frames.Load(),
-		CoalescedBatches: s.coalescedBatches.Load(),
-		CoalescedOps:     s.coalescedOps.Load(),
-		Errors:           s.errors.Load(),
-		ReadOnlyRejects:  s.readOnlyRejects.Load(),
-		StaleRejects:     s.staleRejects.Load(),
-	}
+	var c wire.ServerCounters
+	c.ActiveConns = uint64(s.activeConns.Load())
+	c.TotalConns = s.totalConns.Load()
+	c.Ops = s.ops.Load()
+	c.Frames = s.frames.Load()
+	c.CoalescedBatches = s.coalescedBatches.Load()
+	c.CoalescedOps = s.coalescedOps.Load()
+	c.Errors = s.errors.Load()
+	c.ReadOnlyRejects = s.readOnlyRejects.Load()
+	c.StaleRejects = s.staleRejects.Load()
+	return c
 }
 
 // connState is the per-connection working set: buffered reader/writer,
@@ -384,6 +442,17 @@ type connState struct {
 	// answered, but the stream is no longer frame-aligned, so the
 	// connection must close right after.
 	drainBroken bool
+
+	// Observability (instr is set once, from Config.Metrics != nil):
+	// trace collects the current batch's per-stage durations — it is
+	// installed on the batch so the durable layer can fill its stages —
+	// start is when the current frame finished reading, and traced marks
+	// a loop iteration that executed a store batch (stage histograms
+	// only make sense for those).
+	instr  bool
+	traced bool
+	start  time.Time
+	trace  obs.Trace
 }
 
 // serveConn runs one connection's request loop until EOF, a protocol
@@ -398,10 +467,17 @@ func (s *Server) serveConn(c net.Conn) {
 		s.wg.Done()
 	}()
 	st := &connState{
-		srv: s,
-		c:   c,
-		br:  bufio.NewReaderSize(c, 64<<10),
-		bw:  bufio.NewWriterSize(c, 64<<10),
+		srv:   s,
+		c:     c,
+		br:    bufio.NewReaderSize(c, 64<<10),
+		bw:    bufio.NewWriterSize(c, 64<<10),
+		instr: s.metrics != nil,
+	}
+	if st.instr {
+		// The trace rides on the batch so layers that only see the batch
+		// (the durable store) can fill their stages; installed once — the
+		// batch's Reset keeps it.
+		st.batch.SetTrace(&st.trace)
 	}
 	for {
 		// Drain check before blocking: Shutdown's deadline poke could be
@@ -429,6 +505,12 @@ func (s *Server) serveConn(c net.Conn) {
 			return
 		}
 		s.frames.Add(1)
+		if st.instr {
+			st.start = time.Now()
+			st.trace.Reset()
+			st.traced = false
+			s.metrics.countFrame(tag)
+		}
 		st.resp = st.resp[:0]
 		switch tag {
 		case wire.OpGet, wire.OpPut, wire.OpDel:
@@ -457,23 +539,45 @@ func (s *Server) serveConn(c net.Conn) {
 			s.logf("server: conn %s: %v", c.RemoteAddr(), err)
 			return
 		}
-		if _, werr := st.bw.Write(st.resp); werr != nil {
+		// Reply write, then flush when the pipeline is (momentarily)
+		// empty — batching the flush across pipelined requests is the
+		// write-side half of the amortization — or when the drain broke
+		// the stream. The whole write+flush span is StageReplyWrite.
+		var wstart time.Time
+		if st.instr {
+			wstart = time.Now()
+		}
+		_, werr := st.bw.Write(st.resp)
+		flushed := false
+		if werr == nil && (st.drainBroken || st.br.Buffered() == 0) {
+			werr = st.bw.Flush()
+			flushed = true
+		}
+		if st.instr && st.traced {
+			st.trace.Set(obs.StageReplyWrite, time.Since(wstart))
+			st.trace.Set(obs.StageTotal, time.Since(st.start))
+			s.finishBatch(st)
+		}
+		if werr != nil || st.drainBroken {
 			return
 		}
-		if st.drainBroken {
-			st.bw.Flush()
+		if flushed && s.draining.Load() {
 			return
 		}
-		// Flush when the pipeline is (momentarily) empty — batching the
-		// flush across pipelined requests is the write-side half of the
-		// amortization.
-		if st.br.Buffered() == 0 {
-			if werr := st.bw.Flush(); werr != nil {
-				return
-			}
-			if s.draining.Load() {
-				return
-			}
+	}
+}
+
+// finishBatch folds a finished batch's trace into the stage histograms,
+// bumps the per-kind op counters, and applies the slow-op threshold.
+// Only called with instrumentation on and for iterations that executed a
+// store batch.
+func (s *Server) finishBatch(st *connState) {
+	m := s.metrics
+	m.pipeline.RecordTrace(&st.trace)
+	m.countApplied(st.batch.Gets(), st.batch.Puts(), st.batch.Dels())
+	if s.cfg.SlowOp > 0 {
+		if total := time.Duration(st.trace.Get(obs.StageTotal)); total >= s.cfg.SlowOp {
+			m.slowOp(s, st.c.RemoteAddr().String(), st.batch.Len(), total, &st.trace)
 		}
 	}
 }
@@ -486,9 +590,22 @@ func (s *Server) serveConn(c net.Conn) {
 // order, so the wire contract is indistinguishable from serial
 // execution; a kind switch in the pipeline no longer breaks the batch.
 func (st *connState) singles(tag byte, payload []byte) error {
+	var t0 time.Time
+	if st.instr {
+		st.traced = true
+		t0 = time.Now()
+	}
 	st.batch.Reset()
 	if err := st.appendSingle(tag, payload); err != nil {
 		return err
+	}
+	if st.instr {
+		// The first frame's decode is StageDecode; the gather loop below
+		// — including reads of further pipelined frames and any
+		// batch-window wait — is StageCoalesce.
+		now := time.Now()
+		st.trace.Set(obs.StageDecode, now.Sub(t0))
+		t0 = now
 	}
 	for st.batch.Len() < st.srv.cfg.MaxBatch && st.peekSingle() {
 		tag, p, buf, err := wire.ReadFrame(st.br, st.readBuf)
@@ -506,6 +623,9 @@ func (st *connState) singles(tag byte, payload []byte) error {
 			return fmt.Errorf("reading pipelined frame: %w", err)
 		}
 		st.srv.frames.Add(1)
+		if st.instr {
+			st.srv.metrics.countFrame(tag)
+		}
 		if err := st.appendSingle(tag, p); err != nil {
 			return err
 		}
@@ -516,11 +636,24 @@ func (st *connState) singles(tag byte, payload []byte) error {
 	if n > 1 {
 		st.srv.coalescedBatches.Add(1)
 		st.srv.coalescedOps.Add(uint64(n))
+		if st.instr {
+			st.trace.Set(obs.StageCoalesce, time.Since(t0))
+		}
 	}
 	if g := st.srv.gate(); g == gateStale || (g == gateReadOnly && st.batch.Mutations() > 0) {
 		return st.gatedSingles(g)
 	}
+	if st.instr {
+		t0 = time.Now()
+	}
 	err := st.srv.store.ApplyBatch(&st.batch, &st.res)
+	if st.instr && st.trace.Get(obs.StageApply) == 0 {
+		// The durable layer splits its span into StageApply and
+		// StageWALAppend through the batch's trace; when it did not run
+		// (non-durable store, or a pure-read batch it passes through),
+		// the whole store call is the apply stage.
+		st.trace.Set(obs.StageApply, time.Since(t0))
+	}
 	if err != nil {
 		// Unit failure: nothing in the batch may be acknowledged (see the
 		// package comment), so every gathered request answers the error.
@@ -531,7 +664,7 @@ func (st *connState) singles(tag byte, payload []byte) error {
 		return nil
 	}
 	if st.batch.Mutations() > 0 {
-		st.srv.waitShipped()
+		st.timedWaitShipped()
 	}
 	for i, kind := range st.batch.Kinds() {
 		switch kind {
@@ -663,8 +796,16 @@ func (st *connState) peekSingle() bool {
 // store-level failure answers StatusErr for the whole frame with the
 // stream still aligned.
 func (st *connState) batchFrame(tag byte, payload []byte) error {
+	var t0 time.Time
+	if st.instr {
+		st.traced = true
+		t0 = time.Now()
+	}
 	if err := wire.DecodeBatch(tag, payload, &st.batch); err != nil {
 		return err
+	}
+	if st.instr {
+		st.trace.Set(obs.StageDecode, time.Since(t0))
 	}
 	n := st.batch.Len()
 	st.srv.ops.Add(uint64(n))
@@ -684,13 +825,22 @@ func (st *connState) batchFrame(tag byte, payload []byte) error {
 			return nil
 		}
 	}
-	if err := st.srv.store.ApplyBatch(&st.batch, &st.res); err != nil {
+	if st.instr {
+		t0 = time.Now()
+	}
+	err := st.srv.store.ApplyBatch(&st.batch, &st.res)
+	if st.instr && st.trace.Get(obs.StageApply) == 0 {
+		// See singles: the durable layer fills apply/WAL-append stages
+		// when it runs; otherwise the store call is all apply.
+		st.trace.Set(obs.StageApply, time.Since(t0))
+	}
+	if err != nil {
 		st.srv.errors.Add(1)
 		st.resp = wire.AppendError(st.resp, err.Error())
 		return nil
 	}
 	if st.batch.Mutations() > 0 {
-		st.srv.waitShipped()
+		st.timedWaitShipped()
 	}
 	switch tag {
 	case wire.OpGetBatch:
@@ -745,16 +895,18 @@ func (st *connState) promoteReply() error {
 	return nil
 }
 
-// statsReply answers OpStats with the JSON StatsReply.
-func (st *connState) statsReply() error {
-	st.srv.ops.Add(1)
-	storeStats := st.srv.store.Stats()
+// StatsReply builds the full STATS sections: server counters, store
+// stats, durability, replication roles, and — with metrics enabled —
+// the observability section. The OpStats frame and the admin listener's
+// /statsz both serve it.
+func (s *Server) StatsReply() wire.StatsReply {
+	storeStats := s.store.Stats()
 	reply := wire.StatsReply{
-		Server:     st.srv.Counters(),
+		Server:     s.Counters(),
 		Store:      storeStats,
 		Durability: wire.DurabilityFrom(storeStats),
 	}
-	if rs, rp := st.srv.cfg.Repl, st.srv.cfg.Replica; rs != nil || rp != nil {
+	if rs, rp := s.cfg.Repl, s.cfg.Replica; rs != nil || rp != nil {
 		repl := &wire.ReplicationStats{}
 		reply.Role = "primary"
 		if rs != nil {
@@ -768,7 +920,16 @@ func (st *connState) statsReply() error {
 		}
 		reply.Replication = repl
 	}
-	body, err := json.Marshal(reply)
+	if s.metrics != nil {
+		reply.Obs = s.metrics.obsStats()
+	}
+	return reply
+}
+
+// statsReply answers OpStats with the JSON StatsReply.
+func (st *connState) statsReply() error {
+	st.srv.ops.Add(1)
+	body, err := json.Marshal(st.srv.StatsReply())
 	if err != nil {
 		return fmt.Errorf("marshaling stats: %w", err)
 	}

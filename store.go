@@ -11,6 +11,7 @@ import (
 	"vmshortcut/internal/eh"
 	"vmshortcut/internal/ht"
 	"vmshortcut/internal/hti"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/op"
 	"vmshortcut/internal/pool"
 	"vmshortcut/internal/radix"
@@ -236,6 +237,7 @@ type storeOptions struct {
 	snapshotEvery   int
 	walSegmentBytes int64
 	chainedWAL      bool
+	fsyncHist       *obs.Hist
 }
 
 // Option configures Open. Options that do not apply to the chosen kind are

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/op"
 )
 
@@ -97,6 +98,10 @@ type Options struct {
 	// and every append extends it. ChainHead exposes the current head for
 	// publication; VerifyChain audits the segment files against it.
 	Chained bool
+	// FsyncHist, when set, records the duration of every fsync syscall
+	// the log issues (group-commit leader syncs and rotation seals) in
+	// nanoseconds. Nil disables recording at zero cost.
+	FsyncHist *obs.Hist
 }
 
 func (o *Options) fill() {
@@ -419,9 +424,11 @@ func (l *Log) rotateLocked() error {
 	if err := l.bw.Flush(); err != nil {
 		return err
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.opts.FsyncHist.RecordSince(syncStart)
 	if err := l.f.Close(); err != nil {
 		return err
 	}
@@ -640,7 +647,9 @@ func (l *Log) syncTo(target uint64) error {
 		l.mu.Unlock()
 		var serr error
 		if ferr == nil {
+			syncStart := time.Now()
 			serr = f.Sync()
+			l.opts.FsyncHist.RecordSince(syncStart)
 		}
 
 		l.syncMu.Lock()
