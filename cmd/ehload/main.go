@@ -72,6 +72,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "keyspace and workload seed")
 	out := flag.String("out", "BENCH_server.json", "benchmark JSON output path (empty = none)")
 	adminAddr := flag.String("admin-addr", "", "server admin HTTP address (its -admin flag); scrapes /metrics around the measured run and embeds the server-side stage breakdown in the report")
+	sample := flag.Float64("sample", 0, "trace-sampling probability per pipelined round trip, 0..1; sampled traces land in the server's flight recorder (its /tracez admin endpoint)")
 	statsDelta := flag.Bool("stats-delta", false, "print the server-side delta for the measured window (ops, coalesced batches, rejects, per-stage latency); requires -admin-addr")
 	restartCheck := flag.Bool("restart-check", false, "crash-recovery verification instead of a benchmark: start the server (-server-cmd), write acknowledged keys, kill -9 mid-run, restart, verify nothing acknowledged was lost")
 	serverCmd := flag.String("server-cmd", "", "server command line managed by -restart-check; must include -wal-dir (split on whitespace, no shell quoting)")
@@ -135,6 +136,9 @@ func main() {
 	if *statsDelta && *adminAddr == "" {
 		usageError("-stats-delta requires -admin-addr: the delta comes from /metrics scrapes")
 	}
+	if *sample < 0 || *sample > 1 {
+		usageError("-sample must be in [0, 1], got %v", *sample)
+	}
 	batchMode, batchSize := bench.BatchNone, 0
 	switch strings.ToLower(*batch) {
 	case "", "0", bench.BatchNone:
@@ -153,7 +157,7 @@ func main() {
 		Addr: *addr, Mix: mix, Conns: *conns,
 		Pipeline: *pipeline, BatchSize: batchSize, BatchMode: batchMode, Load: *load,
 		Warmup: *warmup, Duration: *duration, Ops: *ops, Seed: *seed,
-		AdminAddr: *adminAddr,
+		AdminAddr: *adminAddr, SampleRate: *sample,
 	}
 
 	report, err := bench.Run(cfg)
@@ -162,6 +166,12 @@ func main() {
 	}
 	report.WriteSummary(os.Stdout)
 	if *statsDelta {
+		// A missing delta means the scrapes did not bracket the run after
+		// all; reporting zeros here would read as "the server did nothing",
+		// which is exactly the wrong conclusion. Fail loudly instead.
+		if report.ServerDelta == nil {
+			log.Fatalf("-stats-delta: no server delta in the report: the /metrics scrapes against %s did not produce one", *adminAddr)
+		}
 		writeStatsDelta(os.Stdout, report.ServerDelta)
 	}
 	if *out != "" {
@@ -181,11 +191,9 @@ func main() {
 
 // writeStatsDelta prints the -stats-delta block: the server's own view
 // of exactly the measured window, from /metrics scrapes bracketing it.
+// The caller has already established sd is non-nil; a scrape failure
+// aborts the run inside bench.Run instead of reaching here.
 func writeStatsDelta(w io.Writer, sd *bench.ServerDelta) {
-	if sd == nil {
-		fmt.Fprintln(w, "stats-delta: no server delta (scrape failed?)")
-		return
-	}
 	fmt.Fprintln(w, "server delta (measured window):")
 	fmt.Fprintf(w, "  ops=%d frames=%d coalesced_batches=%d coalesced_ops=%d errors=%d rejects=%d slow_ops=%d\n",
 		sd.Ops, sd.Frames, sd.CoalescedBatches, sd.CoalescedOps, sd.Errors, sd.Rejects, sd.SlowOps)

@@ -52,6 +52,11 @@ type Config struct {
 	// reports the server-side window delta (counters and per-stage latency
 	// percentiles) alongside the client-side numbers.
 	AdminAddr string
+	// SampleRate is the per-round-trip trace-sampling probability each
+	// worker connection runs with (client.Conn.SetSampling). 0 disables
+	// sampling; sampled traces land in the server's flight recorder
+	// (/tracez on its admin listener).
+	SampleRate float64
 }
 
 // DistName is the distribution label runs are reported under.
@@ -79,6 +84,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("bench: unknown batch mode %q", c.BatchMode)
 	case c.BatchMode == BatchKind && c.BatchSize <= 0:
 		return fmt.Errorf("bench: kind batching needs a positive batch size")
+	case c.SampleRate < 0 || c.SampleRate > 1:
+		return fmt.Errorf("bench: sample rate must be in [0, 1]")
 	}
 	return nil
 }
@@ -146,7 +153,7 @@ func Run(cfg Config) (*Report, error) {
 		Bench: "server", Addr: cfg.Addr, Mix: cfg.Mix.Name, Dist: cfg.DistName(),
 		Conns: cfg.Conns, Pipeline: cfg.Pipeline,
 		BatchMode: cfg.BatchMode, BatchSize: cfg.BatchSize,
-		Loaded: cfg.Load, Seed: cfg.Seed,
+		Loaded: cfg.Load, Seed: cfg.Seed, Sample: cfg.SampleRate,
 		WarmupS:   warmupDur.Seconds(),
 		DurationS: elapsed.Seconds(),
 		LoadS:     loadDur.Seconds(),
@@ -285,6 +292,9 @@ func worker(cfg Config, w int, stop *atomic.Bool) (*workerResult, error) {
 		return nil, err
 	}
 	defer c.Close()
+	if cfg.SampleRate > 0 {
+		c.SetSampling(cfg.SampleRate)
+	}
 
 	res := &workerResult{}
 	gen := workload.NewYCSB(cfg.Seed+uint64(w)*0x9E3779B9, cfg.Mix, cfg.Load)

@@ -24,10 +24,13 @@ type Report struct {
 	Pipeline int    `json:"pipeline"`
 	// BatchMode is how ops became frames: none | kind | mixed. BatchSize
 	// is the kind-mode batch cap and is omitted in the other modes.
-	BatchMode  string  `json:"batch_mode"`
-	BatchSize  int     `json:"batch_size,omitempty"`
-	Loaded     int     `json:"loaded"`
-	Seed       uint64  `json:"seed"`
+	BatchMode string `json:"batch_mode"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	Loaded    int    `json:"loaded"`
+	Seed      uint64 `json:"seed"`
+	// Sample is the trace-sampling probability the workers ran with
+	// (omitted when sampling was off).
+	Sample     float64 `json:"sample,omitempty"`
 	WarmupS    float64 `json:"warmup_seconds,omitempty"`
 	DurationS  float64 `json:"duration_seconds"`
 	Ops        uint64  `json:"ops"`

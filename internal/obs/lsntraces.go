@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// LSNTrace associates a WAL record with the trace that produced it and
+// the wall clock of its append. The durable layer stamps one per
+// appended batch; the replication source reads it back when shipping the
+// record (to forward the trace context) and when acknowledgements return
+// (to compute time lag without a clock on the wire).
+type LSNTrace struct {
+	LSN      uint64
+	TraceID  uint64 // 0 = record was not part of a sampled trace
+	AppendNS int64  // wall clock at append, unix nanoseconds
+}
+
+// LSNTraces is a fixed ring of LSNTrace entries indexed by LSN modulo
+// the ring size. LSNs are assigned densely, so as long as the ship/ack
+// path stays within ringSize records of the append path, lookups hit;
+// beyond that Get misses and lag falls back to record counts only.
+// Slots are individually locked: appenders and the repl source touch
+// disjoint or briefly-contended slots, never a global lock.
+type LSNTraces struct {
+	slots []lsnSlot
+}
+
+type lsnSlot struct {
+	mu  sync.Mutex
+	ent LSNTrace
+}
+
+// NewLSNTraces returns a ring holding n entries (minimum 1).
+func NewLSNTraces(n int) *LSNTraces {
+	if n < 1 {
+		n = 1
+	}
+	return &LSNTraces{slots: make([]lsnSlot, n)}
+}
+
+// Put stamps an LSN. Nil rings drop the stamp.
+func (m *LSNTraces) Put(lsn, traceID uint64, appendNS int64) {
+	if m == nil || lsn == 0 {
+		return
+	}
+	s := &m.slots[lsn%uint64(len(m.slots))]
+	s.mu.Lock()
+	s.ent = LSNTrace{LSN: lsn, TraceID: traceID, AppendNS: appendNS}
+	s.mu.Unlock()
+}
+
+// Get returns the entry for an LSN, reporting a miss when the slot has
+// been reused for a newer record (or was never stamped).
+func (m *LSNTraces) Get(lsn uint64) (LSNTrace, bool) {
+	if m == nil || lsn == 0 {
+		return LSNTrace{}, false
+	}
+	s := &m.slots[lsn%uint64(len(m.slots))]
+	s.mu.Lock()
+	ent := s.ent
+	s.mu.Unlock()
+	if ent.LSN != lsn {
+		return LSNTrace{}, false
+	}
+	return ent, true
+}

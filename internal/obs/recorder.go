@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TraceOrigin says which node recorded a TraceRecord — the primary
+// serving the client batch or a follower applying the shipped record.
+type TraceOrigin uint8
+
+const (
+	OriginPrimary TraceOrigin = iota
+	OriginFollower
+)
+
+// String returns the origin's name as rendered in /tracez.
+func (o TraceOrigin) String() string {
+	switch o {
+	case OriginPrimary:
+		return "primary"
+	case OriginFollower:
+		return "follower"
+	}
+	return "unknown"
+}
+
+// TraceRecord is one finished batch's spans in the flight recorder: the
+// trace ID (0 for server-originated slow-op captures that the client did
+// not sample), the per-stage nanosecond spans, and enough identity (ops,
+// LSN, wall-clock start) to correlate with the slow-op log and the WAL.
+type TraceRecord struct {
+	ID      uint64      // wire trace ID; 0 = unsampled slow-op capture
+	StartNS int64       // wall clock at batch start, unix nanoseconds
+	Origin  TraceOrigin // which node produced the record
+	Slow    bool        // batch exceeded the slow-op threshold
+	Ops     int         // ops in the batch
+	LSN     uint64      // WAL LSN of the batch's record (0 = pure read)
+	NS      [NumStages]uint64
+	Set     [NumStages]bool
+}
+
+// TotalNS returns the record's end-to-end span: StageTotal when set,
+// otherwise the sum of set stages (a follower record has only
+// follower_apply).
+func (r *TraceRecord) TotalNS() uint64 {
+	if r.Set[StageTotal] {
+		return r.NS[StageTotal]
+	}
+	var sum uint64
+	for s := Stage(0); s < NumStages; s++ {
+		if r.Set[s] {
+			sum += r.NS[s]
+		}
+	}
+	return sum
+}
+
+// FromTrace copies a finished Trace's spans into the record.
+func (r *TraceRecord) FromTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.NS = t.ns
+	r.Set = t.set
+}
+
+// Recorder is the flight recorder: a fixed ring of recent TraceRecords.
+// Writers claim slots with one atomic add and take only that slot's
+// mutex, so concurrent connections never contend unless they collide on
+// the same slot; the write path is only reached for sampled or slow
+// batches, so it stays off the per-op fast path entirely. Snapshot and
+// Merge scan under the slot locks and may observe torn *ring order* (a
+// slot mid-overwrite) but never torn records.
+type Recorder struct {
+	seq   atomic.Uint64
+	slots []recSlot
+}
+
+type recSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 1-based claim number; 0 = never written
+	rec TraceRecord
+}
+
+// NewRecorder returns a recorder keeping the last n records (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{slots: make([]recSlot, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Record stores one finished trace, overwriting the oldest slot. Nil
+// recorders drop the record, so callers need no nil checks.
+func (r *Recorder) Record(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	s := &r.slots[(seq-1)%uint64(len(r.slots))]
+	s.mu.Lock()
+	s.seq = seq
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+// Merge folds a late-arriving span (a follower's apply time returning
+// over the replication stream) into the newest record with the given
+// trace ID. It reports whether a record was found; a miss means the ring
+// has already evicted the trace, which is fine — the span is still in
+// the follower's own histograms.
+func (r *Recorder) Merge(id uint64, stage Stage, ns uint64) bool {
+	if r == nil || id == 0 || stage < 0 || stage >= NumStages {
+		return false
+	}
+	var best *recSlot
+	var bestSeq uint64
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 && s.rec.ID == id && s.seq > bestSeq {
+			best, bestSeq = s, s.seq
+		}
+		s.mu.Unlock()
+	}
+	if best == nil {
+		return false
+	}
+	best.mu.Lock()
+	// Re-check under the lock: the slot may have been overwritten since
+	// the scan. Losing the race just degrades to a miss.
+	if best.rec.ID == id {
+		best.rec.NS[stage] += ns
+		best.rec.Set[stage] = true
+		best.mu.Unlock()
+		return true
+	}
+	best.mu.Unlock()
+	return false
+}
+
+// Snapshot copies out every live record, newest first.
+func (r *Recorder) Snapshot() []TraceRecord {
+	if r == nil {
+		return nil
+	}
+	type seqRec struct {
+		seq uint64
+		rec TraceRecord
+	}
+	tmp := make([]seqRec, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			tmp = append(tmp, seqRec{s.seq, s.rec})
+		}
+		s.mu.Unlock()
+	}
+	// Newest first by claim sequence (insertion sort: the ring is small).
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j].seq > tmp[j-1].seq; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	out := make([]TraceRecord, len(tmp))
+	for i, t := range tmp {
+		out[i] = t.rec
+	}
+	return out
+}

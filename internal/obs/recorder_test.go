@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRecordSnapshotNewestFirst(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 5; i++ {
+		r.Record(TraceRecord{ID: uint64(i), StartNS: int64(i)})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("Snapshot len = %d, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(5 - i); rec.ID != want {
+			t.Fatalf("Snapshot[%d].ID = %d, want %d (newest first)", i, rec.ID, want)
+		}
+	}
+}
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(TraceRecord{ID: uint64(i)})
+	}
+	recs := r.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot len = %d, want ring size 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(10 - i); rec.ID != want {
+			t.Fatalf("Snapshot[%d].ID = %d, want %d (oldest evicted)", i, rec.ID, want)
+		}
+	}
+}
+
+func TestRecorderMergeJoinsNewestMatch(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(TraceRecord{ID: 7, StartNS: 1})
+	r.Record(TraceRecord{ID: 9, StartNS: 2})
+	r.Record(TraceRecord{ID: 7, StartNS: 3}) // newer record with the same ID
+
+	r.Merge(7, StageFollowerApply, 12345)
+	var hits int
+	for _, rec := range r.Snapshot() {
+		if rec.ID != 7 || !rec.Set[StageFollowerApply] {
+			continue
+		}
+		hits++
+		if rec.StartNS != 3 {
+			t.Fatalf("Merge landed on StartNS=%d, want the newest (3)", rec.StartNS)
+		}
+		if rec.NS[StageFollowerApply] != 12345 {
+			t.Fatalf("merged span = %d", rec.NS[StageFollowerApply])
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("merge hit %d records, want exactly 1", hits)
+	}
+
+	// Merging an unknown (or evicted) ID is a no-op, never a panic.
+	r.Merge(0xFFFF, StageFollowerApply, 1)
+	// Merges accumulate: a second span for the same stage adds.
+	r.Merge(7, StageFollowerApply, 5)
+	for _, rec := range r.Snapshot() {
+		if rec.ID == 7 && rec.StartNS == 3 && rec.NS[StageFollowerApply] != 12350 {
+			t.Fatalf("second merge did not accumulate: %d", rec.NS[StageFollowerApply])
+		}
+	}
+}
+
+func TestRecorderTotalNS(t *testing.T) {
+	var rec TraceRecord
+	rec.NS[StageApply], rec.Set[StageApply] = 10, true
+	rec.NS[StageWALAppend], rec.Set[StageWALAppend] = 5, true
+	if got := rec.TotalNS(); got != 15 {
+		t.Fatalf("TotalNS without StageTotal = %d, want the stage sum 15", got)
+	}
+	rec.NS[StageTotal], rec.Set[StageTotal] = 100, true
+	if got := rec.TotalNS(); got != 100 {
+		t.Fatalf("TotalNS with StageTotal = %d, want 100", got)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(TraceRecord{ID: 1})
+	r.Merge(1, StageTotal, 1)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil Snapshot = %v", got)
+	}
+	if r.Cap() != 0 {
+		t.Fatalf("nil Cap = %d", r.Cap())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := uint64(g*1000 + i + 1)
+				r.Record(TraceRecord{ID: id})
+				r.Merge(id, StageFollowerApply, 1)
+				r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(r.Snapshot()); got != 32 {
+		t.Fatalf("ring holds %d records after churn, want 32", got)
+	}
+}
+
+func TestLSNTracesPutGet(t *testing.T) {
+	m := NewLSNTraces(8)
+	m.Put(3, 0xAB, 111)
+	ent, ok := m.Get(3)
+	if !ok || ent.TraceID != 0xAB || ent.AppendNS != 111 {
+		t.Fatalf("Get(3) = (%+v, %v)", ent, ok)
+	}
+	// Slot reuse: LSN 11 lands on 3's slot in a ring of 8 and evicts it.
+	m.Put(11, 0xCD, 222)
+	if _, ok := m.Get(3); ok {
+		t.Fatal("Get(3) hit after its slot was reused")
+	}
+	if ent, ok := m.Get(11); !ok || ent.TraceID != 0xCD {
+		t.Fatalf("Get(11) = (%+v, %v)", ent, ok)
+	}
+	// Never-stamped and zero LSNs miss; nil rings are inert.
+	if _, ok := m.Get(5); ok {
+		t.Fatal("unstamped LSN hit")
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("LSN 0 hit")
+	}
+	var nilRing *LSNTraces
+	nilRing.Put(1, 2, 3)
+	if _, ok := nilRing.Get(1); ok {
+		t.Fatal("nil ring hit")
+	}
+}
+
+func TestLSNTracesConcurrent(t *testing.T) {
+	m := NewLSNTraces(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				lsn := uint64(i)
+				m.Put(lsn, uint64(g), int64(i))
+				if ent, ok := m.Get(lsn); ok && ent.LSN != lsn {
+					panic(fmt.Sprintf("Get(%d) returned LSN %d", lsn, ent.LSN))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

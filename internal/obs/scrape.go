@@ -29,7 +29,10 @@ type Scrape struct {
 
 // ParseMetrics parses Prometheus text exposition as produced by
 // Registry.WritePrometheus. It tolerates unknown series and comment
-// lines, so it can scrape future servers.
+// lines, so it can scrape future servers — but a duplicated series is an
+// error, not a silent last-wins: it means the scrape is corrupt (a
+// truncated response glued to a retry, or a broken server), and a delta
+// computed from it would be quietly wrong.
 func ParseMetrics(r io.Reader) (*Scrape, error) {
 	out := &Scrape{
 		Values: make(map[string]float64),
@@ -40,6 +43,7 @@ func ParseMetrics(r io.Reader) (*Scrape, error) {
 		val  float64
 	}
 	var scalars []scalar
+	seen := make(map[string]struct{})
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
@@ -52,6 +56,10 @@ func ParseMetrics(r io.Reader) (*Scrape, error) {
 			return nil, fmt.Errorf("obs: malformed metrics line %q", line)
 		}
 		series, valStr := line[:sp], line[sp+1:]
+		if _, dup := seen[series]; dup {
+			return nil, fmt.Errorf("obs: duplicate series %q in exposition", series)
+		}
+		seen[series] = struct{}{}
 		// Histogram bucket line: <base>_bucket{le="<bound>"} <cum>
 		if i := strings.Index(series, "_bucket{le=\""); i >= 0 && strings.HasSuffix(series, "\"}") {
 			base := series[:i]

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseMetricsRejectsMalformed pins the scraper's failure mode on
+// corrupt Prometheus exposition: every malformed input must return an
+// error — never panic, and never parse into a quietly-wrong Scrape that
+// a stats delta would then report as real server behavior.
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"truncated line, no value", "eh_server_ops_total"},
+		{"truncated mid-value", "eh_server_ops_total 12\neh_frames"},
+		{"empty value", "eh_server_ops_total "},
+		{"bad float", "eh_server_ops_total twelve"},
+		{"bad float exponent", "eh_server_ops_total 1e"},
+		{"bad bucket count", `eh_stage_total_ns_bucket{le="100"} 1.5`},
+		{"bad le bound", `eh_stage_total_ns_bucket{le="ten"} 3`},
+		{"negative bucket count", `eh_stage_total_ns_bucket{le="100"} -1`},
+		{"duplicate scalar series", "eh_server_ops_total 1\neh_server_ops_total 2"},
+		{"duplicate bucket series", "eh_x_bucket{le=\"10\"} 1\neh_x_bucket{le=\"10\"} 2"},
+		{"duplicate across types", "eh_y 1\neh_y 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseMetrics(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("malformed exposition parsed cleanly: %+v", s)
+			}
+		})
+	}
+}
+
+// TestParseMetricsTolerance pins what stays accepted: comments, blank
+// lines, unknown series, and distinct label sets of the same base name —
+// the scraper must keep working against future servers.
+func TestParseMetricsTolerance(t *testing.T) {
+	input := strings.Join([]string{
+		"# HELP eh_server_ops_total Operations.",
+		"# TYPE eh_server_ops_total counter",
+		"",
+		"eh_server_ops_total 12",
+		`eh_frames_total{op="get"} 3`,
+		`eh_frames_total{op="teleport"} 1`, // unknown label value: fine
+		"eh_future_metric 9.5",             // unknown series: fine
+		`eh_stage_x_ns_bucket{le="100"} 2`,
+		`eh_stage_x_ns_bucket{le="+Inf"} 2`,
+		"eh_stage_x_ns_sum 150",
+		"eh_stage_x_ns_count 2",
+	}, "\n")
+	s, err := ParseMetrics(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if s.Values["eh_server_ops_total"] != 12 || s.Values[`eh_frames_total{op="teleport"}`] != 1 {
+		t.Fatalf("scalars = %+v", s.Values)
+	}
+	h := s.Hists["eh_stage_x_ns"]
+	if h.Count != 2 || h.Sum != 150 || h.Buckets[100] != 2 {
+		t.Fatalf("hist = %+v", h)
+	}
+}

@@ -18,30 +18,33 @@ const (
 	StageWALFsync
 	StageReplAck
 	StageReplyWrite
+	StageFollowerApply
 	StageTotal
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	StageDecode:     "frame_decode",
-	StageCoalesce:   "coalesce_wait",
-	StageApply:      "shard_apply",
-	StageWALAppend:  "wal_append",
-	StageWALFsync:   "wal_fsync",
-	StageReplAck:    "repl_sync_ack",
-	StageReplyWrite: "reply_write",
-	StageTotal:      "batch_total",
+	StageDecode:        "frame_decode",
+	StageCoalesce:      "coalesce_wait",
+	StageApply:         "shard_apply",
+	StageWALAppend:     "wal_append",
+	StageWALFsync:      "wal_fsync",
+	StageReplAck:       "repl_sync_ack",
+	StageReplyWrite:    "reply_write",
+	StageFollowerApply: "follower_apply",
+	StageTotal:         "batch_total",
 }
 
 var stageHelp = [NumStages]string{
-	StageDecode:     "Wire frame decode into the op.Batch representation.",
-	StageCoalesce:   "Wait in the per-connection coalescer before the batch was sealed.",
-	StageApply:      "Store/shard apply (fan-out, index mutation, gather).",
-	StageWALAppend:  "WAL append including any group-commit wait for durability.",
-	StageWALFsync:   "Individual WAL fsync syscalls (global, not per batch).",
-	StageReplAck:    "Wait for synchronous replication acknowledgement.",
-	StageReplyWrite: "Encode and write the reply frames to the connection.",
-	StageTotal:      "End-to-end server time for the batch, frame read to reply flushed.",
+	StageDecode:        "Wire frame decode into the op.Batch representation.",
+	StageCoalesce:      "Wait in the per-connection coalescer before the batch was sealed.",
+	StageApply:         "Store/shard apply (fan-out, index mutation, gather).",
+	StageWALAppend:     "WAL append including any group-commit wait for durability.",
+	StageWALFsync:      "Individual WAL fsync syscalls (global, not per batch).",
+	StageReplAck:       "Wait for synchronous replication acknowledgement.",
+	StageReplyWrite:    "Encode and write the reply frames to the connection.",
+	StageFollowerApply: "Replica-side apply of a shipped record (recorded on the follower; merged into primary traces over the stream).",
+	StageTotal:         "End-to-end server time for the batch, frame read to reply flushed.",
 }
 
 // String returns the stage's short name as used in metric names and the

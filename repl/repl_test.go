@@ -14,6 +14,7 @@ import (
 
 	"vmshortcut"
 	"vmshortcut/client"
+	"vmshortcut/internal/obs"
 	"vmshortcut/internal/op"
 	"vmshortcut/internal/wire"
 	"vmshortcut/repl"
@@ -28,6 +29,7 @@ type node struct {
 	srv      *server.Server
 	source   *repl.Source
 	follower *repl.Follower
+	metrics  *server.Metrics
 	addr     string
 	dir      string
 }
@@ -37,9 +39,12 @@ type node struct {
 // wires a Follower. Heartbeats are fast so staleness tests stay quick.
 func startNode(t *testing.T, dir string, syncMode bool, replicaOf string, fcfg repl.FollowerConfig, storeOpts ...vmshortcut.Option) *node {
 	t.Helper()
+	metrics := server.NewMetrics(obs.NewRegistry())
+	traces := obs.NewLSNTraces(1024)
 	opts := append([]vmshortcut.Option{vmshortcut.WithConcurrency(true)}, storeOpts...)
 	if dir != "" {
-		opts = append(opts, vmshortcut.WithWAL(dir), vmshortcut.WithFsync(vmshortcut.FsyncOff))
+		opts = append(opts, vmshortcut.WithWAL(dir), vmshortcut.WithFsync(vmshortcut.FsyncOff),
+			vmshortcut.WithLSNTraces(traces))
 		if fcfg.Chained {
 			opts = append(opts, vmshortcut.WithChainedWAL(true))
 		}
@@ -48,12 +53,14 @@ func startNode(t *testing.T, dir string, syncMode bool, replicaOf string, fcfg r
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	n := &node{store: st, dir: dir}
-	cfg := server.Config{Store: st, Logf: t.Logf}
+	n := &node{store: st, metrics: metrics, dir: dir}
+	cfg := server.Config{Store: st, Logf: t.Logf, Metrics: metrics}
 	if rep, ok := vmshortcut.AsReplicable(st); ok {
 		n.source = repl.NewSource(rep, repl.SourceConfig{
 			Sync:              syncMode,
 			HeartbeatInterval: 20 * time.Millisecond,
+			Traces:            traces,
+			Recorder:          metrics.Recorder(),
 			Logf:              t.Logf,
 		})
 		cfg.Repl = n.source

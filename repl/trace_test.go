@@ -1,0 +1,108 @@
+package repl_test
+
+import (
+	"testing"
+
+	"vmshortcut/internal/obs"
+	"vmshortcut/repl"
+)
+
+// TestTracedStreamJoinsFollowerSpans drives the whole distributed
+// tracing path: a sampled client write on the primary, its trace context
+// shipped down a ReplFlagTrace stream, the follower's apply span
+// recorded locally AND returned upstream into the primary's flight
+// recorder under the same trace ID — plus the lag gauges on both ends.
+func TestTracedStreamJoinsFollowerSpans(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{})
+	frec := obs.NewRecorder(64)
+	replica := startNode(t, t.TempDir(), false, primary.addr, repl.FollowerConfig{
+		Trace:    true,
+		Recorder: frec,
+	})
+
+	c := mustDial(t, primary.addr)
+	c.SetSampling(1)
+	for i := uint64(0); i < 20; i++ {
+		if err := c.Put(i, i*10); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	lastID := c.LastTraceID()
+	if lastID == 0 {
+		t.Fatal("sampling at 1.0 left no trace ID")
+	}
+	waitCaughtUp(t, primary, replica)
+
+	// The follower recorded its own apply span for the sampled record.
+	waitFor(t, "follower-side trace record", func() bool {
+		for _, r := range frec.Snapshot() {
+			if r.ID == lastID && r.Origin == obs.OriginFollower && r.Set[obs.StageFollowerApply] {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The span also returned upstream: a primary flight-recorder entry
+	// now carries the follower_apply stage next to the primary-side
+	// stages — one trace, both nodes. (Any of the 20 sampled traces will
+	// do: a span whose record was not yet in the recorder when it
+	// returned is dropped by design.)
+	waitFor(t, "follower span merged into a primary trace", func() bool {
+		for _, r := range primary.metrics.Recorder().Snapshot() {
+			if r.ID != 0 && r.Origin == obs.OriginPrimary &&
+				r.Set[obs.StageFollowerApply] && r.Set[obs.StageWALAppend] && r.Set[obs.StageTotal] {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Lag gauges: the follower measured append-to-apply lag from the
+	// stream's trace metadata; the primary measured append-to-ack lag
+	// from its LSN ring when the acks returned.
+	waitFor(t, "replica lag gauge", func() bool {
+		return replica.follower.Counters().LagMS >= 0
+	})
+	waitFor(t, "primary ack-lag gauge", func() bool {
+		return primary.source.Counters().LagMS >= 0
+	})
+	if lr := replica.follower.Counters().LagRecords; lr != 0 {
+		t.Fatalf("caught-up replica reports lag_records=%d", lr)
+	}
+}
+
+// TestUntracedStreamStaysQuiet pins the default: without FollowerConfig
+// Trace, the handshake never sets the flag, no trace metadata flows, and
+// the lag time gauges stay at their "unknown" sentinel — while record
+// counting lag still works from plain LSN arithmetic.
+func TestUntracedStreamStaysQuiet(t *testing.T) {
+	primary := startNode(t, t.TempDir(), false, "", repl.FollowerConfig{})
+	frec := obs.NewRecorder(64)
+	replica := startNode(t, t.TempDir(), false, primary.addr, repl.FollowerConfig{
+		Recorder: frec, // recorder set, but no Trace: it must stay empty
+	})
+
+	c := mustDial(t, primary.addr)
+	c.SetSampling(1)
+	for i := uint64(0); i < 10; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	waitCaughtUp(t, primary, replica)
+
+	if recs := frec.Snapshot(); len(recs) != 0 {
+		t.Fatalf("untraced stream produced %d follower trace records", len(recs))
+	}
+	if lag := replica.follower.Counters().LagMS; lag != -1 {
+		t.Fatalf("untraced replica LagMS = %d, want -1 (unknown)", lag)
+	}
+	// The primary's recorder still has the client-sampled traces — just
+	// without follower spans.
+	for _, r := range primary.metrics.Recorder().Snapshot() {
+		if r.Set[obs.StageFollowerApply] {
+			t.Fatalf("follower span appeared on an untraced stream: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vmshortcut/client"
+	"vmshortcut/internal/obs"
+	"vmshortcut/internal/wire"
+	"vmshortcut/server"
+)
+
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	return conn
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSampledOpLandsInFlightRecorder drives the whole client→server
+// tracing path: a connection sampling at 1.0 injects a trace-context
+// envelope, the server threads it through the batch, and the finished
+// trace lands in the flight recorder under the client's trace ID.
+func TestSampledOpLandsInFlightRecorder(t *testing.T) {
+	m := server.NewMetrics(obs.NewRegistry())
+	_, _, addr := startServer(t, server.Config{Metrics: m})
+
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetSampling(1)
+
+	if err := c.Put(1, 100); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	id := c.LastTraceID()
+	if id == 0 {
+		t.Fatal("sampling at 1.0 left no trace ID on the connection")
+	}
+	// The recorder write happens after the reply is flushed; poll briefly.
+	var rec obs.TraceRecord
+	waitUntil(t, "trace in the recorder", func() bool {
+		for _, r := range m.Recorder().Snapshot() {
+			if r.ID == id {
+				rec = r
+				return true
+			}
+		}
+		return false
+	})
+	if rec.Ops != 1 || rec.Origin != obs.OriginPrimary {
+		t.Fatalf("recorded trace = %+v", rec)
+	}
+	if !rec.Set[obs.StageTotal] || !rec.Set[obs.StageApply] {
+		t.Fatalf("trace missing core stages: set=%v", rec.Set)
+	}
+
+	// A pipelined burst samples per round trip: the whole coalesced batch
+	// carries one trace ID.
+	p := c.Pipeline()
+	for i := uint64(0); i < 8; i++ {
+		p.Put(10+i, i)
+	}
+	if _, err := p.Flush(nil); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	id = c.LastTraceID()
+	waitUntil(t, "pipelined trace in the recorder", func() bool {
+		for _, r := range m.Recorder().Snapshot() {
+			if r.ID == id && r.Ops > 1 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestSamplingOffSendsNoEnvelope pins the forward-compatibility story:
+// with sampling off (the default), the client's byte stream contains no
+// trace-context frames at all, so an old server never sees the new
+// opcode. The server's per-opcode frame counter is the witness.
+func TestSamplingOffSendsNoEnvelope(t *testing.T) {
+	m := server.NewMetrics(obs.NewRegistry())
+	_, _, addr := startServer(t, server.Config{Metrics: m})
+
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	for i := uint64(0); i < 16; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Obs == nil {
+		t.Fatal("no obs section")
+	}
+	if n := st.Obs.Frames["trace_ctx"]; n != 0 {
+		t.Fatalf("sampling off, but %d trace_ctx frames reached the server", n)
+	}
+	if c.LastTraceID() != 0 {
+		t.Fatalf("sampling off, but LastTraceID = %x", c.LastTraceID())
+	}
+
+	c.SetSampling(1)
+	if err := c.Put(99, 99); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if st, err = c.Stats(); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if n := st.Obs.Frames["trace_ctx"]; n == 0 {
+		t.Fatal("sampling at 1.0 produced no trace_ctx frames")
+	}
+}
+
+// TestTraceCtxFrameShape pins the envelope's wire semantics against a
+// raw connection: it produces no response frame, and a malformed one is
+// a protocol error that kills the connection — never a silent skip.
+func TestTraceCtxFrameShape(t *testing.T) {
+	m := server.NewMetrics(obs.NewRegistry())
+	_, _, addr := startServer(t, server.Config{Metrics: m})
+
+	conn := rawDial(t, addr)
+	defer conn.Close()
+	// Envelope + PUT in one write: exactly one response (the PUT's ack).
+	buf := wire.AppendTraceCtx(nil, 0xABCD, wire.TraceFlagSampled)
+	buf = wire.AppendPut(buf, 5, 50)
+	buf = wire.AppendKey(buf, wire.OpGet, 5)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	tag, p, rest, err := wire.ReadFrame(br, nil)
+	if err != nil || tag != wire.StatusOK || len(p) != 0 {
+		t.Fatalf("first response = (0x%02x, %d bytes, %v), want the empty PUT ack", tag, len(p), err)
+	}
+	tag, p, _, err = wire.ReadFrame(br, rest)
+	if err != nil || tag != wire.StatusOK || len(p) != 8 {
+		t.Fatalf("second response = (0x%02x, %d bytes, %v), want the GET value", tag, len(p), err)
+	}
+	if v := binary.LittleEndian.Uint64(p); v != 50 {
+		t.Fatalf("GET after envelope = %d, want 50", v)
+	}
+
+	// Truncated envelope payload: visible protocol error.
+	bad := rawDial(t, addr)
+	defer bad.Close()
+	if _, err := bad.Write(wire.AppendFrame(nil, wire.OpTraceCtx, []byte{1, 2, 3})); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tag, _, _, err = wire.ReadFrame(bufio.NewReader(bad), nil)
+	if err == nil && tag != wire.StatusErr {
+		t.Fatalf("malformed envelope answered 0x%02x, want an error (or close)", tag)
+	}
+}
+
+// TestTracezEndpoint drives /tracez end to end: sampled traffic, then
+// the JSON surface with its filters, including the 400s for bad params.
+func TestTracezEndpoint(t *testing.T) {
+	m := server.NewMetrics(obs.NewRegistry())
+	srv, _, addr := startServer(t, server.Config{Metrics: m})
+
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetSampling(1)
+	for i := uint64(0); i < 4; i++ {
+		if err := c.Put(i, i); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	waitUntil(t, "traces recorded", func() bool {
+		return len(m.Recorder().Snapshot()) >= 4
+	})
+
+	ts := httptest.NewServer(srv.AdminHandler())
+	defer ts.Close()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body []byte
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/tracez?n=2&sort=slow")
+	if code != 200 {
+		t.Fatalf("/tracez = %d: %s", code, body)
+	}
+	var reply struct {
+		Capacity int `json:"capacity"`
+		Recorded int `json:"recorded"`
+		Returned int `json:"returned"`
+		Traces   []struct {
+			TraceID string            `json:"trace_id"`
+			Origin  string            `json:"origin"`
+			Spans   map[string]uint64 `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("bad /tracez JSON: %v\n%s", err, body)
+	}
+	if reply.Returned != 2 || reply.Recorded < 4 || reply.Capacity == 0 {
+		t.Fatalf("counts = %+v", reply)
+	}
+	for _, tr := range reply.Traces {
+		if tr.TraceID == "" || tr.Origin != "primary" {
+			t.Fatalf("trace = %+v", tr)
+		}
+		if _, ok := tr.Spans["batch_total"]; !ok {
+			t.Fatalf("trace missing batch_total span: %+v", tr.Spans)
+		}
+	}
+
+	// A stage filter that matches nothing returns zero traces, not junk.
+	code, body = get("/tracez?stage=follower_apply")
+	if code != 200 {
+		t.Fatalf("/tracez?stage = %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &reply); err != nil || reply.Returned != 0 {
+		t.Fatalf("primary-only traces matched follower_apply: %v %+v", err, reply)
+	}
+
+	for _, bad := range []string{"?n=0", "?n=x", "?sort=upside-down", "?stage=warp", "?min_ms=-1"} {
+		if code, body := get("/tracez" + bad); code != 400 {
+			t.Fatalf("/tracez%s = %d, want 400: %s", bad, code, body)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"vmshortcut/internal/obs"
+)
+
+// tracezTrace is one flight-recorder record rendered for /tracez.
+type tracezTrace struct {
+	// TraceID is the wire trace ID in hex ("" for unsampled slow-op
+	// captures, which have no client-visible ID).
+	TraceID string `json:"trace_id,omitempty"`
+	// Origin is "primary" or "follower" — which node recorded the spans.
+	Origin string `json:"origin"`
+	// Start is the batch's wall-clock start (RFC3339Nano).
+	Start string `json:"start"`
+	// TotalMS is the end-to-end span in milliseconds.
+	TotalMS float64 `json:"total_ms"`
+	Slow    bool    `json:"slow,omitempty"`
+	Ops     int     `json:"ops"`
+	LSN     uint64  `json:"lsn,omitempty"`
+	// Spans is the per-stage breakdown, nanoseconds, keyed by stage name
+	// (frame_decode, coalesce_wait, ... follower_apply).
+	Spans map[string]uint64 `json:"spans"`
+}
+
+// tracezReply is /tracez's JSON shape.
+type tracezReply struct {
+	// Capacity is the flight-recorder ring size; Recorded is how many
+	// records are live in it; Returned is how many survived the query's
+	// filter and limit.
+	Capacity int           `json:"capacity"`
+	Recorded int           `json:"recorded"`
+	Returned int           `json:"returned"`
+	Traces   []tracezTrace `json:"traces"`
+}
+
+// tracezHandler serves the flight recorder. Query parameters:
+//
+//	n        max traces returned (default 50)
+//	sort     "recent" (default) or "slow" (by end-to-end span, descending)
+//	stage    filter: only traces where this stage recorded (by stage name)
+//	min_ms   filter: only traces whose filtered stage (or total span,
+//	         without stage) meets this many milliseconds
+func (s *Server) tracezHandler(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		http.Error(w, "metrics are not enabled on this server", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	n := 50
+	if v := q.Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = p
+	}
+	bySlow := false
+	switch q.Get("sort") {
+	case "", "recent":
+	case "slow":
+		bySlow = true
+	default:
+		http.Error(w, `sort must be "recent" or "slow"`, http.StatusBadRequest)
+		return
+	}
+	stage, hasStage := obs.Stage(-1), false
+	if v := q.Get("stage"); v != "" {
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if st.String() == v {
+				stage, hasStage = st, true
+				break
+			}
+		}
+		if !hasStage {
+			http.Error(w, fmt.Sprintf("unknown stage %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	var minNS uint64
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			http.Error(w, "min_ms must be a non-negative number", http.StatusBadRequest)
+			return
+		}
+		minNS = uint64(f * float64(time.Millisecond))
+	}
+
+	recs := s.metrics.recorder.Snapshot()
+	reply := tracezReply{Capacity: s.metrics.recorder.Cap(), Recorded: len(recs)}
+	kept := recs[:0]
+	for i := range recs {
+		rec := &recs[i]
+		if hasStage && !rec.Set[stage] {
+			continue
+		}
+		threshold := rec.TotalNS()
+		if hasStage {
+			threshold = rec.NS[stage]
+		}
+		if threshold < minNS {
+			continue
+		}
+		kept = append(kept, *rec)
+	}
+	if bySlow {
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].TotalNS() > kept[j].TotalNS() })
+	}
+	if len(kept) > n {
+		kept = kept[:n]
+	}
+	reply.Returned = len(kept)
+	reply.Traces = make([]tracezTrace, len(kept))
+	for i := range kept {
+		rec := &kept[i]
+		t := tracezTrace{
+			Origin:  rec.Origin.String(),
+			Start:   time.Unix(0, rec.StartNS).Format(time.RFC3339Nano),
+			TotalMS: float64(rec.TotalNS()) / float64(time.Millisecond),
+			Slow:    rec.Slow,
+			Ops:     rec.Ops,
+			LSN:     rec.LSN,
+			Spans:   make(map[string]uint64),
+		}
+		if rec.ID != 0 {
+			t.TraceID = fmt.Sprintf("%016x", rec.ID)
+		}
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			if rec.Set[st] {
+				t.Spans[st.String()] = rec.NS[st]
+			}
+		}
+		reply.Traces[i] = t
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(reply)
+}

@@ -238,6 +238,7 @@ type storeOptions struct {
 	walSegmentBytes int64
 	chainedWAL      bool
 	fsyncHist       *obs.Hist
+	lsnTraces       *obs.LSNTraces
 }
 
 // Option configures Open. Options that do not apply to the chosen kind are
