@@ -158,15 +158,12 @@ func runGrid(c gridConfig) {
 	dir := filepath.Join(c.out, stamp)
 	log.Printf("ehbench: %d cell(s) × %d repeat(s) from %s -> %s", len(cells), g.Repeats, c.gridPath, dir)
 
-	results := make([]*bench.CellResult, 0, len(cells))
 	start := time.Now()
-	for i, cell := range cells {
-		log.Printf("[%d/%d] %s", i+1, len(cells), cell.Key)
-		res, err := bench.RunCell(cell, log.Printf)
-		if err != nil {
-			log.Fatalf("ehbench: %v", err)
-		}
-		results = append(results, res)
+	// Repeats interleave round-robin across cells (see bench.RunCells):
+	// host-load phases land on every cell instead of biasing whole cells.
+	results, err := bench.RunCells(cells, log.Printf)
+	if err != nil {
+		log.Fatalf("ehbench: %v", err)
 	}
 	sum := bench.Summarize(stamp, results)
 	if err := bench.WriteRunDir(dir, g, results, sum); err != nil {

@@ -81,6 +81,18 @@
 //     across goroutines; Stats aggregates; WaitSync and Close fan out and
 //     drain. Writers to different shards proceed in parallel.
 //
+// Under either option, pure-GET traffic takes a lock-free fast path:
+// writers bump a per-shard sequence counter (odd while mutating), and
+// readers run optimistic seqlock passes — plus, with WithReadCache(true),
+// probes of a small hot-key cache whose entries are stamped with that
+// counter, so one write invalidates the whole cache in O(1). Each index
+// kind carries a readSafe capability bit recording whether its Lookup is
+// free of side effects; kinds that mutate on read (KindHTI migrates
+// entries on access) clear it and keep the locked path, so the fast path
+// can never run a read that writes. Stats reports the per-level serve
+// counts (FastpathCacheReads / FastpathSeqlockReads /
+// FastpathLockedReads).
+//
 // All rewired memory lives outside the Go heap; the garbage collector
 // never observes it. Linux is required for the rewiring layer (memfd +
 // MAP_FIXED); every other layer is portable.

@@ -52,21 +52,68 @@ func RunCell(cell Cell, logf func(format string, args ...any)) (*CellResult, err
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if cell.Procs > 0 {
-		prev := runtime.GOMAXPROCS(cell.Procs)
-		defer runtime.GOMAXPROCS(prev)
-	}
 	res := &CellResult{Cell: cell}
 	for r := 0; r < cell.Repeats; r++ {
-		rec, err := runOnce(cell, r)
+		rec, err := runRepeat(cell, r)
 		if err != nil {
-			return nil, fmt.Errorf("cell %s repeat %d: %w", cell.Key, r, err)
+			return nil, err
 		}
 		logf("  repeat %d/%d: %.0f ops/s, p99 %s", r+1, cell.Repeats,
 			rec.Report.Throughput, time.Duration(rec.Report.Latency.P99))
 		res.Runs = append(res.Runs, rec)
 	}
 	return res, nil
+}
+
+// RunCells executes a set of cells with their repeats interleaved
+// round-robin: repeat r of every cell runs before repeat r+1 of any.
+// Back-to-back repeats make a cell's mean hostage to whatever multi-
+// minute phase the host happens to be in while that one cell runs —
+// on a shared box the phase drift dwarfs the effects the grid exists
+// to measure; interleaving spreads every phase across every cell so
+// cell-vs-cell comparisons stay honest. Results come back in cell
+// order, shaped exactly as sequential RunCell calls would produce.
+func RunCells(cells []Cell, logf func(format string, args ...any)) ([]*CellResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	results := make([]*CellResult, len(cells))
+	maxRepeats := 0
+	for i, c := range cells {
+		results[i] = &CellResult{Cell: c}
+		if c.Repeats > maxRepeats {
+			maxRepeats = c.Repeats
+		}
+	}
+	for r := 0; r < maxRepeats; r++ {
+		for i, c := range cells {
+			if r >= c.Repeats {
+				continue
+			}
+			rec, err := runRepeat(c, r)
+			if err != nil {
+				return nil, err
+			}
+			logf("[round %d/%d] %s: %.0f ops/s, p99 %s", r+1, c.Repeats,
+				c.Key, rec.Report.Throughput, time.Duration(rec.Report.Latency.P99))
+			results[i].Runs = append(results[i].Runs, rec)
+		}
+	}
+	return results, nil
+}
+
+// runRepeat runs one measured repeat of one cell, applying the cell's
+// GOMAXPROCS override around just that run.
+func runRepeat(cell Cell, r int) (*RunRecord, error) {
+	if cell.Procs > 0 {
+		prev := runtime.GOMAXPROCS(cell.Procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	rec, err := runOnce(cell, r)
+	if err != nil {
+		return nil, fmt.Errorf("cell %s repeat %d: %w", cell.Key, r, err)
+	}
+	return rec, nil
 }
 
 // node is one in-process server: store, listener, serving loop, the
@@ -91,6 +138,12 @@ func startNode(cell Cell, walDir string) (*node, error) {
 	opts := []vmshortcut.Option{
 		vmshortcut.WithShards(cell.Shards),
 		vmshortcut.WithConcurrency(true),
+		vmshortcut.WithSeqlockRetryHist(metrics.Registry().Hist(
+			"eh_seqlock_retry_attempts",
+			"Retries needed per successful optimistic GET pass.")),
+	}
+	if cell.ReadCache {
+		opts = append(opts, vmshortcut.WithReadCache(true))
 	}
 	if cell.Fsync != FsyncNone {
 		mode, err := vmshortcut.ParseFsyncMode(cell.Fsync)
@@ -109,7 +162,7 @@ func startNode(cell Cell, walDir string) (*node, error) {
 		return nil, err
 	}
 	n := &node{store: store, walDir: walDir, done: make(chan error, 1)}
-	scfg := server.Config{Store: store, Metrics: metrics}
+	scfg := server.Config{Store: store, Metrics: metrics, BatchWindowAdaptive: cell.AdWin}
 	if rep, ok := vmshortcut.AsReplicable(store); ok {
 		n.source = repl.NewSource(rep, repl.SourceConfig{})
 		scfg.Repl = n.source

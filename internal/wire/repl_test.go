@@ -183,6 +183,13 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 			"slow_ops": 3,
 			"trace_spans": 12
 		},
+		"hotkeys": {
+			"hit_rate": 0.75,
+			"cache_reads": 30,
+			"cache_misses": 10,
+			"top": [{"key": 7, "hits": 21, "last_seen_ns": 99}],
+			"evictions": 5
+		},
 		"sharding": {"shards": 16}
 	}`
 	var r StatsReply
@@ -220,8 +227,16 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 	if r.Obs.Frames["teleport"] != 1 {
 		t.Fatalf("unknown frame opcode dropped: %+v", r.Obs.Frames)
 	}
+	// The hotkeys section rides the same contract: known fields intact,
+	// extra fields (on the section and on each top entry) skipped.
+	if r.Hotkeys == nil || r.Hotkeys.HitRate != 0.75 || r.Hotkeys.CacheReads != 30 || r.Hotkeys.CacheMisses != 10 {
+		t.Fatalf("hotkeys section lost: %+v", r.Hotkeys)
+	}
+	if len(r.Hotkeys.Top) != 1 || r.Hotkeys.Top[0].Key != 7 || r.Hotkeys.Top[0].Hits != 21 {
+		t.Fatalf("hotkeys top entries lost: %+v", r.Hotkeys.Top)
+	}
 
-	// An "old" server: no role, no replication.
+	// An "old" server: no role, no replication, no hotkeys.
 	old := `{"server": {"ops": 1}, "store": {}, "durability": {}}`
 	r = StatsReply{}
 	if err := json.Unmarshal([]byte(old), &r); err != nil {
@@ -229,6 +244,9 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 	}
 	if r.Role != "" || r.Replication != nil {
 		t.Fatalf("old reply grew replication state: %+v", r)
+	}
+	if r.Hotkeys != nil {
+		t.Fatalf("old reply grew a hotkeys section: %+v", r.Hotkeys)
 	}
 
 	// And the new fields stay out of the payload when unset, so old
@@ -238,7 +256,7 @@ func TestStatsReplyVersionSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, banned := range []string{"role", "replication", "read_only_rejects", "stale_rejects", "obs"} {
+	for _, banned := range []string{"role", "replication", "read_only_rejects", "stale_rejects", "obs", "hotkeys"} {
 		if strings.Contains(string(blob), banned) {
 			t.Fatalf("zero-value reply leaks %q: %s", banned, blob)
 		}

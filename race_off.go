@@ -1,0 +1,7 @@
+//go:build !race
+
+package vmshortcut
+
+// raceEnabled is false in normal builds: the seqlock read path is live.
+// See race_on.go for why -race builds turn it off.
+const raceEnabled = false

@@ -1,0 +1,207 @@
+package vmshortcut
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"vmshortcut/internal/hashfn"
+)
+
+// Hot-key read cache (WithReadCache): a small per-shard open-addressed
+// cache fronting the pure-GET fast path. It is built from fixed arrays
+// of atomics, so a probe is lock-free and allocation-free, and it is
+// keyed by the shard's write sequence counter (lockedIndex.seq): a slot
+// is valid only while its stamp equals the current counter, so any
+// write to the shard invalidates the whole cache in O(1) — the slots
+// simply stop matching and are re-stamped by subsequent reads. A tiny
+// two-row frequency sketch gates admission, so only keys seen
+// repeatedly (the zipfian head) occupy slots.
+const (
+	cacheGroupBits = 7
+	cacheGroups    = 1 << cacheGroupBits // 4-way set-associative
+	cacheWays      = 4
+	cacheSlots     = cacheGroups * cacheWays
+
+	sketchSlots = 2048 // power of two; two rows folded into one array
+	sketchMask  = sketchSlots - 1
+	// admitThreshold is the sketch estimate a key must reach before it
+	// may displace nothing-yet (an empty or stale slot); displacing a
+	// live resident additionally requires beating its estimate.
+	admitThreshold = 2
+	// sketchDecayEvery resets the sketch after this many offers, so a
+	// key that stopped being hot stops looking hot.
+	sketchDecayEvery = 1 << 16
+)
+
+// readCache is one shard's cache. Each slot is guarded by its own
+// version counter (odd = an admission is rewriting the slot), so a
+// reader validates a consistent (key, val, stamp) snapshot from racing
+// admitters with two loads, and the stamp comparison against the
+// shard's sequence counter does the actual freshness check. The zero
+// value is ready to use: stamp 0 never equals a live sequence counter
+// (it starts at 2), so all slots begin empty.
+type readCache struct {
+	ver   [cacheSlots]atomic.Uint64
+	key   [cacheSlots]atomic.Uint64
+	val   [cacheSlots]atomic.Uint64
+	stamp [cacheSlots]atomic.Uint64
+	hits  [cacheSlots]atomic.Uint64
+
+	sketch    [sketchSlots]atomic.Uint32
+	sketchOps atomic.Uint64
+}
+
+func cacheGroup(key uint64) int {
+	return int(hashfn.Hash(key) >> (64 - cacheGroupBits))
+}
+
+// estimate is the sketch's (over-)count for key: the minimum of two
+// rows addressed by independent hashes, count-min style.
+func (c *readCache) estimate(key uint64) uint32 {
+	n1 := c.sketch[hashfn.Hash(key)&sketchMask].Load()
+	n2 := c.sketch[hashfn.Hash2(key)&sketchMask].Load()
+	return min(n1, n2)
+}
+
+// probe looks key up at sequence stamp seq (which the caller read from
+// the shard's counter, even = stable). It is the zero-alloc hit path.
+func (c *readCache) probe(key, seq uint64) (uint64, bool) {
+	base := cacheGroup(key) * cacheWays
+	for i := base; i < base+cacheWays; i++ {
+		v1 := c.ver[i].Load()
+		if v1&1 != 0 {
+			continue
+		}
+		if c.stamp[i].Load() != seq || c.key[i].Load() != key {
+			continue
+		}
+		val := c.val[i].Load()
+		if c.ver[i].Load() != v1 {
+			continue // an admission rewrote the slot mid-read
+		}
+		c.hits[i].Add(1)
+		return val, true
+	}
+	return 0, false
+}
+
+// offer records one observed read of (key, val) — current as of
+// sequence stamp s — and admits it to a slot if the key looks hot. It
+// is called by reader goroutines after a successful locked or
+// seqlock-validated lookup; admissions racing on one slot are
+// serialized by the slot's version CAS, and losing simply drops the
+// offer (the next read re-offers).
+func (c *readCache) offer(key, val, s uint64) {
+	if s&1 != 0 {
+		return
+	}
+	n1 := c.sketch[hashfn.Hash(key)&sketchMask].Add(1)
+	n2 := c.sketch[hashfn.Hash2(key)&sketchMask].Add(1)
+	if c.sketchOps.Add(1)%sketchDecayEvery == 0 {
+		for i := range c.sketch {
+			c.sketch[i].Store(0)
+		}
+	}
+	base := cacheGroup(key) * cacheWays
+	// Resident already: refresh the stamp (and value) if a write
+	// invalidated it since admission. Hit history survives a refresh.
+	for i := base; i < base+cacheWays; i++ {
+		if c.ver[i].Load()&1 == 0 && c.key[i].Load() == key {
+			if c.stamp[i].Load() != s {
+				c.install(i, key, val, s, false)
+			}
+			return
+		}
+	}
+	if min(n1, n2) < admitThreshold {
+		return
+	}
+	// Victim: prefer an empty or stale slot; a live resident is only
+	// displaced by a candidate with a higher sketch estimate, and the
+	// coldest (fewest recorded hits) goes first.
+	victim := -1
+	var victimHits uint64
+	for i := base; i < base+cacheWays; i++ {
+		if c.stamp[i].Load() != s {
+			victim = i
+			victimHits = 0
+			break
+		}
+		if h := c.hits[i].Load(); victim == -1 || h < victimHits {
+			victim, victimHits = i, h
+		}
+	}
+	if c.stamp[victim].Load() == s && c.estimate(c.key[victim].Load()) >= min(n1, n2) {
+		return
+	}
+	c.install(victim, key, val, s, true)
+}
+
+// install rewrites slot i under its version guard. resetHits is false
+// when the slot already holds key (a stamp refresh).
+func (c *readCache) install(i int, key, val, s uint64, resetHits bool) {
+	v := c.ver[i].Load()
+	if v&1 != 0 || !c.ver[i].CompareAndSwap(v, v+1) {
+		return // another admitter owns the slot; theirs wins
+	}
+	c.key[i].Store(key)
+	c.val[i].Store(val)
+	if resetHits {
+		c.hits[i].Store(0)
+	}
+	c.stamp[i].Store(s)
+	c.ver[i].Store(v + 2)
+}
+
+// residents appends every occupied slot (fresh or stale — a stale slot
+// is a recently hot key awaiting re-admission) to out.
+func (c *readCache) residents(out []HotKey) []HotKey {
+	for i := range c.key {
+		if c.stamp[i].Load() == 0 || c.ver[i].Load()&1 != 0 {
+			continue
+		}
+		out = append(out, HotKey{Key: c.key[i].Load(), Hits: c.hits[i].Load()})
+	}
+	return out
+}
+
+// HotKey is one resident read-cache entry, as reported by HotKeys.
+type HotKey struct {
+	Key  uint64
+	Hits uint64
+}
+
+// HotKeys reports the hottest resident keys of a store's read caches
+// (WithReadCache), hottest first, at most k entries, gathered across
+// shards and through the durable wrapper. ok is false when the store
+// runs no read cache, so callers can distinguish "no cache" from "cache
+// still empty".
+func HotKeys(s Store, k int) (top []HotKey, ok bool) {
+	var all []HotKey
+	var found bool
+	var gather func(Store)
+	gather = func(s Store) {
+		switch v := s.(type) {
+		case *durableStore:
+			gather(v.inner)
+		case *sharded:
+			for _, sh := range v.shards {
+				gather(sh)
+			}
+		case *store:
+			if v.lck != nil && v.lck.cache != nil {
+				found = true
+				all = v.lck.cache.residents(all)
+			}
+		}
+	}
+	gather(s)
+	if !found {
+		return nil, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Hits > all[j].Hits })
+	if k >= 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all, true
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAdaptWindow exercises the per-connection window state machine on
+// its wait-outcome signal: a window widens only when the round filled
+// to MaxBatch with every armed wait cut short by arriving data, any
+// round that ended on an expired wait collapses to zero with an
+// exponential probe backoff, and pipelined rounds probe a minimal
+// window once the backoff drains.
+func TestAdaptWindow(t *testing.T) {
+	cfg := Config{BatchWindowAdaptive: true, MaxBatch: 64}
+	st := &connState{srv: &Server{cfg: cfg}}
+
+	// First pipelined round with no window armed: probe immediately.
+	st.adaptWindow(32)
+	if st.win != adaptiveMinWindow {
+		t.Fatalf("first pipelined round: win = %v, want probe %v", st.win, adaptiveMinWindow)
+	}
+
+	// Saturated rounds whose waits were all cut short double the window
+	// up to the default ceiling.
+	for i := 0; i < 20; i++ {
+		st.waitHit = true
+		st.adaptWindow(cfg.MaxBatch)
+	}
+	if st.win != DefaultAdaptiveWindow {
+		t.Fatalf("saturated win = %v, want ceiling %v", st.win, DefaultAdaptiveWindow)
+	}
+	if st.waitHit || st.waitExpired {
+		t.Fatal("outcome flags not reset after a round")
+	}
+
+	// A wait cut short on a round that did NOT fill to MaxBatch is the
+	// fast-server-catches-client-mid-burst case: it must not widen (the
+	// next round's terminal wait would burn the full timeout), but it
+	// holds the current window.
+	before := st.win
+	st.waitHit = true
+	st.adaptWindow(32)
+	if st.win != before {
+		t.Fatalf("unsaturated hit changed win %v -> %v", before, st.win)
+	}
+
+	// A round whose armed window expired empty collapses to zero and arms
+	// the backoff — even if an earlier wait in the same round was hit.
+	st.waitHit, st.waitExpired = true, true
+	st.adaptWindow(32)
+	if st.win != 0 {
+		t.Fatalf("empty wait: win = %v, want 0", st.win)
+	}
+	if st.probeSkip != adaptiveProbeMinGap {
+		t.Fatalf("backoff gap = %d, want %d", st.probeSkip, adaptiveProbeMinGap)
+	}
+
+	// The next probe happens only after the backoff drains, and each
+	// wasted probe doubles the gap up to the cap.
+	gap := adaptiveProbeMinGap
+	for rounds := 0; gap <= adaptiveProbeMaxGap; rounds++ {
+		for i := 0; i < gap; i++ {
+			st.adaptWindow(32)
+			if st.win != 0 {
+				t.Fatalf("probed %d rounds early (gap %d)", gap-i, gap)
+			}
+		}
+		st.adaptWindow(32)
+		if st.win != adaptiveMinWindow {
+			t.Fatalf("backoff drained but no probe armed (gap %d)", gap)
+		}
+		st.waitExpired = true
+		st.adaptWindow(32) // the probe wastes again
+		if st.win != 0 {
+			t.Fatalf("wasted probe kept win = %v", st.win)
+		}
+		if gap == adaptiveProbeMaxGap {
+			break
+		}
+		gap *= 2
+		if gap > adaptiveProbeMaxGap {
+			gap = adaptiveProbeMaxGap
+		}
+		if st.probeSkip != gap {
+			t.Fatalf("backoff gap = %d, want %d", st.probeSkip, gap)
+		}
+	}
+	if st.probeGap != adaptiveProbeMaxGap {
+		t.Fatalf("backoff cap: gap = %d, want %d", st.probeGap, adaptiveProbeMaxGap)
+	}
+
+	// A saturated productive round resets the backoff entirely and
+	// re-arms a minimal window from zero.
+	st.waitHit = true
+	st.adaptWindow(cfg.MaxBatch)
+	if st.probeGap != 0 {
+		t.Fatalf("saturated hit left probeGap = %d", st.probeGap)
+	}
+	if st.win != adaptiveMinWindow {
+		t.Fatalf("saturated hit from zero: win = %v, want %v", st.win, adaptiveMinWindow)
+	}
+
+	// Lone-request rounds never probe: a dribbling client has nothing a
+	// window could stitch.
+	st = &connState{srv: &Server{cfg: cfg}}
+	for i := 0; i < 100; i++ {
+		st.adaptWindow(1)
+	}
+	if st.win != 0 {
+		t.Fatalf("dribbling rounds armed win = %v", st.win)
+	}
+
+	// An explicit BatchWindow caps the adaptive ceiling.
+	st = &connState{srv: &Server{cfg: Config{BatchWindowAdaptive: true, MaxBatch: 64, BatchWindow: 20 * time.Microsecond}}}
+	st.adaptWindow(32)
+	for i := 0; i < 20; i++ {
+		st.waitHit = true
+		st.adaptWindow(64)
+	}
+	if st.win != 20*time.Microsecond {
+		t.Fatalf("configured ceiling: win = %v, want 20µs", st.win)
+	}
+}

@@ -1,0 +1,96 @@
+package server_test
+
+import (
+	"testing"
+
+	"vmshortcut"
+	"vmshortcut/client"
+	"vmshortcut/server"
+)
+
+// TestHotkeysStatsSection drives a zipfian-head-shaped read loop against
+// a WithReadCache store behind the adaptive coalescer and asserts the
+// STATS hotkeys section reports the cache: hit rate, probe counters, and
+// the hottest resident keys.
+func TestHotkeysStatsSection(t *testing.T) {
+	_, st, addr := startServer(t,
+		server.Config{BatchWindowAdaptive: true},
+		vmshortcut.WithReadCache(true))
+	c, err := client.DialConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	p := c.Pipeline()
+	for i := uint64(0); i < 32; i++ {
+		p.Put(i, i+100)
+	}
+	if _, err := p.Flush(nil); err != nil {
+		t.Fatalf("put pipeline: %v", err)
+	}
+	// The same four keys over and over: the admission sketch must let
+	// them in, after which whole batches serve from the cache.
+	for round := 0; round < 20; round++ {
+		for _, k := range []uint64{1, 2, 3, 4} {
+			p.Get(k)
+		}
+		res, err := p.Flush(nil)
+		if err != nil {
+			t.Fatalf("get pipeline round %d: %v", round, err)
+		}
+		for i, r := range res {
+			want := uint64(i + 1 + 100)
+			if !r.Found || r.Value != want {
+				t.Fatalf("round %d entry %d: got (%d, %v), want (%d, true)", round, i, r.Value, r.Found, want)
+			}
+		}
+	}
+
+	reply, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	hk := reply.Hotkeys
+	if hk == nil {
+		t.Fatal("StatsReply has no hotkeys section for a WithReadCache store")
+	}
+	if hk.CacheReads == 0 {
+		t.Fatalf("no cache-served reads after 20 identical rounds: %+v", hk)
+	}
+	if hk.HitRate <= 0 || hk.HitRate > 1 {
+		t.Fatalf("hit rate out of range: %+v", hk)
+	}
+	if len(hk.Top) == 0 {
+		t.Fatalf("no resident hot keys reported: %+v", hk)
+	}
+	hot := map[uint64]bool{1: true, 2: true, 3: true, 4: true}
+	var matched int
+	for _, h := range hk.Top {
+		if hot[h.Key] {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatalf("none of the driven hot keys made Top: %+v", hk.Top)
+	}
+	if stStats := st.Stats(); stStats.FastpathCacheReads != hk.CacheReads {
+		t.Fatalf("store (%d) and hotkeys section (%d) disagree on cache reads",
+			stStats.FastpathCacheReads, hk.CacheReads)
+	}
+
+	// A store without a cache must not grow the section.
+	_, _, plainAddr := startServer(t, server.Config{})
+	pc, err := client.DialConn(plainAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	plain, err := pc.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if plain.Hotkeys != nil {
+		t.Fatalf("cache-less store grew a hotkeys section: %+v", plain.Hotkeys)
+	}
+}

@@ -3,6 +3,7 @@ package vmshortcut
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,6 +206,22 @@ type Stats struct {
 	InsertBatches uint64
 	LookupBatches uint64
 	DeleteBatches uint64
+
+	// Read fast path (WithConcurrency stores; summed across shards). The
+	// three Fastpath counters partition GET entries by how they were
+	// served: from the hot-key cache (WithReadCache), by a
+	// seqlock-validated lock-free read, or under the read lock.
+	// CacheMisses counts cache probes that fell through; the cache hit
+	// rate is FastpathCacheReads / (FastpathCacheReads + CacheMisses).
+	// SeqlockRetries counts optimistic passes discarded because a writer
+	// moved the sequence counter mid-read; SeqlockFallbacks counts
+	// batches that exhausted their retries and took the lock.
+	FastpathCacheReads   uint64
+	FastpathSeqlockReads uint64
+	FastpathLockedReads  uint64
+	CacheMisses          uint64
+	SeqlockRetries       uint64
+	SeqlockFallbacks     uint64
 }
 
 // storeOptions collects the functional options; zero values defer to each
@@ -228,6 +245,8 @@ type storeOptions struct {
 	disableShortcut bool
 	concurrent      bool
 	shards          int
+	readCache       bool
+	seqlockHist     *obs.Hist
 
 	// Durability (durable.go): set via WithWAL and friends; ignored
 	// entirely when walDir is empty.
@@ -397,6 +416,26 @@ func WithConcurrency(on bool) Option {
 	return func(o *storeOptions) { o.concurrent = on }
 }
 
+// WithReadCache fronts the pure-GET path of a concurrency-safe store
+// with a small per-shard hot-key cache: fixed arrays of atomics, so a
+// hit is lock-free and allocation-free, invalidated as a whole by any
+// write to the shard (the slots are stamped with the shard's write
+// sequence counter), with sketch-gated admission so only repeatedly
+// read keys occupy slots. It needs WithConcurrency or WithShards to
+// have a fast path to front, and is ignored — like every inapplicable
+// option — without one of them, and for KindHTI, whose reads mutate.
+func WithReadCache(on bool) Option {
+	return func(o *storeOptions) { o.readCache = on }
+}
+
+// WithSeqlockRetryHist records, for every optimistic pure-GET read that
+// succeeded, how many seqlock validation retries it needed (0 = clean
+// first pass). Applies to WithConcurrency stores on read-safe kinds; a
+// sharded store records every shard into the same histogram.
+func WithSeqlockRetryHist(h *obs.Hist) Option {
+	return func(o *storeOptions) { o.seqlockHist = h }
+}
+
 // WithShards hash-partitions the keyspace across n independent sub-stores,
 // each with its own lock stripe and (unless WithPool injects a shared one)
 // its own page pool, so writers to different shards proceed in parallel
@@ -421,6 +460,23 @@ func WithShards(n int) Option {
 		}
 		o.shards = n
 	}
+}
+
+// closedFalse backs the all-false presence results a closed store hands
+// out of LookupBatch/DeleteBatch. The results are immutable by contract
+// (nothing was looked up or deleted), so one shared read-only arena
+// replaces the former make([]bool, n) per call; a batch larger than the
+// arena — far beyond any coalesced frame — still allocates.
+var closedFalse [4096]bool
+
+// zeroFound returns an all-false []bool of length n, allocation-free
+// for any batch the serve path produces. Callers must treat the result
+// as read-only.
+func zeroFound(n int) []bool {
+	if n <= len(closedFalse) {
+		return closedFalse[:n:n]
+	}
+	return make([]bool, n)
 }
 
 // batchIndex is the contract every internal index implementation satisfies
@@ -730,7 +786,21 @@ func openStore(kind Kind, o *storeOptions) (*store, error) {
 	// whose reads are pure (Shortcut-EH lookups only touch atomics; HTI
 	// reads migrate entries and serialize).
 	if o.concurrent {
-		lck := &lockedIndex{idx: s.idx, readMutates: kind == KindHTI}
+		lck := &lockedIndex{
+			idx:         s.idx,
+			readMutates: kind == KindHTI,
+			// readSafe is the per-kind capability bit for the seqlock fast
+			// path: every kind whose reads are pure qualifies; KindHTI's
+			// reads migrate entries and must keep the locked path.
+			readSafe:  kind != KindHTI,
+			retryHist: o.seqlockHist,
+		}
+		// The sequence counter starts at 2 so a live (even) value never
+		// collides with 0, the cache's empty-slot stamp.
+		lck.seq.Store(2)
+		if o.readCache && !lck.readMutates {
+			lck.cache = new(readCache)
+		}
 		s.idx = lck
 		s.lck = lck
 		inner := s.stats
@@ -740,7 +810,9 @@ func openStore(kind Kind, o *storeOptions) (*store, error) {
 			if lck.closed {
 				return Stats{Kind: kind}
 			}
-			return inner()
+			st := inner()
+			lck.fillFastpath(&st)
+			return st
 		}
 	}
 	return s, nil
@@ -790,11 +862,58 @@ func (m mergingEH) DeleteBatch(keys []uint64) []bool { return m.Table.DeleteAndM
 // acquisition. It also owns the authoritative closed check: the flag is
 // read under the lock, so close() cannot release the underlying memory
 // while an operation is mid-flight.
+//
+// On top of the lock it layers the two-level pure-GET fast path. seq is
+// a seqlock sequence counter: every mutating path bumps it entering and
+// leaving the write critical section (odd = writer inside), so a
+// lock-free reader can validate that nothing changed around its pass
+// and discard the result otherwise. The hot-key cache (WithReadCache)
+// stamps its slots with seq, which makes any write an O(1) whole-cache
+// invalidation. Optimistic readers register in optReaders before
+// touching index memory; only close() waits on that count, so writers
+// never block behind readers but pages are never unmapped under one.
 type lockedIndex struct {
 	mu          sync.RWMutex
 	idx         batchIndex
 	readMutates bool
+	readSafe    bool
 	closed      bool
+
+	seq        atomic.Uint64
+	optReaders atomic.Int64
+	closedA    atomic.Bool
+	cache      *readCache
+	retryHist  *obs.Hist
+
+	// Fast-path accounting, surfaced through Stats.
+	cacheReads   atomic.Uint64
+	seqlockReads atomic.Uint64
+	lockedGets   atomic.Uint64
+	cacheMisses  atomic.Uint64
+	seqRetries   atomic.Uint64
+	seqFallbacks atomic.Uint64
+}
+
+func (l *lockedIndex) fillFastpath(st *Stats) {
+	st.FastpathCacheReads = l.cacheReads.Load()
+	st.FastpathSeqlockReads = l.seqlockReads.Load()
+	st.FastpathLockedReads = l.lockedGets.Load()
+	st.CacheMisses = l.cacheMisses.Load()
+	st.SeqlockRetries = l.seqRetries.Load()
+	st.SeqlockFallbacks = l.seqFallbacks.Load()
+}
+
+// beginWrite and endWrite bracket every mutating critical section: the
+// write lock plus the seqlock bumps (odd on entry, even on exit) that
+// invalidate in-flight optimistic readers and the whole hot-key cache.
+func (l *lockedIndex) beginWrite() {
+	l.mu.Lock()
+	l.seq.Add(1)
+}
+
+func (l *lockedIndex) endWrite() {
+	l.seq.Add(1)
+	l.mu.Unlock()
 }
 
 // close marks the index closed and runs release while holding the write
@@ -806,6 +925,16 @@ func (l *lockedIndex) close(release func() error) error {
 		return nil
 	}
 	l.closed = true
+	l.closedA.Store(true)
+	l.seq.Add(1) // leave the counter odd: no optimistic read validates again
+	// Drain optimistic readers already past their closed check — they
+	// hold no lock, so this wait is what keeps release() from unmapping
+	// pages under a racing lock-free read. A reader registers before
+	// checking closedA, so one that slipped past the check is visible
+	// here, and later ones see closedA and bail immediately.
+	for l.optReaders.Load() != 0 {
+		runtime.Gosched()
+	}
 	return release()
 }
 
@@ -826,8 +955,8 @@ func (l *lockedIndex) runlock() {
 }
 
 func (l *lockedIndex) Insert(key, value uint64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.beginWrite()
+	defer l.endWrite()
 	if l.closed {
 		return ErrClosed
 	}
@@ -835,17 +964,31 @@ func (l *lockedIndex) Insert(key, value uint64) error {
 }
 
 func (l *lockedIndex) Lookup(key uint64) (uint64, bool) {
+	if c := l.cache; c != nil {
+		if s := l.seq.Load(); s&1 == 0 {
+			if v, ok := c.probe(key, s); ok {
+				l.cacheReads.Add(1)
+				return v, true
+			}
+			l.cacheMisses.Add(1)
+		}
+	}
 	l.rlock()
 	defer l.runlock()
 	if l.closed {
 		return 0, false
 	}
-	return l.idx.Lookup(key)
+	v, ok := l.idx.Lookup(key)
+	if c := l.cache; c != nil && ok {
+		// seq is stable under the read lock; the value is current there.
+		c.offer(key, v, l.seq.Load())
+	}
+	return v, ok
 }
 
 func (l *lockedIndex) Delete(key uint64) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.beginWrite()
+	defer l.endWrite()
 	if l.closed {
 		return false
 	}
@@ -862,8 +1005,8 @@ func (l *lockedIndex) Len() int {
 }
 
 func (l *lockedIndex) InsertBatch(keys, values []uint64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.beginWrite()
+	defer l.endWrite()
 	if l.closed {
 		return ErrClosed
 	}
@@ -874,16 +1017,16 @@ func (l *lockedIndex) LookupBatch(keys []uint64, out []uint64) []bool {
 	l.rlock()
 	defer l.runlock()
 	if l.closed {
-		return make([]bool, len(keys))
+		return zeroFound(len(keys))
 	}
 	return l.idx.LookupBatch(keys, out)
 }
 
 func (l *lockedIndex) DeleteBatch(keys []uint64) []bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.beginWrite()
+	defer l.endWrite()
 	if l.closed {
-		return make([]bool, len(keys))
+		return zeroFound(len(keys))
 	}
 	return l.idx.DeleteBatch(keys)
 }
@@ -891,11 +1034,19 @@ func (l *lockedIndex) DeleteBatch(keys []uint64) []bool {
 // applyBatch executes a mixed batch under ONE lock acquisition — the
 // write lock when the batch mutates (or reads migrate, KindHTI), the
 // read lock for a pure-GET batch — so a coalesced pipeline round pays
-// one lock, not one per kind switch.
+// one lock, not one per kind switch. A pure-GET batch first attempts
+// the two-level lock-free fast path (hot-key cache, then a
+// seqlock-validated optimistic pass) and only falls back here.
 func (l *lockedIndex) applyBatch(b *op.Batch, res *op.Results) ([3]uint64, error) {
-	if b.Mutations() > 0 || l.readMutates {
-		l.mu.Lock()
-		defer l.mu.Unlock()
+	pureGet := b.Mutations() == 0 && !l.readMutates
+	if pureGet && b.Len() > 0 {
+		if l.fastGets(b, res) {
+			return op.CountRuns(b.Kinds()), nil
+		}
+	}
+	if !pureGet {
+		l.beginWrite()
+		defer l.endWrite()
 	} else {
 		l.mu.RLock()
 		defer l.mu.RUnlock()
@@ -904,7 +1055,133 @@ func (l *lockedIndex) applyBatch(b *op.Batch, res *op.Results) ([3]uint64, error
 		res.Reset(b.Len())
 		return [3]uint64{}, ErrClosed
 	}
-	return applyRuns(l.idx, b, res)
+	runs, err := applyRuns(l.idx, b, res)
+	if b.Mutations() == 0 {
+		// GET entries served under the lock — including KindHTI's, whose
+		// migrating reads hold the write lock.
+		l.lockedGets.Add(uint64(b.Len()))
+	}
+	if pureGet {
+		if c := l.cache; c != nil {
+			// seq is stable under the read lock: stamp the values with it
+			// so the cache serves them until the next write.
+			s := l.seq.Load()
+			keys := b.Keys()
+			for i, k := range keys {
+				if res.Found[i] {
+					c.offer(k, res.Vals[i], s)
+				}
+			}
+		}
+	}
+	return runs, err
+}
+
+// fastGets serves a pure-GET batch without taking the lock. Level 2
+// first: when every key of the batch is resident in the hot-key cache
+// at the current sequence stamp, the batch is answered from atomics
+// alone. Level 1 otherwise: on read-safe kinds (plain builds — the race
+// detector would flag the unsynchronized reads, so -race builds skip
+// it) an optimistic pass reads the index lock-free and is kept only if
+// the sequence counter says no writer overlapped it; after
+// seqlockRetries failed validations the caller falls back to the lock.
+func (l *lockedIndex) fastGets(b *op.Batch, res *op.Results) bool {
+	keys := b.Keys()
+	if !raceEnabled && l.readSafe {
+		return l.seqlockGets(keys, res)
+	}
+	c := l.cache
+	if c == nil {
+		return false
+	}
+	s := l.seq.Load()
+	if s&1 != 0 {
+		return false
+	}
+	res.Reset(len(keys))
+	for i, k := range keys {
+		v, ok := c.probe(k, s)
+		if !ok {
+			l.cacheMisses.Add(1)
+			return false
+		}
+		res.Vals[i], res.Found[i] = v, true
+	}
+	// Every slot matched stamp s, so all values form one consistent
+	// snapshot as of the moment s was current — the linearization point.
+	l.cacheReads.Add(uint64(len(keys)))
+	return true
+}
+
+// seqlockRetries is how many discarded optimistic passes a pure-GET
+// batch tolerates before giving up and taking the read lock.
+const seqlockRetries = 3
+
+func (l *lockedIndex) seqlockGets(keys []uint64, res *op.Results) bool {
+	// Register before the closed check: close() sets closedA, then waits
+	// for this count to drain before releasing index memory, so a reader
+	// that saw closedA false is covered by that wait.
+	l.optReaders.Add(1)
+	defer l.optReaders.Add(-1)
+	if l.closedA.Load() {
+		return false
+	}
+	for attempt := 0; attempt <= seqlockRetries; attempt++ {
+		s := l.seq.Load()
+		if s&1 != 0 {
+			runtime.Gosched() // writer inside; yield rather than spin
+			continue
+		}
+		hits, ok := l.optimisticPass(keys, res, s)
+		if ok && l.seq.Load() == s {
+			l.cacheReads.Add(uint64(hits))
+			if l.cache != nil {
+				l.cacheMisses.Add(uint64(len(keys) - hits))
+			}
+			l.seqlockReads.Add(uint64(len(keys) - hits))
+			if l.retryHist != nil {
+				l.retryHist.Record(uint64(attempt))
+			}
+			if c := l.cache; c != nil {
+				for i, k := range keys {
+					if res.Found[i] {
+						c.offer(k, res.Vals[i], s)
+					}
+				}
+			}
+			return true
+		}
+		l.seqRetries.Add(1)
+	}
+	l.seqFallbacks.Add(1)
+	return false
+}
+
+// optimisticPass reads each key — hot-key cache first, underlying index
+// second — without any lock, protected only by the caller's seqlock
+// validation. A writer racing the pass can expose a mid-rebuild index
+// (a grown table's slices mid-swap), so an out-of-range panic from a
+// torn read is absorbed and reported as !ok; the caller discards the
+// results either way, because the sequence counter has moved.
+func (l *lockedIndex) optimisticPass(keys []uint64, res *op.Results, s uint64) (hits int, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	res.Reset(len(keys))
+	c := l.cache
+	for i, k := range keys {
+		if c != nil {
+			if v, hit := c.probe(k, s); hit {
+				res.Vals[i], res.Found[i] = v, true
+				hits++
+				continue
+			}
+		}
+		res.Vals[i], res.Found[i] = l.idx.Lookup(k)
+	}
+	return hits, true
 }
 
 func (l *lockedIndex) Range(fn func(key, value uint64) bool) {
@@ -979,7 +1256,7 @@ func (s *store) InsertBatch(keys, values []uint64) error {
 
 func (s *store) LookupBatch(keys []uint64, out []uint64) []bool {
 	if s.closed.Load() {
-		return make([]bool, len(keys))
+		return zeroFound(len(keys))
 	}
 	s.lookupBatches.Add(1)
 	return s.idx.LookupBatch(keys, out)
@@ -987,7 +1264,7 @@ func (s *store) LookupBatch(keys []uint64, out []uint64) []bool {
 
 func (s *store) DeleteBatch(keys []uint64) []bool {
 	if s.closed.Load() {
-		return make([]bool, len(keys))
+		return zeroFound(len(keys))
 	}
 	s.deleteBatches.Add(1)
 	return s.idx.DeleteBatch(keys)
